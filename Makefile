@@ -1,0 +1,30 @@
+# Convenience targets for the greedwork reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench experiments report examples clean
+
+install:
+	$(PYTHON) -m pip install -e '.[test]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro run all --fast
+
+report:
+	$(PYTHON) -m repro report -o REPORT.md
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

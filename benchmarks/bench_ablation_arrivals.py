@@ -1,0 +1,12 @@
+"""Benchmark: Poisson-assumption ablation — ablation_arrivals.
+
+The Table-1 ladder under deterministic, Poisson, and hyperexponential
+arrivals: exactness needs Poisson; protection and discrimination don't.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_ablation_arrivals(benchmark):
+    """Regenerate and certify the arrival-process ablation."""
+    run_experiment_benchmark(benchmark, "ablation_arrivals")

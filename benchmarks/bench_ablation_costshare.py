@@ -1,0 +1,11 @@
+"""Benchmark: Section 5.3 ablation — ablation_costshare.
+
+Serial vs average cost sharing on an abstract convex technology.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_ablation_costshare(benchmark):
+    """Regenerate and certify Section 5.3 ablation."""
+    run_experiment_benchmark(benchmark, "ablation_costshare")

@@ -1,0 +1,12 @@
+"""Benchmark: Corollaries 1-2 — c2_separable.
+
+Pareto-optimal Nash equilibria under the separable constraint;
+signalling weights do not rescue M/M/1.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_c2_separable(benchmark):
+    """Regenerate and certify Corollaries 1-2."""
+    run_experiment_benchmark(benchmark, "c2_separable")

@@ -1,0 +1,12 @@
+"""Benchmark: footnote 14 — coalition_resilience.
+
+Coalitional manipulation search at Nash equilibria: Fair Share resists,
+FIFO invites cartels.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_coalition_resilience(benchmark):
+    """Regenerate and certify the coalition-resilience result."""
+    run_experiment_benchmark(benchmark, "coalition_resilience")

@@ -1,0 +1,12 @@
+"""Benchmark: finite-buffer ablation — finite_buffers.
+
+Loss-space protection: FIFO tail-drop vs the push-out Fair Share
+ladder under a flooding attacker with bounded buffers.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_finite_buffers(benchmark):
+    """Regenerate and certify the finite-buffer protection result."""
+    run_experiment_benchmark(benchmark, "finite_buffers")

@@ -1,0 +1,12 @@
+"""Benchmark: Section 5.2 — fq_vs_ladder.
+
+Packet-level Fair Queueing vs FIFO vs the Table-1 ladder: the paper's
+three FQ claims quantified.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_fq_vs_ladder(benchmark):
+    """Regenerate and certify the Fair Queueing comparison."""
+    run_experiment_benchmark(benchmark, "fq_vs_ladder")

@@ -1,0 +1,12 @@
+"""Benchmark: Sections 2.2/5.2 narrative — greed_endtoend.
+
+Closed-loop selfish hill climbers on the simulated switch
+converging near the analytic Nash equilibrium under Fair Share.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_greed_endtoend(benchmark):
+    """Regenerate and certify Sections 2.2/5.2 narrative."""
+    run_experiment_benchmark(benchmark, "greed_endtoend")

@@ -1,0 +1,12 @@
+"""Benchmark: footnote 5 — mg1_generality.
+
+Fair Share guarantees re-verified on M/D/1 and high-variability M/G/1
+service curves.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_mg1_generality(benchmark):
+    """Regenerate and certify the convex-curve generality result."""
+    run_experiment_benchmark(benchmark, "mg1_generality")

@@ -1,0 +1,83 @@
+"""Microbenchmarks of the library's hot paths.
+
+These complement the experiment benchmarks: they time the primitives
+the reproduction leans on (allocation evaluation, analytic Jacobians,
+best responses, Nash solves, the discrete-event loop) so performance
+regressions are visible independently of the experiment logic.
+"""
+
+import numpy as np
+
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.disciplines.proportional import ProportionalAllocation
+from repro.game.best_response import best_response
+from repro.game.nash import solve_nash
+from repro.sim.runner import SimulationConfig, simulate
+from repro.users.families import LinearUtility
+from repro.users.profiles import lemma5_profile
+
+RATES8 = np.linspace(0.02, 0.09, 8)
+FS = FairShareAllocation()
+FIFO = ProportionalAllocation()
+
+
+def test_fs_congestion_eval(benchmark):
+    """Fair Share allocation evaluation, 8 users."""
+    result = benchmark(FS.congestion, RATES8)
+    assert np.all(np.isfinite(result))
+
+
+def test_fifo_congestion_eval(benchmark):
+    """Proportional allocation evaluation, 8 users."""
+    result = benchmark(FIFO.congestion, RATES8)
+    assert np.all(np.isfinite(result))
+
+
+def test_fs_analytic_jacobian(benchmark):
+    """Analytic dC_i/dr_j matrix for Fair Share, 8 users."""
+    jac = benchmark(FS.jacobian, RATES8)
+    assert np.allclose(np.triu(jac, k=1), 0.0)
+
+
+def test_best_response_fs(benchmark):
+    """One golden-section best response under Fair Share."""
+    utility = LinearUtility(gamma=0.3)
+    rates = np.array([0.0, 0.2, 0.3])
+    result = benchmark(best_response, FS, utility, rates, 0)
+    assert 0.0 < result.x < 1.0
+
+
+def test_nash_solve_fs_3users(benchmark):
+    """Damped best-response Nash solve, 3 Fair Share users."""
+    profile = [LinearUtility(gamma=g) for g in (0.2, 0.4, 0.7)]
+    result = benchmark.pedantic(
+        lambda: solve_nash(FS, profile), rounds=3, iterations=1)
+    assert result.converged
+
+
+def test_nash_solve_planted_5users(benchmark):
+    """Nash solve on a planted 5-user Lemma-5 profile."""
+    target = np.linspace(0.05, 0.15, 5)
+    profile = lemma5_profile(FS, target)
+    result = benchmark.pedantic(
+        lambda: solve_nash(FS, profile), rounds=3, iterations=1)
+    assert result.converged
+
+
+def test_des_fifo_throughput(benchmark):
+    """Discrete-event loop: FIFO, 3 users, 5000 time units."""
+    config = SimulationConfig(rates=(0.1, 0.2, 0.3), policy="fifo",
+                              horizon=5000.0, warmup=250.0, seed=0)
+    result = benchmark.pedantic(lambda: simulate(config), rounds=3,
+                                iterations=1)
+    assert result.departures > 1000
+
+
+def test_des_fair_share_ladder_throughput(benchmark):
+    """Discrete-event loop: Fair Share ladder, 3 users, 5000 units."""
+    config = SimulationConfig(rates=(0.1, 0.2, 0.3),
+                              policy="fair-share", horizon=5000.0,
+                              warmup=250.0, seed=0)
+    result = benchmark.pedantic(lambda: simulate(config), rounds=3,
+                                iterations=1)
+    assert result.departures > 1000

@@ -1,0 +1,12 @@
+"""Benchmark: Section 5.4 extension — network_extension.
+
+Nash equilibration, protection, and the Poisson-output approximation
+on a two-switch network with crossing routes.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_network_extension(benchmark):
+    """Regenerate and certify the Section-5.4 network results."""
+    run_experiment_benchmark(benchmark, "network_extension")

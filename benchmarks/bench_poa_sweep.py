@@ -1,0 +1,12 @@
+"""Benchmark: welfare sweep — poa_sweep.
+
+Price-of-anarchy of FIFO vs Fair Share vs the stalling pivot for
+identical quasi-linear users, closed forms cross-checked by solvers.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_poa_sweep(benchmark):
+    """Regenerate and certify the welfare-efficiency sweep."""
+    run_experiment_benchmark(benchmark, "poa_sweep")

@@ -1,0 +1,12 @@
+"""Benchmark: Section 3.1 model — sim_validation.
+
+Packet-level simulations of every policy against their analytic
+allocation functions.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_sim_validation(benchmark):
+    """Regenerate and certify Section 3.1 model."""
+    run_experiment_benchmark(benchmark, "sim_validation")

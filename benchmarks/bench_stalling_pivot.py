@@ -1,0 +1,12 @@
+"""Benchmark: Section 4.1.1 / ref [33] — stalling_pivot.
+
+The stalling pivot mechanism aligning Nash with Pareto FDCs, and its
+burnt-service overhead.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_stalling_pivot(benchmark):
+    """Regenerate and certify the stalling-mechanism result."""
+    run_experiment_benchmark(benchmark, "stalling_pivot")

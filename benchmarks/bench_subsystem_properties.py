@@ -1,0 +1,12 @@
+"""Benchmark: the "in all subsystems" clauses — subsystem_properties.
+
+Envy-freeness, uniqueness, nilpotency, and protection re-verified in
+induced subsystems with randomly frozen users.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_subsystem_properties(benchmark):
+    """Regenerate and certify the subsystem-properties result."""
+    run_experiment_benchmark(benchmark, "subsystem_properties")

@@ -1,0 +1,12 @@
+"""Benchmark: Theorem 1 — t1_efficiency.
+
+Nash equilibria of MAC disciplines are Pareto dominated for
+heterogeneous users; the M/M/1 constraint is not separable.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_t1_efficiency(benchmark):
+    """Regenerate and certify Theorem 1."""
+    run_experiment_benchmark(benchmark, "t1_efficiency")

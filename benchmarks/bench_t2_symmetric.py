@@ -1,0 +1,12 @@
+"""Benchmark: Theorem 2 — t2_symmetric.
+
+Identical users: the Fair Share Nash point is the symmetric
+Pareto optimum; FIFO oversends.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_t2_symmetric(benchmark):
+    """Regenerate and certify Theorem 2."""
+    run_experiment_benchmark(benchmark, "t2_symmetric")

@@ -1,0 +1,12 @@
+"""Benchmark: Theorem 3 — t3_envy.
+
+Unilateral envy-freeness of Fair Share vs positive envy under
+FIFO.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_t3_envy(benchmark):
+    """Regenerate and certify Theorem 3."""
+    run_experiment_benchmark(benchmark, "t3_envy")

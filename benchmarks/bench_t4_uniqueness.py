@@ -1,0 +1,12 @@
+"""Benchmark: Theorem 4 — t4_uniqueness.
+
+Uniqueness of the Fair Share equilibrium vs a FIFO game with
+multiple equilibria.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_t4_uniqueness(benchmark):
+    """Regenerate and certify Theorem 4."""
+    run_experiment_benchmark(benchmark, "t4_uniqueness")

@@ -1,0 +1,12 @@
+"""Benchmark: Theorem 5 — t5_stackelberg.
+
+Stackelberg leader advantage and the survivor set S^inf of
+iterated elimination.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_t5_stackelberg(benchmark):
+    """Regenerate and certify Theorem 5."""
+    run_experiment_benchmark(benchmark, "t5_stackelberg")

@@ -1,0 +1,12 @@
+"""Benchmark: Theorem 6 — t6_revelation.
+
+Strategy-proofness of the B^FS mechanism vs manipulability of
+the FIFO mechanism.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_t6_revelation(benchmark):
+    """Regenerate and certify Theorem 6."""
+    run_experiment_benchmark(benchmark, "t6_revelation")

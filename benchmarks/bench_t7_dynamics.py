@@ -1,0 +1,12 @@
+"""Benchmark: Theorem 7 / Sec. 4.2.3 — t7_dynamics.
+
+Nilpotent Fair Share relaxation matrix; FIFO leading eigenvalue
+approaching 1-N (instability for N > 2).
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_t7_dynamics(benchmark):
+    """Regenerate and certify Theorem 7 / Sec. 4.2.3."""
+    run_experiment_benchmark(benchmark, "t7_dynamics")

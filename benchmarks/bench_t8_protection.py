@@ -1,0 +1,11 @@
+"""Benchmark: Theorem 8 — t8_protection.
+
+The protection bound g(N r)/N under adversarial opponents.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_t8_protection(benchmark):
+    """Regenerate and certify Theorem 8."""
+    run_experiment_benchmark(benchmark, "t8_protection")

@@ -1,0 +1,12 @@
+"""Benchmark: Table 1 — table1.
+
+Regenerate Table 1 (the Fair Share priority ladder) and verify
+the packet-level ladder realizes C^FS.
+"""
+
+from benchmarks.conftest import run_experiment_benchmark
+
+
+def test_table1(benchmark):
+    """Regenerate and certify Table 1."""
+    run_experiment_benchmark(benchmark, "table1")

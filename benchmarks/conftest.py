@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper table/figure/theorem via
+the experiment registry, times it with pytest-benchmark, prints the
+regenerated report, and asserts the paper's qualitative claim held.
+Experiment benchmarks run a single round (they are minutes-scale
+end-to-end reproductions, not microbenchmarks); microbenchmarks of the
+hot code paths live in ``bench_micro.py``.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def run_experiment_benchmark(benchmark, experiment_id: str, seed: int = 0):
+    """Time one fast-mode experiment run and certify its claim."""
+    runner = get_experiment(experiment_id)
+    report = benchmark.pedantic(
+        lambda: runner(seed=seed, fast=True), rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.passed, f"{experiment_id} claim failed:\n" + report.render()
+    return report

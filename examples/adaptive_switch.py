@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""An adaptive Fair Share switch that learns its users' rates.
+
+The Table-1 ladder needs the users' rates to build its priority
+classes — information a real switch does not have.  The adaptive
+variant estimates each user's rate online (EWMA over interarrivals)
+and rebuilds the thinning weights as it learns, approaching the oracle
+ladder's allocation with no configuration at all.
+
+The demo also stresses the adaptation: halfway through, a formerly
+modest user turns into a heavy sender, and the switch's estimates (and
+thus its priority structure) follow.
+
+Run:  python examples/adaptive_switch.py
+"""
+
+import numpy as np
+
+from repro import FairShareAllocation
+from repro.experiments.base import Table
+from repro.sim.queues import AdaptiveFairShareQueue
+from repro.sim.runner import SimulationConfig, simulate
+
+RATES = np.array([0.1, 0.2, 0.3])
+
+
+def static_comparison() -> None:
+    fs = FairShareAllocation()
+    oracle = simulate(SimulationConfig(
+        rates=RATES, policy="fair-share", horizon=60000.0,
+        warmup=3000.0, seed=5))
+    adaptive = simulate(SimulationConfig(
+        rates=RATES, policy="adaptive-fair-share", horizon=60000.0,
+        warmup=3000.0, seed=5))
+    analytic = fs.congestion(RATES)
+    table = Table(
+        title="Oracle ladder vs adaptive ladder (static rates)",
+        headers=["user", "rate", "C^FS (theory)", "oracle ladder sim",
+                 "adaptive ladder sim"])
+    for i in range(RATES.size):
+        table.add_row(i, float(RATES[i]), float(analytic[i]),
+                      float(oracle.mean_queues[i]),
+                      float(adaptive.mean_queues[i]))
+    print(table.render())
+    print()
+
+
+def rate_change_tracking() -> None:
+    """Drive the adaptive queue directly with a mid-run rate change."""
+    rng = np.random.default_rng(11)
+    queue = AdaptiveFairShareQueue(2, ewma=0.05, rebuild_every=100)
+    from repro.sim.packet import Packet
+
+    clock = 0.0
+    snapshots = []
+    for phase, (r0, r1, steps) in enumerate((( 0.3, 0.1, 6000),
+                                             (0.3, 0.6, 6000))):
+        for _ in range(steps):
+            # Interleave the two Poisson streams by competing clocks.
+            gap0 = rng.exponential(1.0 / r0)
+            gap1 = rng.exponential(1.0 / r1)
+            user = 0 if gap0 < gap1 else 1
+            clock += min(gap0, gap1)
+            queue.push(Packet(user=user, arrival_time=clock), rng=rng)
+            queue.complete(rng)
+        snapshots.append(queue.rate_estimates.copy())
+    table = Table(
+        title="Adaptive rate estimates before/after user 1 ramps up",
+        headers=["phase", "true rates", "estimated rates"])
+    table.add_row("user 1 quiet", "(0.30, 0.10)",
+                  str(np.round(snapshots[0], 3)))
+    table.add_row("user 1 heavy", "(0.30, 0.60)",
+                  str(np.round(snapshots[1], 3)))
+    print(table.render())
+    print("\nThe switch re-learns who the heavy sender is and re-ranks "
+          "its priority ladder accordingly —\nno operator input, no "
+          "user cooperation.")
+
+
+def main() -> None:
+    static_comparison()
+    rate_change_tracking()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The Section-5.5 generalization: load sharing on a compute cluster.
+
+The paper closes by noting that its formalism covers *any* resource
+whose quality degrades with total usage — file location, load sharing —
+not just packet switches.  This example re-skins the machinery for a
+shared batch-compute service: tenants submit jobs at a chosen rate, the
+scheduler is an M/G/1 server (deterministic-ish job sizes, cv = 0.5),
+and "congestion" is each tenant's backlog of queued jobs.
+
+Everything transfers verbatim: a FIFO scheduler lets a heavy tenant tax
+everyone and invites overload; a serial (Fair Share) scheduler insulates
+light tenants, caps each tenant's backlog by the unanimity bound, and
+makes truthful self-optimization safe.
+
+Run:  python examples/load_sharing.py
+"""
+
+from repro import FairShareAllocation, ProportionalAllocation, solve_nash
+from repro.experiments.base import Table
+from repro.game.protection import protection_bound
+from repro.queueing.service_curves import MG1Curve
+from repro.users.families import PowerUtility
+
+#: Job-size variability of the batch service (cv = 0.5: semi-regular).
+CURVE = MG1Curve(cv=0.5)
+
+#: Tenants: a bulk analytics team, a nightly-ETL team, and an
+#: interactive-notebook team that hates backlog.
+TENANTS = [
+    ("analytics", PowerUtility(gamma=0.5, q=1.4)),
+    ("etl", PowerUtility(gamma=1.0, q=1.4)),
+    ("notebooks", PowerUtility(gamma=3.5, q=1.4)),
+]
+
+
+def main() -> None:
+    profile = [utility for _, utility in TENANTS]
+    table = Table(
+        title="Self-optimizing tenants on a shared batch service "
+              "(M/G/1, cv=0.5)",
+        headers=["scheduler", "tenant", "job rate", "mean backlog",
+                 "utility"])
+    for scheduler in (ProportionalAllocation(curve=CURVE),
+                      FairShareAllocation(curve=CURVE)):
+        equilibrium = solve_nash(scheduler, profile)
+        for i, (name, _) in enumerate(TENANTS):
+            table.add_row(scheduler.name, name,
+                          float(equilibrium.rates[i]),
+                          float(equilibrium.congestion[i]),
+                          float(equilibrium.utilities[i]))
+    print(table.render())
+
+    # The out-of-equilibrium guarantee, in cluster terms: however the
+    # other tenants misbehave, a serial scheduler caps a 0.1-rate
+    # tenant's backlog at the all-alike bound.
+    bound = protection_bound(0.1, len(TENANTS), curve=CURVE)
+    print(f"\nserial-scheduler backlog cap for a rate-0.1 tenant among "
+          f"{len(TENANTS)}: {bound:.4f} jobs")
+    print("The queueing game is the paper's; only the nouns changed — "
+          "exactly the Section-5.5 point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""A network of switches (the paper's Section-5.4 future work, built).
+
+Topology: two switches; user A crosses only switch 0, user B only
+switch 1, and user C crosses both.  Each user cares about her *total*
+congestion along her route.  With Fair Share at every hop, the selfish
+equilibrium is computed by the same solvers as the single-switch game,
+the two-hop user stays protected by the sum of per-hop bounds, and a
+packet-level tandem simulation probes the Poisson-output approximation
+the analytic model relies on.
+
+Run:  python examples/tandem_network.py
+"""
+
+import numpy as np
+
+from repro import FairShareAllocation, ProportionalAllocation, solve_nash
+from repro.experiments.base import Table
+from repro.network import NetworkAllocation, Route, TandemConfig, \
+    simulate_tandem
+from repro.users.families import PowerUtility
+
+PROFILE = [PowerUtility(gamma=0.5, q=1.5),    # A: one hop
+           PowerUtility(gamma=0.8, q=1.5),    # B: one hop
+           PowerUtility(gamma=0.6, q=1.5)]    # C: two hops
+LABELS = ["A (S0)", "B (S1)", "C (S0+S1)"]
+
+
+def main() -> None:
+    table = Table(title="Selfish equilibrium on the crossing network",
+                  headers=["switch discipline", "user", "rate",
+                           "total congestion", "utility"])
+    for factory in (FairShareAllocation, ProportionalAllocation):
+        network = NetworkAllocation(
+            switches=[factory(), factory()],
+            routes=[Route([0]), Route([1]), Route([0, 1])])
+        equilibrium = solve_nash(network, PROFILE)
+        for i, label in enumerate(LABELS):
+            table.add_row(factory().name, label,
+                          float(equilibrium.rates[i]),
+                          float(equilibrium.congestion[i]),
+                          float(equilibrium.utilities[i]))
+    print(table.render())
+    print("The two-hop user pays congestion at both switches, so she "
+          "sends less;\nFair Share still insulates each hop's smaller "
+          "users from its bigger ones.\n")
+
+    # Poisson-output probe: everyone crosses both switches.
+    rates = np.array([0.1, 0.2, 0.3])
+    analytic = NetworkAllocation(
+        switches=[FairShareAllocation(), FairShareAllocation()],
+        routes=[Route([0, 1])] * 3).congestion(rates)
+    sim = simulate_tandem(TandemConfig(
+        rates=rates, policies=("fair-share", "fair-share"),
+        horizon=60000.0, warmup=3000.0, seed=11))
+    probe = Table(
+        title="Fair Share ladder tandem: Poisson approximation check",
+        headers=["user", "analytic total c", "simulated total c",
+                 "relative error"])
+    for i in range(3):
+        expected = float(analytic[i])
+        measured = float(sim.total_mean_queues[i])
+        probe.add_row(i, expected, measured,
+                      abs(measured - expected) / expected)
+    print(probe.render())
+    print("The second hop's input is the ladder's output — not quite "
+          "Poisson — so the analytic model is an\napproximation there, "
+          "mild for small users and largest for the biggest one, as "
+          "the paper anticipates.")
+
+
+if __name__ == "__main__":
+    main()

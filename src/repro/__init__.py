@@ -1,0 +1,112 @@
+"""greedwork: a reproduction of Shenker's "Making Greed Work in Networks"
+(SIGCOMM 1994).
+
+Selfish users share a single M/M/1 switch; the switch's service
+discipline decides whether their greed wrecks the network or runs it
+well.  This library implements the paper's entire apparatus — the
+queueing feasibility theory, the allocation functions (FIFO's
+proportional split, Fair Share / serial cost sharing, and more), the
+game-theoretic analysis (Nash, Pareto, envy, Stackelberg, learning
+dynamics, revelation mechanisms, protection), a packet-level simulator
+realizing the disciplines, and the experiment harness that regenerates
+the paper's table and verifies each theorem numerically.
+
+Quick start::
+
+    import numpy as np
+    from repro import FairShareAllocation, LinearUtility, solve_nash
+
+    switch = FairShareAllocation()
+    users = [LinearUtility(gamma=g) for g in (0.5, 1.0, 4.0)]
+    eq = solve_nash(switch, users)
+    print(eq.rates, eq.congestion)
+"""
+
+from repro.disciplines import (
+    AllocationFunction,
+    FairShareAllocation,
+    PriorityAllocation,
+    ProportionalAllocation,
+    SeparableAllocation,
+    WeightedProportionalAllocation,
+    check_mac,
+    make_discipline,
+)
+from repro.game import (
+    NashResult,
+    best_response,
+    envy_matrix,
+    fdc_residuals,
+    find_all_nash,
+    is_nash,
+    leader_advantage,
+    max_envy,
+    pareto_improvement,
+    protection_bound,
+    relaxation_matrix,
+    solve_nash,
+    solve_stackelberg,
+    solve_weighted_pareto,
+    worst_case_congestion,
+)
+from repro.network import NetworkAllocation, Route
+from repro.queueing import (
+    FeasibilitySet,
+    MG1Curve,
+    MM1Curve,
+    mm1_mean_queue,
+)
+from repro.users import (
+    ExponentialUtility,
+    LinearUtility,
+    PowerUtility,
+    QuadraticUtility,
+    Utility,
+    lemma5_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # disciplines
+    "AllocationFunction",
+    "ProportionalAllocation",
+    "FairShareAllocation",
+    "PriorityAllocation",
+    "SeparableAllocation",
+    "WeightedProportionalAllocation",
+    "check_mac",
+    "make_discipline",
+    # game
+    "NashResult",
+    "solve_nash",
+    "find_all_nash",
+    "is_nash",
+    "best_response",
+    "solve_weighted_pareto",
+    "pareto_improvement",
+    "envy_matrix",
+    "max_envy",
+    "solve_stackelberg",
+    "leader_advantage",
+    "relaxation_matrix",
+    "fdc_residuals",
+    "protection_bound",
+    "worst_case_congestion",
+    # network
+    "NetworkAllocation",
+    "Route",
+    # queueing
+    "MM1Curve",
+    "MG1Curve",
+    "FeasibilitySet",
+    "mm1_mean_queue",
+    # users
+    "Utility",
+    "LinearUtility",
+    "ExponentialUtility",
+    "PowerUtility",
+    "QuadraticUtility",
+    "lemma5_profile",
+]

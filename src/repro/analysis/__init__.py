@@ -1,0 +1,17 @@
+"""Switch-centric metrics — what the paper argues *against*.
+
+Principle 3 of Section 2.1: performance must be judged by user
+satisfaction, not by switch-centered quantities like power, line
+utilization, or total queueing delay.  This package computes those
+traditional metrics precisely so experiments can show how blind they
+are: at the paper's own operating points, FIFO's and Fair Share's
+"power" are nearly identical while the users' utilities differ
+sharply.
+"""
+
+from repro.analysis.metrics import (
+    SwitchMetrics,
+    switch_metrics,
+)
+
+__all__ = ["SwitchMetrics", "switch_metrics"]

@@ -1,0 +1,79 @@
+"""Traditional switch-centric performance metrics.
+
+For a work-conserving M/M/1-style switch at total load ``S`` with
+per-user queues ``c``:
+
+* utilization = ``S`` (fraction of time busy, unit service rate);
+* total mean queue = ``sum c`` (= ``g(S)`` when work conserving);
+* mean delay = ``g(S)/S`` by Little's law;
+* power = throughput / mean delay = ``S^2 / g(S)`` — Kleinrock's
+  classic knee metric, which for the M/M/1 curve reduces to
+  ``S (1 - S)`` and is therefore *blind to the split*: every
+  discipline at the same total load scores the same power.
+
+That blindness is the quantitative content of the paper's principle 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.queueing.service_curves import MM1Curve, ServiceCurve
+
+
+@dataclass(frozen=True)
+class SwitchMetrics:
+    """The switch-centered scorecard for one operating point.
+
+    Attributes
+    ----------
+    utilization:
+        Total offered load (fraction of service capacity in use).
+    total_queue:
+        Aggregate mean number in system.
+    mean_delay:
+        Aggregate mean sojourn time (Little's law).
+    power:
+        Throughput divided by mean delay.
+    """
+
+    utilization: float
+    total_queue: float
+    mean_delay: float
+    power: float
+
+
+def switch_metrics(rates: Sequence[float],
+                   congestion: Optional[Sequence[float]] = None,
+                   curve: Optional[ServiceCurve] = None) -> SwitchMetrics:
+    """Compute the traditional scorecard at an operating point.
+
+    ``congestion`` defaults to the work-conserving total ``g(S)``
+    split arbitrarily (the metrics don't care — that is the point).
+    """
+    r = np.asarray(rates, dtype=float)
+    if np.any(r < 0.0):
+        raise ValueError(f"rates must be nonnegative, got {r}")
+    g = curve if curve is not None else MM1Curve()
+    total_rate = float(r.sum())
+    if congestion is None:
+        total_queue = g.value(total_rate)
+    else:
+        c = np.asarray(congestion, dtype=float)
+        total_queue = float(c.sum())
+    if total_rate <= 0.0:
+        return SwitchMetrics(utilization=0.0, total_queue=total_queue,
+                             mean_delay=0.0, power=0.0)
+    if not math.isfinite(total_queue):
+        return SwitchMetrics(utilization=total_rate,
+                             total_queue=math.inf, mean_delay=math.inf,
+                             power=0.0)
+    mean_delay = total_queue / total_rate
+    power = total_rate / mean_delay if mean_delay > 0 else math.inf
+    return SwitchMetrics(utilization=total_rate,
+                         total_queue=total_queue,
+                         mean_delay=mean_delay, power=power)

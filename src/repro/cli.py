@@ -1,0 +1,226 @@
+"""Command-line interface: list and run reproduction experiments.
+
+Usage::
+
+    greedwork list
+    greedwork run t3_envy
+    greedwork run all --fast
+    greedwork simulate --rates 0.1 0.2 0.3 --policy fair-share
+    greedwork nash --gammas 0.2 0.5 --discipline fair-share
+
+(equivalently ``python -m repro ...``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="greedwork",
+        description=("Reproduction of Shenker (SIGCOMM 1994), 'Making "
+                     "Greed Work in Networks'"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("experiment",
+                            help="experiment id, or 'all'")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--fast", action="store_true",
+                            help="reduced sample sizes / horizons")
+
+    sim_parser = sub.add_parser("simulate",
+                                help="one packet-level simulation")
+    sim_parser.add_argument("--rates", type=float, nargs="+",
+                            required=True)
+    sim_parser.add_argument("--policy", default="fifo")
+    sim_parser.add_argument("--horizon", type=float, default=50000.0)
+    sim_parser.add_argument("--seed", type=int, default=0)
+
+    nash_parser = sub.add_parser(
+        "nash", help="solve a Nash equilibrium for linear users")
+    nash_parser.add_argument("--gammas", type=float, nargs="+",
+                             required=True,
+                             help="congestion sensitivities")
+    nash_parser.add_argument("--discipline", default="fair-share")
+
+    protect_parser = sub.add_parser(
+        "protect",
+        help="adversarial protection check for one user")
+    protect_parser.add_argument("--rate", type=float, required=True,
+                                help="the protected user's rate")
+    protect_parser.add_argument("--users", type=int, default=3,
+                                help="total number of users")
+    protect_parser.add_argument("--discipline", default="fair-share")
+    protect_parser.add_argument("--samples", type=int, default=150)
+    protect_parser.add_argument("--seed", type=int, default=0)
+
+    tandem_parser = sub.add_parser(
+        "tandem", help="two-switch tandem simulation")
+    tandem_parser.add_argument("--rates", type=float, nargs="+",
+                               required=True)
+    tandem_parser.add_argument("--policies", nargs=2,
+                               default=("fifo", "fifo"),
+                               metavar=("HOP0", "HOP1"))
+    tandem_parser.add_argument("--horizon", type=float, default=30000.0)
+    tandem_parser.add_argument("--seed", type=int, default=0)
+
+    report_parser = sub.add_parser(
+        "report", help="run experiments and write a markdown report")
+    report_parser.add_argument("-o", "--output", default="REPORT.md")
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument("--full", action="store_true",
+                               help="full fidelity (slow)")
+    report_parser.add_argument("--only", nargs="+", default=None,
+                               help="subset of experiment ids")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import all_experiments, claim_of
+
+    for experiment_id in all_experiments():
+        print(f"{experiment_id:20s} {claim_of(experiment_id)}")
+    return 0
+
+
+def _cmd_run(experiment: str, seed: int, fast: bool) -> int:
+    from repro.experiments.registry import all_experiments, get_experiment
+
+    ids = all_experiments() if experiment == "all" else [experiment]
+    failures = 0
+    for experiment_id in ids:
+        report = get_experiment(experiment_id)(seed=seed, fast=fast)
+        print(report.render())
+        print()
+        if not report.passed:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) FAILED")
+    return 1 if failures else 0
+
+
+def _cmd_simulate(rates: List[float], policy: str, horizon: float,
+                  seed: int) -> int:
+    from repro.experiments.base import Table
+    from repro.sim.runner import SimulationConfig, simulate
+
+    result = simulate(SimulationConfig(rates=rates, policy=policy,
+                                       horizon=horizon,
+                                       warmup=horizon * 0.05, seed=seed))
+    table = Table(title=f"policy={result.policy_name} horizon={horizon:g}",
+                  headers=["user", "rate", "mean queue", "CI half",
+                           "throughput"])
+    for i, rate in enumerate(rates):
+        table.add_row(i, float(rate), float(result.mean_queues[i]),
+                      float(result.batch.half_widths[i]),
+                      float(result.throughputs[i]))
+    print(table.render())
+    return 0
+
+
+def _cmd_nash(gammas: List[float], discipline: str) -> int:
+    from repro.disciplines.registry import make_discipline
+    from repro.experiments.base import Table
+    from repro.game.nash import solve_nash
+    from repro.users.families import LinearUtility
+
+    allocation = make_discipline(discipline)
+    profile = [LinearUtility(gamma=g) for g in gammas]
+    result = solve_nash(allocation, profile)
+    table = Table(title=f"Nash equilibrium under {allocation.name}",
+                  headers=["user", "gamma", "rate", "congestion",
+                           "utility"])
+    for i, gamma in enumerate(gammas):
+        table.add_row(i, float(gamma), float(result.rates[i]),
+                      float(result.congestion[i]),
+                      float(result.utilities[i]))
+    print(table.render())
+    print(f"converged: {result.converged}  "
+          f"max unilateral gain: {result.max_gain:.2e}")
+    return 0
+
+
+def _cmd_protect(rate: float, users: int, discipline: str, samples: int,
+                 seed: int) -> int:
+    import numpy as np_local
+
+    from repro.disciplines.registry import make_discipline
+    from repro.experiments.base import Table
+    from repro.game.protection import worst_case_congestion
+
+    allocation = make_discipline(discipline)
+    report = worst_case_congestion(
+        allocation, 0, rate, users,
+        rng=np_local.random.default_rng(seed), n_samples=samples)
+    table = Table(
+        title=f"Protection of a rate-{rate:g} user among {users} "
+              f"({allocation.name})",
+        headers=["bound g(Nr)/N", "worst congestion found",
+                 "protective"])
+    table.add_row(report.bound, report.worst_congestion,
+                  report.protective)
+    print(table.render())
+    print(f"worst opponents: {np_local.round(report.worst_opponents, 4)}")
+    return 0
+
+
+def _cmd_tandem(rates: List[float], policies: List[str], horizon: float,
+                seed: int) -> int:
+    from repro.experiments.base import Table
+    from repro.network.tandem import TandemConfig, simulate_tandem
+
+    result = simulate_tandem(TandemConfig(
+        rates=rates, policies=tuple(policies), horizon=horizon,
+        warmup=horizon * 0.05, seed=seed))
+    table = Table(
+        title=f"tandem {policies[0]} -> {policies[1]}, "
+              f"horizon {horizon:g}",
+        headers=["user", "rate", "hop-0 mean queue",
+                 "hop-1 mean queue", "total"])
+    for i, rate in enumerate(rates):
+        table.add_row(i, float(rate), float(result.mean_queues[0][i]),
+                      float(result.mean_queues[1][i]),
+                      float(result.total_mean_queues[i]))
+    print(table.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    np.set_printoptions(precision=5, suppress=True)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.seed, args.fast)
+    if args.command == "simulate":
+        return _cmd_simulate(args.rates, args.policy, args.horizon,
+                             args.seed)
+    if args.command == "nash":
+        return _cmd_nash(args.gammas, args.discipline)
+    if args.command == "protect":
+        return _cmd_protect(args.rate, args.users, args.discipline,
+                            args.samples, args.seed)
+    if args.command == "tandem":
+        return _cmd_tandem(args.rates, args.policies, args.horizon,
+                           args.seed)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        failures = generate_report(args.output, fast=not args.full,
+                                   seed=args.seed,
+                                   experiment_ids=args.only)
+        return 1 if failures else 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

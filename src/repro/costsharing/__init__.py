@@ -1,0 +1,28 @@
+"""Cost sharing theory (Moulin-Shenker).
+
+The paper's Fair Share allocation *is* the serial cost sharing method
+of [23] applied to the cost function ``g``: users demand quantities
+(rates) and share the total cost (congestion).  This package implements
+serial and average-cost sharing for arbitrary increasing convex cost
+functions, exposing the abstract mechanism the economics results are
+stated for — and letting the ablation experiments compare the two
+sharing rules' strategic properties outside the queueing context.
+"""
+
+from repro.costsharing.rules import (
+    average_cost_shares,
+    serial_cost_shares,
+    serial_matches_fair_share,
+)
+from repro.costsharing.game import (
+    CostGameResult,
+    solve_cost_game,
+)
+
+__all__ = [
+    "serial_cost_shares",
+    "average_cost_shares",
+    "serial_matches_fair_share",
+    "CostGameResult",
+    "solve_cost_game",
+]

@@ -1,0 +1,105 @@
+"""Serial and average cost sharing rules.
+
+Users demand quantities ``q_1 .. q_N``; a technology turns total demand
+into total cost ``Cost(sum q)``.  A *cost sharing rule* splits that
+total into individual shares ``x_i``:
+
+* **Average cost pricing**: ``x_i = q_i * Cost(Q) / Q`` — the
+  cost-sharing face of the proportional/FIFO allocation.
+* **Serial cost sharing** (Moulin-Shenker): with demands sorted
+  ascending, ``x_k = sum_{m<=k} [Cost(Q_m) - Cost(Q_{m-1})]/(N-m+1)``
+  where ``Q_m = (N-m+1) q_m + sum_{j<m} q_j`` — the cost-sharing face
+  of Fair Share.
+
+The key serial properties mirrored from the paper: the share of user
+``i`` is independent of demands larger than hers (insularity), and her
+share never exceeds the unanimity bound ``Cost(N q_i)/N``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+CostFunction = Callable[[float], float]
+
+
+def _validate(demands: Sequence[float]) -> np.ndarray:
+    q = np.asarray(demands, dtype=float)
+    if q.ndim != 1 or q.size == 0:
+        raise ValueError("demands must be a non-empty vector")
+    if np.any(q < 0.0):
+        raise ValueError(f"demands must be nonnegative, got {q}")
+    return q
+
+
+def average_cost_shares(demands: Sequence[float],
+                        cost: CostFunction) -> np.ndarray:
+    """Average-cost pricing: proportional split of the total cost."""
+    q = _validate(demands)
+    total = float(q.sum())
+    if total == 0.0:
+        return np.zeros_like(q)
+    return (cost(total) / total) * q
+
+
+def serial_cost_shares(demands: Sequence[float],
+                       cost: CostFunction) -> np.ndarray:
+    """Serial cost sharing (Moulin-Shenker).
+
+    Equal division of the marginal cost ladder: the smallest demander
+    pays as if everyone demanded like her; each succeeding demander
+    additionally pays an equal share of the extra cost her larger
+    demand forces on the remaining coalition.
+    """
+    q = _validate(demands)
+    order = np.argsort(q, kind="stable")
+    sorted_q = q[order]
+    n = q.size
+    prefix = np.concatenate(([0.0], np.cumsum(sorted_q)[:-1]))
+    multiplicity = n - np.arange(n)
+    ladder = multiplicity * sorted_q + prefix
+    shares_sorted = np.empty(n)
+    cumulative = 0.0
+    prev_cost = cost(0.0)
+    for m in range(n):
+        level_cost = cost(float(ladder[m]))
+        cumulative += (level_cost - prev_cost) / (n - m)
+        prev_cost = level_cost
+        shares_sorted[m] = cumulative
+    out = np.empty(n)
+    out[order] = shares_sorted
+    return out
+
+
+def unanimity_bound(demand: float, n_users: int,
+                    cost: CostFunction) -> float:
+    """``Cost(N q)/N`` — the serial rule's worst-case share."""
+    if demand < 0.0:
+        raise ValueError(f"demand must be nonnegative, got {demand}")
+    return cost(n_users * demand) / n_users
+
+
+def serial_matches_fair_share(rates: Sequence[float],
+                              atol: float = 1e-10) -> bool:
+    """Cross-check: serial shares of ``g`` equal the FS allocation.
+
+    This is the identity the paper leans on when importing the
+    Moulin-Shenker results (uniqueness, revelation, coalition
+    resistance): Fair Share *is* serial cost sharing of the M/M/1
+    queue function.
+    """
+    from repro.disciplines.fair_share import FairShareAllocation
+
+    fs = FairShareAllocation()
+
+    def mm1_cost(x: float) -> float:
+        if x >= 1.0:
+            return float("inf")
+        return x / (1.0 - x)
+
+    serial = serial_cost_shares(rates, mm1_cost)
+    direct = fs.congestion(rates)
+    return bool(np.allclose(serial, direct, atol=atol, rtol=0.0,
+                            equal_nan=True))

@@ -1,0 +1,54 @@
+"""Allocation functions induced by switch service disciplines.
+
+An *allocation function* maps a rate vector ``r`` to the congestion
+vector ``c = C(r)`` (per-user mean queue lengths) that a service
+discipline realizes on the shared server.  This is the fluid-level
+object the paper's game theory operates on; packet-level realizations
+of the same disciplines live in :mod:`repro.sim`.
+
+Provided disciplines:
+
+* :class:`ProportionalAllocation` — FIFO (also LIFO, PS, polling):
+  ``C_i = r_i / (1 - sum r)``.
+* :class:`FairShareAllocation` — the paper's Fair Share / serial cost
+  sharing allocation, with analytic first and second derivatives.
+* :class:`PriorityAllocation` — preemptive priority in ascending (or
+  descending) rate order.
+* :class:`SeparableAllocation` — the Corollary-2 construction
+  ``C_i = f(r) - h_i(r_{-i})`` whose Nash equilibria are Pareto optimal
+  under separable constraints.
+* :class:`WeightedProportionalAllocation` — a parameterized family used
+  in signalling (Corollary 1) experiments.
+"""
+
+from repro.disciplines.base import AllocationFunction, Subsystem
+from repro.disciplines.proportional import ProportionalAllocation
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.disciplines.priority import PriorityAllocation
+from repro.disciplines.separable import (
+    SeparableAllocation,
+    SumOfSquaresConstraint,
+)
+from repro.disciplines.parametric import WeightedProportionalAllocation
+from repro.disciplines.stalling import PivotAllocation
+from repro.disciplines.acceptance import ACReport, check_ac
+from repro.disciplines.mac import MACReport, check_mac
+from repro.disciplines.registry import available_disciplines, make_discipline
+
+__all__ = [
+    "AllocationFunction",
+    "Subsystem",
+    "ProportionalAllocation",
+    "FairShareAllocation",
+    "PriorityAllocation",
+    "SeparableAllocation",
+    "SumOfSquaresConstraint",
+    "WeightedProportionalAllocation",
+    "PivotAllocation",
+    "MACReport",
+    "check_mac",
+    "ACReport",
+    "check_ac",
+    "available_disciplines",
+    "make_discipline",
+]

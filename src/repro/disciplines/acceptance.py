@@ -1,0 +1,118 @@
+"""Numeric AC-membership checking (Section 3.1's acceptability).
+
+The paper's acceptable allocation functions (the set ``AC``) must
+
+1. map the natural domain ``D`` into the *interior* of the feasible
+   set (work conserving, no subset constraint saturated),
+2. be symmetric under user permutations, and
+3. be C^1 (one-sided derivatives agree everywhere).
+
+This is the AC counterpart of :func:`repro.disciplines.mac.check_mac`,
+and it discriminates the implemented disciplines exactly as the paper
+classifies them: proportional and Fair Share are in AC; strict
+rate-order priority fails C^1 at ties (and saturates subset
+constraints); the stalling pivot fails work conservation by design;
+weighted signalling families fail symmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.disciplines.base import AllocationFunction
+from repro.disciplines.mac import sample_domain
+
+
+@dataclass
+class ACReport:
+    """Result of a numeric AC check.
+
+    Attributes
+    ----------
+    is_ac:
+        No violation found at any sampled point.
+    violations:
+        Human-readable description of each failure.
+    points_checked:
+        Number of rate vectors examined.
+    """
+
+    is_ac: bool
+    violations: List[str] = field(default_factory=list)
+    points_checked: int = 0
+
+
+def _one_sided_derivatives(allocation: AllocationFunction,
+                           rates: np.ndarray, i: int, j: int,
+                           h: float = 1e-6) -> tuple:
+    """Forward and backward difference of ``C_i`` along ``r_j``."""
+    up = rates.copy()
+    down = rates.copy()
+    up[j] += h
+    down[j] -= h
+    base = allocation.congestion_i(rates, i)
+    forward = (allocation.congestion_i(up, i) - base) / h
+    backward = (base - allocation.congestion_i(down, i)) / h
+    return forward, backward
+
+
+def check_ac(allocation: AllocationFunction, n_users: int,
+             n_points: int = 25,
+             rng: Optional[np.random.Generator] = None,
+             include_ties: bool = True,
+             interior_tol: float = 1e-9,
+             smooth_tol: float = 5e-3) -> ACReport:
+    """Check the three AC conditions on sampled points.
+
+    ``include_ties`` adds rate vectors with coinciding entries — the
+    places where C^1 typically breaks (strict priority) while Fair
+    Share stays smooth.
+    """
+    generator = rng if rng is not None else np.random.default_rng(13)
+    points = list(sample_domain(n_users, n_points, rng=generator,
+                                max_load=0.85))
+    if include_ties and n_users >= 2:
+        for _ in range(max(n_points // 5, 2)):
+            base = float(generator.uniform(0.05, 0.6 / n_users))
+            tied = np.full(n_users, base)
+            if n_users >= 3:
+                tied[-1] = float(generator.uniform(0.05, 0.3))
+            points.append(tied)
+    violations: List[str] = []
+    for rates in points:
+        rates = np.asarray(rates, dtype=float)
+        congestion = allocation.congestion(rates)
+        if not np.all(np.isfinite(congestion)):
+            violations.append(f"infinite congestion inside D at {rates}")
+            continue
+        # (1) interior feasibility.
+        residual = allocation.feasibility.constraint_residual(
+            rates, congestion)
+        if abs(residual) > 1e-7:
+            violations.append(
+                f"not work conserving at {rates}: residual "
+                f"{residual:.3e}")
+        slacks = allocation.feasibility.subset_slacks(rates, congestion)
+        if slacks.size and slacks.min() < interior_tol:
+            violations.append(
+                f"subset constraint saturated at {rates}: min slack "
+                f"{slacks.min():.3e}")
+        # (2) symmetry.
+        if not allocation.check_symmetry(rates, rng=generator,
+                                         tol=1e-8):
+            violations.append(f"not symmetric at {rates}")
+        # (3) C^1: one-sided derivatives agree for a sampled pair.
+        i = int(generator.integers(0, n_users))
+        j = int(generator.integers(0, n_users))
+        forward, backward = _one_sided_derivatives(allocation, rates,
+                                                   i, j)
+        scale = 1.0 + abs(forward) + abs(backward)
+        if abs(forward - backward) > smooth_tol * scale:
+            violations.append(
+                f"one-sided dC_{i}/dr_{j} disagree at {rates}: "
+                f"{forward:.4f} vs {backward:.4f}")
+    return ACReport(is_ac=not violations, violations=violations,
+                    points_checked=len(points))

@@ -1,0 +1,228 @@
+"""Base class for allocation functions.
+
+The paper's acceptable allocation functions (the set ``AC``) map every
+rate vector in the natural domain ``D`` to an interior feasible
+congestion vector, are symmetric under user permutation, and are C^1.
+Outside ``D`` they are still defined, possibly assigning infinite
+congestion (needed so that learning dynamics can wander out of the
+stable region, Section 4.2.2).
+
+Subclasses implement :meth:`congestion`; analytic derivatives are
+optional overrides of the numeric defaults.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.numerics.diff import gradient as numeric_gradient
+from repro.numerics.diff import partial_derivative, second_partial
+from repro.queueing.constraints import FeasibilitySet
+from repro.queueing.service_curves import MM1Curve, ServiceCurve
+
+
+class AllocationFunction(ABC):
+    """Map from rate vectors to per-user congestion vectors.
+
+    Attributes
+    ----------
+    curve:
+        The total-queue service curve this discipline is work-conserving
+        against; congestion vectors sum to ``curve(sum r)`` inside the
+        stable region.
+    name:
+        Human-readable discipline name used in experiment tables.
+    """
+
+    name: str = "allocation"
+
+    def __init__(self, curve: Optional[ServiceCurve] = None) -> None:
+        self.curve = curve if curve is not None else MM1Curve()
+        self.feasibility = FeasibilitySet(self.curve)
+
+    # -- core ----------------------------------------------------------------
+
+    @abstractmethod
+    def congestion(self, rates: Sequence[float]) -> np.ndarray:
+        """Per-user mean queue vector ``C(r)`` (entries may be ``inf``)."""
+
+    def congestion_i(self, rates: Sequence[float], i: int) -> float:
+        """``C_i(r)``; subclasses may shortcut this."""
+        return float(self.congestion(rates)[i])
+
+    def __call__(self, rates: Sequence[float]) -> np.ndarray:
+        return self.congestion(rates)
+
+    # -- derivatives -----------------------------------------------------
+
+    def own_derivative(self, rates: Sequence[float], i: int) -> float:
+        """``dC_i/dr_i``; numeric central difference by default."""
+        r = np.asarray(rates, dtype=float)
+        return partial_derivative(lambda x: self.congestion_i(x, i), r, i)
+
+    def cross_derivative(self, rates: Sequence[float], i: int,
+                         j: int) -> float:
+        """``dC_i/dr_j``; numeric central difference by default."""
+        r = np.asarray(rates, dtype=float)
+        return partial_derivative(lambda x: self.congestion_i(x, i), r, j)
+
+    def jacobian(self, rates: Sequence[float]) -> np.ndarray:
+        """Matrix ``J[i, j] = dC_i/dr_j``."""
+        r = np.asarray(rates, dtype=float)
+        n = r.size
+        out = np.empty((n, n))
+        for i in range(n):
+            out[i] = numeric_gradient(lambda x, k=i: self.congestion_i(x, k),
+                                      r)
+        return out
+
+    def own_second_derivative(self, rates: Sequence[float], i: int) -> float:
+        """``d^2 C_i / dr_i^2``; numeric by default."""
+        r = np.asarray(rates, dtype=float)
+        return second_partial(lambda x: self.congestion_i(x, i), r, i, i)
+
+    def mixed_second_derivative(self, rates: Sequence[float], i: int,
+                                j: int) -> float:
+        """``d^2 C_i / dr_i dr_j``; numeric by default."""
+        r = np.asarray(rates, dtype=float)
+        return second_partial(lambda x: self.congestion_i(x, i), r, i, j)
+
+    # -- structure ---------------------------------------------------------
+
+    def in_domain(self, rates: Sequence[float]) -> bool:
+        """Whether ``rates`` lies in the natural domain ``D``."""
+        return self.feasibility.rates_in_domain(rates)
+
+    def is_feasible_at(self, rates: Sequence[float],
+                       tol: float = 1e-8) -> bool:
+        """Check the allocation satisfies the feasibility constraints."""
+        c = self.congestion(rates)
+        if not np.all(np.isfinite(c)):
+            return False
+        return self.feasibility.is_feasible(rates, c, tol=tol)
+
+    def check_symmetry(self, rates: Sequence[float],
+                       rng: Optional[np.random.Generator] = None,
+                       tol: float = 1e-9) -> bool:
+        """Spot-check permutation symmetry at ``rates``.
+
+        Applies a random permutation ``pi`` and verifies
+        ``C(pi(r)) == pi(C(r))``.
+        """
+        r = np.asarray(rates, dtype=float)
+        generator = rng if rng is not None else np.random.default_rng(0)
+        perm = generator.permutation(r.size)
+        base = self.congestion(r)
+        permuted = self.congestion(r[perm])
+        return bool(np.allclose(permuted, base[perm], atol=tol, rtol=0.0,
+                                equal_nan=True))
+
+    def subsystem(self, fixed: dict) -> "Subsystem":
+        """Freeze some users' rates, yielding an induced allocation.
+
+        Parameters
+        ----------
+        fixed:
+            Mapping from (original) user index to the constant rate that
+            user holds.  The returned :class:`Subsystem` exposes the
+            remaining users as a smaller allocation function.
+        """
+        return Subsystem(self, fixed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(curve={self.curve!r})"
+
+
+class Subsystem:
+    """An induced allocation function with some rates held constant.
+
+    The paper requires the desirable properties to hold in every
+    *subsystem* — the same allocation function with a subset of users
+    frozen (e.g. non-optimizing users).  Induced allocations are not
+    symmetric in general, so this is deliberately *not* an
+    :class:`AllocationFunction` subclass; it exposes the same
+    evaluation/derivative interface for the free users.
+    """
+
+    def __init__(self, parent: AllocationFunction, fixed: dict) -> None:
+        if not fixed:
+            raise ValueError("subsystem requires at least one frozen user")
+        self.parent = parent
+        self.fixed = {int(k): float(v) for k, v in fixed.items()}
+        self._fixed_idx = sorted(self.fixed)
+        self.name = f"{parent.name}|fixed{self._fixed_idx}"
+
+    @property
+    def curve(self):
+        """The parent discipline's service curve."""
+        return self.parent.curve
+
+    def free_indices(self, n_total: int) -> list:
+        """Original indices of the free (optimizing) users."""
+        return [i for i in range(n_total) if i not in self.fixed]
+
+    def embed(self, free_rates: Sequence[float]) -> np.ndarray:
+        """Assemble the full rate vector from the free users' rates."""
+        free = np.asarray(free_rates, dtype=float)
+        n_total = free.size + len(self.fixed)
+        full = np.empty(n_total)
+        free_iter = iter(free)
+        for i in range(n_total):
+            full[i] = self.fixed.get(i, np.nan)
+            if math.isnan(full[i]):
+                full[i] = next(free_iter)
+        return full
+
+    def congestion(self, free_rates: Sequence[float]) -> np.ndarray:
+        """Congestions of the free users only."""
+        full = self.embed(free_rates)
+        all_c = self.parent.congestion(full)
+        free = self.free_indices(full.size)
+        return all_c[free]
+
+    def congestion_i(self, free_rates: Sequence[float], i: int) -> float:
+        """``C_i`` of the ``i``-th *free* user."""
+        return float(self.congestion(free_rates)[i])
+
+    def __call__(self, free_rates: Sequence[float]) -> np.ndarray:
+        return self.congestion(free_rates)
+
+    def own_derivative(self, free_rates: Sequence[float], i: int) -> float:
+        """``dC_i/dr_i`` over the free users (numeric)."""
+        r = np.asarray(free_rates, dtype=float)
+        return partial_derivative(lambda x: self.congestion_i(x, i), r, i)
+
+    def cross_derivative(self, free_rates: Sequence[float], i: int,
+                         j: int) -> float:
+        """``dC_i/dr_j`` over the free users (numeric)."""
+        r = np.asarray(free_rates, dtype=float)
+        return partial_derivative(lambda x: self.congestion_i(x, i), r, j)
+
+    def jacobian(self, free_rates: Sequence[float]) -> np.ndarray:
+        """``dC_i/dr_j`` over the free users (numeric)."""
+        r = np.asarray(free_rates, dtype=float)
+        n = r.size
+        out = np.empty((n, n))
+        for i in range(n):
+            for j in range(n):
+                out[i, j] = self.cross_derivative(r, i, j)
+        return out
+
+    def own_second_derivative(self, free_rates: Sequence[float],
+                              i: int) -> float:
+        """``d^2 C_i/dr_i^2`` over the free users (numeric)."""
+        r = np.asarray(free_rates, dtype=float)
+        return second_partial(lambda x: self.congestion_i(x, i), r, i, i)
+
+    def mixed_second_derivative(self, free_rates: Sequence[float], i: int,
+                                j: int) -> float:
+        """``d^2 C_i/dr_i dr_j`` over the free users (numeric)."""
+        r = np.asarray(free_rates, dtype=float)
+        return second_partial(lambda x: self.congestion_i(x, i), r, i, j)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Subsystem({self.parent!r}, fixed={self.fixed})"

@@ -1,0 +1,232 @@
+"""The Fair Share allocation function (serial cost sharing).
+
+With users sorted so that ``r_1 <= r_2 <= ... <= r_N`` (``r_0 = 0``),
+define the cumulative ladder loads
+
+``R_m = (N - m + 1) r_m + sum_{j < m} r_j``  (``R_0 = 0``),
+
+which are exactly the cumulative class rates of the Table-1 priority
+ladder.  The Fair Share congestion of the user in sorted position ``k``
+is
+
+``C^FS_(k) = sum_{m=1}^{k} [g(R_m) - g(R_{m-1})] / (N - m + 1)``.
+
+This reproduces the paper's recursion: the ``m``-th priority class has
+aggregate mean queue ``g(R_m) - g(R_{m-1})`` shared equally by the
+``N - m + 1`` users participating in it.
+
+Key structural facts implemented here analytically:
+
+* ``dC_i/dr_i = g'(R_k)`` (``k`` = sorted position of ``i``),
+* ``dC_i/dr_j = 0`` whenever ``r_j >= r_i`` (``j != i``) — the partial
+  insularity that makes the derivative matrix lower triangular,
+* ``d^2 C_i/dr_i^2 = g''(R_k) (N - k + 1) > 0``,
+* ``d^2 C_i/dr_i dr_j = g''(R_k)`` for ``r_j < r_i``, else 0.
+
+Users whose ladder load reaches capacity receive infinite congestion,
+but users below them keep finite congestion — the protection property
+(Theorem 8) in action even outside the stable region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.disciplines.base import AllocationFunction
+
+
+class FairShareAllocation(AllocationFunction):
+    """Fair Share / serial cost sharing on a convex service curve."""
+
+    name = "fair-share"
+
+    # -- ladder geometry ---------------------------------------------------
+
+    @staticmethod
+    def _sorted_view(rates: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (ascending rates, argsort order)."""
+        r = np.asarray(rates, dtype=float)
+        if np.any(r < 0.0):
+            raise ValueError(f"rates must be nonnegative, got {r}")
+        order = np.argsort(r, kind="stable")
+        return r[order], order
+
+    @staticmethod
+    def ladder_loads(sorted_rates: np.ndarray) -> np.ndarray:
+        """Cumulative class rates ``R_m`` for ascending ``sorted_rates``."""
+        n = sorted_rates.size
+        prefix = np.concatenate(([0.0], np.cumsum(sorted_rates)[:-1]))
+        multiplicity = n - np.arange(n)
+        return multiplicity * sorted_rates + prefix
+
+    def ladder_matrix(self, rates: Sequence[float]) -> np.ndarray:
+        """The Table-1 assignment: entry ``[i, m]`` is the rate user ``i``
+        sends in priority class ``m`` (class 0 = highest priority).
+
+        User ``i`` in sorted position ``k`` contributes
+        ``delta_m = r_(m) - r_(m-1)`` to every class ``m <= k`` and
+        nothing to lower-priority classes; row sums equal ``r_i``.
+        """
+        sorted_r, order = self._sorted_view(rates)
+        n = sorted_r.size
+        deltas = np.diff(np.concatenate(([0.0], sorted_r)))
+        matrix = np.zeros((n, n))
+        for pos, user in enumerate(order):
+            matrix[user, : pos + 1] = deltas[: pos + 1]
+        return matrix
+
+    # -- allocation ----------------------------------------------------------
+
+    def congestion(self, rates: Sequence[float]) -> np.ndarray:
+        sorted_r, order = self._sorted_view(rates)
+        n = sorted_r.size
+        loads = self.ladder_loads(sorted_r)
+        if loads.size and loads[-1] < self.curve.capacity:
+            # Fast fully-stable path, vectorized for the M/M/1 curve
+            # and generic otherwise.
+            g_values = self._curve_values(loads)
+            increments = np.diff(np.concatenate(([0.0], g_values)))
+            multiplicity = n - np.arange(n)
+            sorted_c = np.cumsum(increments / multiplicity)
+        else:
+            sorted_c = np.empty(n)
+            cumulative = 0.0
+            prev_g = 0.0
+            for m in range(n):
+                if (loads[m] >= self.curve.capacity
+                        or math.isinf(cumulative)):
+                    cumulative = math.inf
+                else:
+                    g = self.curve.value(float(loads[m]))
+                    cumulative += (g - prev_g) / (n - m)
+                    prev_g = g
+                sorted_c[m] = cumulative
+        out = np.empty(n)
+        out[order] = sorted_c
+        return out
+
+    def _curve_values(self, loads: np.ndarray) -> np.ndarray:
+        """``g`` applied to a stable load vector, vectorized for M/M/1."""
+        from repro.queueing.service_curves import MM1Curve
+
+        if type(self.curve) is MM1Curve:
+            return loads / (1.0 - loads)
+        return np.array([self.curve.value(float(x)) for x in loads])
+
+    # -- analytic derivatives ----------------------------------------------
+
+    def jacobian(self, rates: Sequence[float]) -> np.ndarray:
+        """Full derivative matrix, lower triangular in sorted order."""
+        sorted_r, order = self._sorted_view(rates)
+        n = sorted_r.size
+        loads = self.ladder_loads(sorted_r)
+        if np.any(loads >= self.curve.capacity):
+            return self._jacobian_with_overload(sorted_r, order, loads)
+        gp = np.array([self.curve.derivative(float(x)) for x in loads])
+        jac_sorted = np.zeros((n, n))
+        for q in range(n):           # sorted position of the varied rate
+            # Partial sums of dC_(k)/dr_(q) accumulated over classes m.
+            running = 0.0
+            for k in range(q, n):
+                if k == q:
+                    running += gp[q]
+                elif k == q + 1:
+                    running += (gp[q + 1] - gp[q] * (n - q)) / (n - q - 1)
+                else:
+                    running += (gp[k] - gp[k - 1]) / (n - k)
+                jac_sorted[k, q] = running
+        out = np.zeros((n, n))
+        for k in range(n):
+            for q in range(n):
+                out[order[k], order[q]] = jac_sorted[k, q]
+        return out
+
+    def _jacobian_with_overload(self, sorted_r: np.ndarray,
+                                order: np.ndarray,
+                                loads: np.ndarray) -> np.ndarray:
+        """Jacobian when some ladder classes are unstable.
+
+        Rows of overloaded users are ``inf`` on and below the diagonal
+        (in sorted order); stable users' rows are computed as usual on
+        the truncated ladder.
+        """
+        n = sorted_r.size
+        stable = int(np.searchsorted(loads >= self.curve.capacity, True))
+        jac_sorted = np.zeros((n, n))
+        gp = np.array([self.curve.derivative(float(x))
+                       for x in loads[:stable]])
+        for q in range(stable):
+            running = 0.0
+            for k in range(q, stable):
+                if k == q:
+                    running += gp[q]
+                elif k == q + 1:
+                    running += (gp[q + 1] - gp[q] * (n - q)) / (n - q - 1)
+                else:
+                    running += (gp[k] - gp[k - 1]) / (n - k)
+                jac_sorted[k, q] = running
+        for k in range(stable, n):
+            jac_sorted[k, : k + 1] = math.inf
+        out = np.zeros((n, n))
+        for k in range(n):
+            for q in range(n):
+                out[order[k], order[q]] = jac_sorted[k, q]
+        return out
+
+    def own_derivative(self, rates: Sequence[float], i: int) -> float:
+        """``dC_i/dr_i = g'(R_k)`` with ``k`` the sorted position of ``i``."""
+        sorted_r, order = self._sorted_view(rates)
+        k = int(np.nonzero(order == i)[0][0])
+        load = float(self.ladder_loads(sorted_r)[k])
+        if load >= self.curve.capacity:
+            return math.inf
+        return self.curve.derivative(load)
+
+    def cross_derivative(self, rates: Sequence[float], i: int,
+                         j: int) -> float:
+        if i == j:
+            return self.own_derivative(rates, i)
+        return float(self.jacobian(rates)[i, j])
+
+    def own_second_derivative(self, rates: Sequence[float], i: int) -> float:
+        """``d^2 C_i/dr_i^2 = g''(R_k) (N - k + 1)``."""
+        sorted_r, order = self._sorted_view(rates)
+        n = sorted_r.size
+        k = int(np.nonzero(order == i)[0][0])
+        load = float(self.ladder_loads(sorted_r)[k])
+        if load >= self.curve.capacity:
+            return math.inf
+        return self.curve.second_derivative(load) * (n - k)
+
+    def mixed_second_derivative(self, rates: Sequence[float], i: int,
+                                j: int) -> float:
+        """``d^2 C_i/dr_i dr_j``: ``g''(R_k)`` if ``r_j < r_i`` else 0."""
+        if i == j:
+            return self.own_second_derivative(rates, i)
+        r = np.asarray(rates, dtype=float)
+        if r[j] >= r[i]:
+            return 0.0
+        sorted_r, order = self._sorted_view(rates)
+        k = int(np.nonzero(order == i)[0][0])
+        load = float(self.ladder_loads(sorted_r)[k])
+        if load >= self.curve.capacity:
+            return math.inf
+        return self.curve.second_derivative(load)
+
+    # -- protection bound ----------------------------------------------------
+
+    def protection_bound(self, own_rate: float, n_users: int) -> float:
+        """The symmetric worst case ``C_i(r_i * e) = g(N r_i) / N``.
+
+        Theorem 8: Fair Share never exceeds this bound no matter what
+        the other ``N - 1`` users send.
+        """
+        if own_rate < 0.0:
+            raise ValueError(f"rate must be nonnegative, got {own_rate}")
+        total = n_users * own_rate
+        if total >= self.curve.capacity:
+            return math.inf
+        return self.curve.value(total) / n_users

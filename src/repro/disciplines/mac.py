@@ -1,0 +1,112 @@
+"""Numeric MAC-membership checking (Definition 2).
+
+An allocation function in ``AC`` is in ``MAC`` (monotonic AC) if
+
+1. ``dC_i/dr_j >= 0`` for all ``i, j`` — nobody benefits from another
+   user's extra traffic;
+2. ``dC_i/dr_i > 0`` — your own congestion strictly rises with your own
+   rate;
+3. a technical persistence condition on where cross-derivatives vanish.
+
+Conditions (1) and (2) are checked pointwise on a sample of the domain;
+condition (3) is checked in its testable consequence: if
+``dC_i/dr_j = 0`` at a point, it must remain 0 after decreasing ``r_i``
+and increasing any ``r_k`` (``k != i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.disciplines.base import AllocationFunction
+
+
+@dataclass
+class MACReport:
+    """Result of a numeric MAC check.
+
+    Attributes
+    ----------
+    is_mac:
+        True when no violation was found at any sampled point.
+    violations:
+        Human-readable descriptions of each violation encountered.
+    points_checked:
+        Number of rate vectors examined.
+    """
+
+    is_mac: bool
+    violations: List[str] = field(default_factory=list)
+    points_checked: int = 0
+
+
+def sample_domain(n_users: int, n_points: int,
+                  rng: Optional[np.random.Generator] = None,
+                  max_load: float = 0.95) -> np.ndarray:
+    """Sample rate vectors from the natural domain ``D``.
+
+    Draws Dirichlet directions scaled by a uniform total load, giving
+    good coverage of both balanced and skewed rate vectors.
+    """
+    generator = rng if rng is not None else np.random.default_rng(0)
+    direction = generator.dirichlet(np.ones(n_users), size=n_points)
+    load = generator.uniform(0.05, max_load, size=(n_points, 1))
+    return direction * load
+
+
+def check_mac(allocation: AllocationFunction, n_users: int,
+              n_points: int = 40,
+              rng: Optional[np.random.Generator] = None,
+              derivative_tol: float = 1e-7,
+              zero_tol: float = 1e-7) -> MACReport:
+    """Numerically check Definition-2 conditions on sampled points."""
+    generator = rng if rng is not None else np.random.default_rng(7)
+    points = sample_domain(n_users, n_points, rng=generator)
+    violations: List[str] = []
+    for rates in points:
+        jac = allocation.jacobian(rates)
+        if not np.all(np.isfinite(jac)):
+            continue        # outside the reliable region; skip
+        for i in range(n_users):
+            if jac[i, i] <= derivative_tol:
+                violations.append(
+                    f"dC_{i}/dr_{i} = {jac[i, i]:.3e} <= 0 at {rates}")
+        negative = np.argwhere(jac < -derivative_tol)
+        for i, j in negative:
+            violations.append(
+                f"dC_{i}/dr_{j} = {jac[i, j]:.3e} < 0 at {rates}")
+        violations.extend(
+            _check_persistence(allocation, rates, jac, generator,
+                               zero_tol=zero_tol))
+    return MACReport(is_mac=not violations, violations=violations,
+                     points_checked=len(points))
+
+
+def _check_persistence(allocation: AllocationFunction,
+                       rates: Sequence[float], jac: np.ndarray,
+                       rng: np.random.Generator,
+                       zero_tol: float) -> List[str]:
+    """Condition 3: a vanished cross-derivative stays vanished when
+    ``r_i`` decreases and the other rates increase."""
+    r = np.asarray(rates, dtype=float)
+    n = r.size
+    out: List[str] = []
+    zero_pairs = [(i, j) for i in range(n) for j in range(n)
+                  if i != j and abs(jac[i, j]) <= zero_tol]
+    for i, j in zero_pairs[:4]:     # a few probes per point suffice
+        shifted = r.copy()
+        shifted[i] *= rng.uniform(0.5, 0.95)
+        for k in range(n):
+            if k != i:
+                shifted[k] *= rng.uniform(1.0, 1.05)
+        if np.sum(shifted) >= allocation.curve.capacity * 0.98:
+            continue
+        moved = allocation.cross_derivative(shifted, i, j)
+        if np.isfinite(moved) and abs(moved) > 100.0 * zero_tol:
+            out.append(
+                f"dC_{i}/dr_{j} vanished at {r} but is {moved:.3e} "
+                f"at {shifted}")
+    return out

@@ -1,0 +1,65 @@
+"""Parametric (signalling) allocation families — Corollary 1 material.
+
+Corollary 1 extends the Theorem-1 impossibility to allocation functions
+``C(r, alpha)`` carrying user-chosen signalling parameters: no such
+family (MAC for every fixed ``alpha``) makes every Nash equilibrium
+Pareto optimal.  :class:`WeightedProportionalAllocation` is the natural
+candidate family — congestion split in proportion to ``alpha_i r_i`` —
+and the Corollary-1 experiment verifies that letting users pick their
+weights still leaves Nash equilibria inefficient.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.disciplines.base import AllocationFunction
+from repro.exceptions import DisciplineError
+
+
+class WeightedProportionalAllocation(AllocationFunction):
+    """``C_i = (w_i r_i / sum_j w_j r_j) * g(sum r)``.
+
+    With all weights equal this is the proportional (FIFO) allocation.
+    Weights act as signalling parameters: a user lowering her weight
+    shifts queueing onto others without changing the total.  For any
+    fixed weight vector the function is in MAC on the region where all
+    weights are positive (it is symmetric only when the weights are
+    exchanged along with the rates, which is the Corollary-1 setting of
+    user-attached parameters).
+    """
+
+    name = "weighted-proportional"
+
+    def __init__(self, weights: Sequence[float], curve=None) -> None:
+        super().__init__(curve)
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 1 or w.size == 0:
+            raise DisciplineError("weights must be a non-empty vector")
+        if np.any(w <= 0.0):
+            raise DisciplineError(f"weights must be positive, got {w}")
+        self.weights = w
+
+    def with_weights(self, weights: Sequence[float]) -> (
+            "WeightedProportionalAllocation"):
+        """A copy of this discipline with different signalling weights."""
+        return WeightedProportionalAllocation(weights, curve=self.curve)
+
+    def congestion(self, rates: Sequence[float]) -> np.ndarray:
+        r = np.asarray(rates, dtype=float)
+        if r.size != self.weights.size:
+            raise DisciplineError(
+                f"expected {self.weights.size} rates, got {r.size}")
+        if np.any(r < 0.0):
+            raise DisciplineError(f"rates must be nonnegative, got {r}")
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return np.full(r.shape, math.inf)
+        weighted = self.weights * r
+        denom = float(weighted.sum())
+        if denom == 0.0:
+            return np.zeros_like(r)
+        return (self.curve.value(total) / denom) * weighted

@@ -1,0 +1,74 @@
+"""Strict preemptive priority by rate order.
+
+Gives each user their own priority class, ordered by rate (ascending
+by default: the smallest sender is served first, a "serve the meek"
+policy; descending gives the classic big-senders-win policy).  Users in
+sorted position ``k`` see the queue increment
+
+``C_(k) = g(P_k) - g(P_{k-1})``,  ``P_k = sum_{j <= k} r_(j)``.
+
+Tied users share their classes' aggregate queue equally, which keeps
+the allocation symmetric.  The allocation is continuous but *not* C^1
+across ties, so it sits outside the paper's ``AC`` set; it is included
+as an instructive extreme: like Fair Share it is insular in one
+direction (ascending order: ``C_i`` depends only on rates ``<= r_i``)
+but it shares nothing, and it fails envy-freeness and protectiveness in
+the descending variant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.disciplines.base import AllocationFunction
+from repro.exceptions import DisciplineError
+
+
+class PriorityAllocation(AllocationFunction):
+    """Per-user preemptive priority ordered by rate."""
+
+    def __init__(self, curve=None, ascending: bool = True) -> None:
+        super().__init__(curve)
+        self.ascending = bool(ascending)
+        self.name = ("priority-ascending" if self.ascending
+                     else "priority-descending")
+
+    def congestion(self, rates: Sequence[float]) -> np.ndarray:
+        r = np.asarray(rates, dtype=float)
+        if np.any(r < 0.0):
+            raise DisciplineError(f"rates must be nonnegative, got {r}")
+        key = r if self.ascending else -r
+        order = np.argsort(key, kind="stable")
+        sorted_r = r[order]
+        n = r.size
+        prefix = np.cumsum(sorted_r)
+        increments = np.empty(n)
+        prev_g = 0.0
+        for k in range(n):
+            if prefix[k] >= self.curve.capacity or math.isinf(prev_g):
+                increments[k] = math.inf
+                prev_g = math.inf
+            else:
+                g = self.curve.value(float(prefix[k]))
+                increments[k] = g - prev_g
+                prev_g = g
+        # Average increments across tie groups so equal rates get equal
+        # congestion (symmetry).
+        sorted_c = np.empty(n)
+        start = 0
+        while start < n:
+            stop = start + 1
+            while stop < n and sorted_r[stop] == sorted_r[start]:
+                stop += 1
+            block = increments[start:stop]
+            if np.any(np.isinf(block)):
+                sorted_c[start:stop] = math.inf
+            else:
+                sorted_c[start:stop] = block.sum() / (stop - start)
+            start = stop
+        out = np.empty(n)
+        out[order] = sorted_c
+        return out

@@ -1,0 +1,126 @@
+"""The proportional allocation (FIFO and friends).
+
+Any discipline that treats packets symmetrically without looking at
+their source — FIFO, preemptive LIFO, processor sharing, random order,
+packet-level polling — splits the total mean queue in proportion to
+arrival rates:
+
+``C_i(r) = r_i * g(S) / S``,  ``S = sum r``,
+
+which for the M/M/1 curve is the familiar ``r_i / (1 - S)``.  This is
+the paper's baseline: it is in MAC but fails every one of the paper's
+desiderata (efficiency, envy-freeness, uniqueness, Stackelberg
+robustness, nilpotent dynamics, protection).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.disciplines.base import AllocationFunction
+
+
+class ProportionalAllocation(AllocationFunction):
+    """``C_i = r_i g(S)/S`` with analytic derivatives.
+
+    Derivatives are expressed through the per-unit queue
+    ``phi(S) = g(S)/S`` and its derivatives, which keeps the formulas
+    valid for any service curve (M/M/1, M/G/1, ...).
+    """
+
+    name = "proportional"
+
+    # -- curve helpers -----------------------------------------------------
+
+    def _phi(self, total: float) -> float:
+        """Queue per unit of rate, ``g(S)/S`` (limit ``g'(0)`` at 0)."""
+        if total <= 0.0:
+            return self.curve.derivative(0.0)
+        return self.curve.value(total) / total
+
+    def _psi(self, total: float) -> float:
+        """``phi'(S) = (g' S - g) / S^2``."""
+        if total <= 0.0:
+            return 0.5 * self.curve.second_derivative(0.0)
+        g = self.curve.value(total)
+        gp = self.curve.derivative(total)
+        return (gp * total - g) / (total * total)
+
+    def _psi_prime(self, total: float) -> float:
+        """``phi''(S) = g''/S - 2 phi'/S``."""
+        if total <= 0.0:
+            # Third-order Taylor limit; exact value is g'''(0)/3 which we
+            # approximate by a one-sided difference of psi.
+            h = 1e-6
+            return (self._psi(h) - self._psi(0.0)) / h
+        gpp = self.curve.second_derivative(total)
+        return gpp / total - 2.0 * self._psi(total) / total
+
+    # -- allocation ----------------------------------------------------------
+
+    def congestion(self, rates: Sequence[float]) -> np.ndarray:
+        r = np.asarray(rates, dtype=float)
+        if np.any(r < 0.0):
+            raise ValueError(f"rates must be nonnegative, got {r}")
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return np.full(r.shape, math.inf)
+        return r * self._phi(total)
+
+    def congestion_i(self, rates: Sequence[float], i: int) -> float:
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return float(r[i]) * self._phi(total)
+
+    # -- analytic derivatives ----------------------------------------------
+
+    def own_derivative(self, rates: Sequence[float], i: int) -> float:
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return self._phi(total) + float(r[i]) * self._psi(total)
+
+    def cross_derivative(self, rates: Sequence[float], i: int,
+                         j: int) -> float:
+        if i == j:
+            return self.own_derivative(rates, i)
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return float(r[i]) * self._psi(total)
+
+    def jacobian(self, rates: Sequence[float]) -> np.ndarray:
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        n = r.size
+        if total >= self.curve.capacity:
+            return np.full((n, n), math.inf)
+        psi = self._psi(total)
+        phi = self._phi(total)
+        out = np.outer(r, np.ones(n)) * psi
+        out[np.diag_indices(n)] += phi
+        return out
+
+    def own_second_derivative(self, rates: Sequence[float], i: int) -> float:
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return 2.0 * self._psi(total) + float(r[i]) * self._psi_prime(total)
+
+    def mixed_second_derivative(self, rates: Sequence[float], i: int,
+                                j: int) -> float:
+        if i == j:
+            return self.own_second_derivative(rates, i)
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return self._psi(total) + float(r[i]) * self._psi_prime(total)

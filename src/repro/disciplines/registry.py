@@ -1,0 +1,43 @@
+"""Name-based discipline construction for the CLI and experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.disciplines.base import AllocationFunction
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.disciplines.priority import PriorityAllocation
+from repro.disciplines.proportional import ProportionalAllocation
+from repro.disciplines.separable import SeparableAllocation
+from repro.disciplines.stalling import PivotAllocation
+from repro.exceptions import DisciplineError
+
+_FACTORIES: Dict[str, Callable[[], AllocationFunction]] = {
+    "fifo": ProportionalAllocation,
+    "proportional": ProportionalAllocation,
+    "fair-share": FairShareAllocation,
+    "fs": FairShareAllocation,
+    "priority": PriorityAllocation,
+    "priority-ascending": PriorityAllocation,
+    "priority-descending": lambda: PriorityAllocation(ascending=False),
+    "separable": SeparableAllocation,
+    "pivot": PivotAllocation,
+    "stalling-pivot": PivotAllocation,
+}
+
+
+def available_disciplines() -> List[str]:
+    """Canonical names accepted by :func:`make_discipline`."""
+    return sorted(_FACTORIES)
+
+
+def make_discipline(name: str) -> AllocationFunction:
+    """Construct a discipline by (case-insensitive) name."""
+    key = name.strip().lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise DisciplineError(
+            f"unknown discipline {name!r}; available: "
+            f"{', '.join(available_disciplines())}") from None
+    return factory()

@@ -1,0 +1,118 @@
+"""Stalling mechanisms: buying efficient incentives with idle service.
+
+Theorem 1 closes the door on work-conserving disciplines ever making
+all Nash equilibria Pareto optimal; the paper immediately notes (citing
+[33]) that *stalling* disciplines — where the constraint relaxes to
+``sum c_i >= f(r)``, i.e. the server may deliberately idle — escape the
+impossibility.  "Interestingly, it is the introduction of this
+inefficiency (the stalling) that allows the Nash equilibrium to be
+efficient."
+
+:class:`PivotAllocation` is the cleanest such construction, the
+queueing twin of Clarke-pivot pricing:
+
+``C_i(r) = g(S) - g(S - r_i)``,  ``S = sum r``.
+
+Each user's congestion is the *total-queue externality of her own
+presence*, so ``dC_i/dr_i = g'(S) = df/dr_i`` identically: the Nash
+first-derivative condition coincides with the Pareto FDC for every
+utility profile.  Convexity of ``g`` (with ``g(0) = 0``) gives
+
+``sum_i C_i = N g(S) - sum_i g(S - r_i) >= g(S)``,
+
+so the allocation is realizable by a stalling server that holds
+packets beyond their M/M/1 departure times; the overhead
+``sum C - g(S)`` is the price of the aligned incentives.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.disciplines.base import AllocationFunction
+
+
+class PivotAllocation(AllocationFunction):
+    """The stalling pivot mechanism ``C_i = g(S) - g(S - r_i)``."""
+
+    name = "stalling-pivot"
+
+    def congestion(self, rates: Sequence[float]) -> np.ndarray:
+        r = np.asarray(rates, dtype=float)
+        if np.any(r < 0.0):
+            raise ValueError(f"rates must be nonnegative, got {r}")
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return np.full(r.shape, math.inf)
+        g_total = self.curve.value(total)
+        return np.array([g_total - self.curve.value(total - float(x))
+                         for x in r])
+
+    def own_derivative(self, rates: Sequence[float], i: int) -> float:
+        """``dC_i/dr_i = g'(S)`` — the Pareto marginal, by design."""
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return self.curve.derivative(total)
+
+    def cross_derivative(self, rates: Sequence[float], i: int,
+                         j: int) -> float:
+        if i == j:
+            return self.own_derivative(rates, i)
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return (self.curve.derivative(total)
+                - self.curve.derivative(total - float(r[i])))
+
+    def jacobian(self, rates: Sequence[float]) -> np.ndarray:
+        r = np.asarray(rates, dtype=float)
+        n = r.size
+        out = np.empty((n, n))
+        for i in range(n):
+            for j in range(n):
+                out[i, j] = self.cross_derivative(r, i, j)
+        return out
+
+    def own_second_derivative(self, rates: Sequence[float], i: int) -> float:
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return self.curve.second_derivative(total)
+
+    def mixed_second_derivative(self, rates: Sequence[float], i: int,
+                                j: int) -> float:
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        if i == j:
+            return self.curve.second_derivative(total)
+        return (self.curve.second_derivative(total)
+                - self.curve.second_derivative(total - float(r[i])))
+
+    def stalling_overhead(self, rates: Sequence[float]) -> float:
+        """``sum C_i - g(S)``: the service deliberately burnt.
+
+        Zero only in the single-user case; always nonnegative (the
+        defining property of a stalling discipline).
+        """
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return math.inf
+        return float(self.congestion(r).sum() - self.curve.value(total))
+
+    def is_feasible_at(self, rates: Sequence[float],
+                       tol: float = 1e-8) -> bool:
+        """Stalling feasibility: total at least the M/M/1 value."""
+        c = self.congestion(rates)
+        if not np.all(np.isfinite(c)):
+            return False
+        return self.stalling_overhead(rates) >= -tol

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the greedwork reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors
+(``TypeError``, ``KeyError``, ...) from their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FeasibilityError(ReproError):
+    """An allocation or rate vector violates the queueing feasibility set.
+
+    Raised, for example, when a rate vector lies outside the natural
+    domain ``D = {r : r_i > 0 and sum(r) < 1}`` of a nonstalling
+    discipline, or when an allocation breaks the Coffman-Mitrani subset
+    constraints.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations completed before giving up.
+    residual:
+        Final residual (solver specific; ``nan`` when unavailable).
+    """
+
+    def __init__(self, message: str, iterations: int = 0,
+                 residual: float = float("nan")) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class UtilityDomainError(ReproError):
+    """A utility function was evaluated outside its admissible domain."""
+
+
+class DisciplineError(ReproError):
+    """A service discipline was configured or queried inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an inconsistent state."""
+
+
+class MechanismError(ReproError):
+    """A revelation/allocation mechanism received invalid reports."""

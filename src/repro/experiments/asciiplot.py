@@ -1,0 +1,100 @@
+"""Terminal line charts for figure-style experiment output.
+
+The paper has no figures, but several reproduction experiments are
+sweeps (efficiency vs N, eigenvalue vs load, drift vs cv) that read
+best as curves.  This renderer draws multiple named series on a shared
+character grid — no plotting dependencies, deterministic output,
+testable as text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Markers assigned to series in insertion order.
+MARKERS = "ox+*#@%&"
+
+
+class AsciiChart:
+    """A multi-series scatter/line chart rendered to text.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    width, height:
+        Plot-area size in characters (axes add a margin).
+    """
+
+    def __init__(self, title: str, width: int = 60,
+                 height: int = 16) -> None:
+        if width < 10 or height < 4:
+            raise ValueError("chart area too small to be legible")
+        self.title = title
+        self.width = width
+        self.height = height
+        self._series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def add_series(self, name: str, xs: Sequence[float],
+                   ys: Sequence[float]) -> None:
+        """Add a named series (non-finite points are dropped)."""
+        if len(xs) != len(ys):
+            raise ValueError(
+                f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+        if len(self._series) >= len(MARKERS):
+            raise ValueError("too many series for distinct markers")
+        points = [(float(x), float(y)) for x, y in zip(xs, ys)
+                  if math.isfinite(x) and math.isfinite(y)]
+        if not points:
+            raise ValueError(f"series {name!r} has no finite points")
+        self._series[name] = points
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for pts in self._series.values() for x, _ in pts]
+        ys = [y for pts in self._series.values() for _, y in pts]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self) -> str:
+        """Draw the chart; later series overprint earlier ones."""
+        if not self._series:
+            raise ValueError("no series to draw")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for index, (name, points) in enumerate(self._series.items()):
+            marker = MARKERS[index]
+            for x, y in points:
+                col = int(round((x - x_lo) / (x_hi - x_lo)
+                                * (self.width - 1)))
+                row = int(round((y - y_lo) / (y_hi - y_lo)
+                                * (self.height - 1)))
+                grid[self.height - 1 - row][col] = marker
+        lines = [self.title]
+        top_label = f"{y_hi:.3g}"
+        bottom_label = f"{y_lo:.3g}"
+        margin = max(len(top_label), len(bottom_label)) + 1
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = top_label.rjust(margin)
+            elif row_index == self.height - 1:
+                label = bottom_label.rjust(margin)
+            else:
+                label = " " * margin
+            lines.append(f"{label}|" + "".join(row))
+        lines.append(" " * margin + "+" + "-" * self.width)
+        x_left = f"{x_lo:.3g}"
+        x_right = f"{x_hi:.3g}"
+        pad = self.width - len(x_left) - len(x_right)
+        lines.append(" " * (margin + 1) + x_left + " " * max(pad, 1)
+                     + x_right)
+        legend = "   ".join(
+            f"{MARKERS[i]} {name}"
+            for i, name in enumerate(self._series))
+        lines.append(" " * (margin + 1) + legend)
+        return "\n".join(lines)

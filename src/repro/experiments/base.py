@@ -1,0 +1,110 @@
+"""Shared experiment report structure and ASCII table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, float, int, bool]
+
+
+@dataclass
+class Table:
+    """A titled ASCII table.
+
+    Numbers are formatted compactly; the renderer pads columns to the
+    widest cell so reports align in a terminal.
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row (must match the header count)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.headers)} "
+                "headers")
+        self.rows.append(list(cells))
+
+    @staticmethod
+    def _format(cell: Cell) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            if cell != cell:                       # NaN
+                return "nan"
+            if cell in (float("inf"), float("-inf")):
+                return "inf" if cell > 0 else "-inf"
+            if cell == 0.0 or 1e-3 <= abs(cell) < 1e5:
+                return f"{cell:.4f}"
+            return f"{cell:.3e}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render to a boxed ASCII string."""
+        cells = [[self._format(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for k, text in enumerate(row):
+                widths[k] = max(widths[k], len(text))
+
+        def line(parts: Sequence[str]) -> str:
+            padded = [p.rjust(widths[k]) for k, p in enumerate(parts)]
+            return "| " + " | ".join(padded) + " |"
+
+        rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        out = [self.title, rule, line(self.headers), rule]
+        out.extend(line(row) for row in cells)
+        out.append(rule)
+        return "\n".join(out)
+
+
+@dataclass
+class ExperimentReport:
+    """Result of one reproduction experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable identifier (matches DESIGN.md's index).
+    claim:
+        The paper statement being checked, in one sentence.
+    passed:
+        Whether the qualitative claim held in this run.
+    tables:
+        The regenerated tables.
+    charts:
+        Pre-rendered ASCII charts (figure-style sweeps).
+    summary:
+        Headline numbers for EXPERIMENTS.md.
+    notes:
+        Free-form caveats (solver tolerances, sample sizes, ...).
+    """
+
+    experiment_id: str
+    claim: str
+    passed: bool
+    tables: List[Table] = field(default_factory=list)
+    charts: List[str] = field(default_factory=list)
+    summary: Dict[str, Cell] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable multi-table report."""
+        status = "PASS" if self.passed else "FAIL"
+        out = [f"[{status}] {self.experiment_id}: {self.claim}", ""]
+        for table in self.tables:
+            out.append(table.render())
+            out.append("")
+        for chart in self.charts:
+            out.append(chart)
+            out.append("")
+        if self.summary:
+            out.append("summary:")
+            for key, value in self.summary.items():
+                out.append(f"  {key} = {Table._format(value)}")
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)

@@ -1,0 +1,90 @@
+"""Registry mapping experiment ids to their modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ReproError
+from repro.experiments import (
+    ablation_arrivals,
+    ablation_costshare,
+    c2_separable,
+    coalition_resilience,
+    finite_buffers,
+    fq_vs_ladder,
+    greed_endtoend,
+    mg1_generality,
+    network_extension,
+    poa_sweep,
+    sim_validation,
+    stalling_pivot,
+    subsystem_properties,
+    t1_efficiency,
+    t2_symmetric,
+    t3_envy,
+    t4_uniqueness,
+    t5_stackelberg,
+    t6_revelation,
+    t7_dynamics,
+    t8_protection,
+    table1,
+)
+from repro.experiments.base import ExperimentReport
+
+_MODULES = (
+    table1,
+    t1_efficiency,
+    t2_symmetric,
+    t3_envy,
+    t4_uniqueness,
+    t5_stackelberg,
+    t6_revelation,
+    t7_dynamics,
+    t8_protection,
+    c2_separable,
+    sim_validation,
+    greed_endtoend,
+    ablation_costshare,
+    network_extension,
+    stalling_pivot,
+    mg1_generality,
+    fq_vs_ladder,
+    coalition_resilience,
+    poa_sweep,
+    ablation_arrivals,
+    subsystem_properties,
+    finite_buffers,
+)
+
+_REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+_CLAIMS: Dict[str, str] = {
+    module.EXPERIMENT_ID: module.CLAIM for module in _MODULES
+}
+
+
+def all_experiments() -> List[str]:
+    """Experiment ids in paper order."""
+    return [module.EXPERIMENT_ID for module in _MODULES]
+
+
+def claim_of(experiment_id: str) -> str:
+    """One-sentence paper claim for an experiment id."""
+    try:
+        return _CLAIMS[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(all_experiments())}") from None
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
+    """The ``run(seed, fast)`` callable for an experiment id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(all_experiments())}") from None

@@ -1,0 +1,88 @@
+"""Theorem 2: symmetry is where Nash and Pareto can meet — for Fair Share.
+
+Part 1: under any MAC discipline, a Nash equilibrium can be Pareto
+optimal only if all rates are equal.  Part 2: every symmetric Pareto
+point *is* a Nash equilibrium of Fair Share.  Concretely: with
+identical users, the Fair Share Nash equilibrium satisfies the Pareto
+FDC exactly, while FIFO's never does (its ``dC_i/dr_i`` strictly
+exceeds ``f'``), so FIFO users oversend relative to the social optimum
+— the classic tragedy of the commons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.disciplines.proportional import ProportionalAllocation
+from repro.experiments.base import ExperimentReport, Table
+from repro.game.nash import solve_nash
+from repro.game.pareto import ConstraintAdapter, pareto_fdc_residuals
+from repro.numerics.optimize import multistart_maximize
+from repro.users.families import LinearUtility, PowerUtility
+
+EXPERIMENT_ID = "t2_symmetric"
+CLAIM = ("With identical users, the Fair Share Nash equilibrium is the "
+         "symmetric Pareto optimum; FIFO's Nash equilibrium oversends "
+         "and is never Pareto optimal")
+
+
+def symmetric_pareto_rate(utility, n_users: int, curve) -> float:
+    """The symmetric social optimum: maximize ``U(r, g(Nr)/N)``."""
+
+    def welfare(r: float) -> float:
+        total = n_users * r
+        if total >= curve.capacity:
+            return -np.inf
+        return utility.value(r, curve.value(total) / n_users)
+
+    limit = (curve.capacity / n_users) * (1.0 - 1e-9)
+    return multistart_maximize(welfare, 1e-6, limit, n_scan=129).x
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
+    """Compare Nash points with the symmetric Pareto optimum."""
+    fs = FairShareAllocation()
+    fifo = ProportionalAllocation()
+    cases = [
+        ("linear g=0.3, N=3", LinearUtility(gamma=0.3), 3),
+        ("linear g=0.6, N=4", LinearUtility(gamma=0.6), 4),
+        ("power  g=0.5 q=1.5, N=3", PowerUtility(gamma=0.5, q=1.5), 3),
+    ]
+    if fast:
+        cases = cases[:2]
+
+    table = Table(
+        title="Identical users: Nash rate vs symmetric Pareto rate",
+        headers=["profile", "discipline", "Nash rate (per user)",
+                 "Pareto rate", "max |Pareto FDC resid|",
+                 "Nash == Pareto"])
+    fs_ok = True
+    fifo_oversends = True
+    for label, utility, n in cases:
+        profile = [utility] * n
+        pareto_rate = symmetric_pareto_rate(utility, n, fs.curve)
+        for allocation in (fs, fifo):
+            nash = solve_nash(allocation, profile)
+            adapter = ConstraintAdapter.for_allocation(allocation)
+            residuals = pareto_fdc_residuals(
+                profile, nash.rates, nash.congestion, adapter)
+            worst = float(np.max(np.abs(residuals)))
+            mean_rate = float(nash.rates.mean())
+            coincide = abs(mean_rate - pareto_rate) < 5e-4 and worst < 1e-2
+            table.add_row(label, allocation.name, mean_rate,
+                          float(pareto_rate), worst, coincide)
+            if allocation is fs and not coincide:
+                fs_ok = False
+            if allocation is fifo:
+                if mean_rate <= pareto_rate + 1e-4 or coincide:
+                    fifo_oversends = False
+
+    passed = fs_ok and fifo_oversends
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID, claim=CLAIM, passed=passed,
+        tables=[table],
+        summary={
+            "fair_share_nash_is_symmetric_pareto": fs_ok,
+            "fifo_nash_oversends": fifo_oversends,
+        })

@@ -1,0 +1,139 @@
+"""Theorem 7 and the Section-4.2.3 instability example.
+
+Part 1: the Fair Share relaxation matrix is nilpotent everywhere
+(strictly lower triangular once users are ordered by rate), so
+synchronous Newton self-optimization converges in at most ``N`` steps
+in the linear regime.  Part 2: FIFO's relaxation matrix at the
+symmetric Nash point of ``N`` identical linear users has leading
+eigenvalue ``-(N-1)(1-S+2r)/(2(1-S+r))``, which approaches the paper's
+``1 - N`` under load — linearly unstable for every ``N > 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.disciplines.proportional import ProportionalAllocation
+from repro.experiments.base import ExperimentReport, Table
+from repro.game.dynamics import (
+    fifo_linear_eigenvalue,
+    fifo_symmetric_linear_nash,
+    is_nilpotent,
+    relaxation_matrix,
+    run_newton_dynamics,
+    spectral_radius,
+)
+from repro.users.families import LinearUtility
+from repro.users.profiles import lemma5_profile
+
+EXPERIMENT_ID = "t7_dynamics"
+CLAIM = ("Fair Share's relaxation matrix is nilpotent (Newton dynamics "
+         "die in <= N steps); FIFO's leading eigenvalue approaches 1-N "
+         "and is unstable for N > 2")
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
+    """Nilpotency sweep + eigenvalue table + Newton trajectories."""
+    fs = FairShareAllocation()
+    fifo = ProportionalAllocation()
+    rng = np.random.default_rng(seed)
+
+    # Nilpotency of FS relaxation matrices at random interior points.
+    n_points = 4 if fast else 12
+    nilpotent_everywhere = True
+    for _ in range(n_points):
+        n_users = int(rng.integers(2, 5))
+        direction = rng.dirichlet(np.ones(n_users))
+        rates = direction * rng.uniform(0.2, 0.8)
+        profile = lemma5_profile(fs, rates, rng=rng)
+        matrix = relaxation_matrix(fs, profile, rates)
+        if not is_nilpotent(matrix, tol=1e-6):
+            nilpotent_everywhere = False
+
+    # Eigenvalue table: FIFO + identical linear users, sweeping N and
+    # the congestion sensitivity (small gamma = heavy equilibrium load).
+    eig_table = Table(
+        title="FIFO relaxation spectrum at the symmetric Nash point",
+        headers=["N", "gamma", "equilibrium load", "leading eigenvalue",
+                 "1-N", "unstable"])
+    instability_as_predicted = True
+    for n_users in (2, 3, 5, 8):
+        for gamma in (0.5, 0.1, 0.02):
+            rate = fifo_symmetric_linear_nash(n_users, gamma)
+            load = n_users * rate
+            eig = fifo_linear_eigenvalue(n_users, gamma)
+            unstable = abs(eig) > 1.0
+            eig_table.add_row(n_users, gamma, float(load), float(eig),
+                              1 - n_users, unstable)
+            if n_users > 2 and gamma <= 0.1 and not unstable:
+                instability_as_predicted = False
+            if n_users == 2 and unstable:
+                instability_as_predicted = False
+
+    # Newton trajectories from a point near equilibrium.
+    newton_table = Table(
+        title="Synchronous Newton dynamics (start 1% off equilibrium)",
+        headers=["discipline", "N", "converged", "steps",
+                 "spectral radius of A"])
+    fs_fast = True
+    fifo_blows_up = False
+    n_users = 3
+    target = np.array([0.1, 0.2, 0.3])
+    fs_profile = lemma5_profile(fs, target)
+    fs_traj = run_newton_dynamics(fs, fs_profile, target * 1.01,
+                                  n_steps=25)
+    fs_matrix = relaxation_matrix(fs, fs_profile, target)
+    newton_table.add_row("fair-share", n_users, fs_traj.converged,
+                         fs_traj.steps_to_converge,
+                         spectral_radius(fs_matrix))
+    if not fs_traj.converged or fs_traj.steps_to_converge > n_users + 3:
+        fs_fast = False
+
+    n_fifo = 5
+    gamma = 0.05
+    eq_rate = fifo_symmetric_linear_nash(n_fifo, gamma)
+    fifo_profile = [LinearUtility(gamma=gamma) for _ in range(n_fifo)]
+    start = np.full(n_fifo, eq_rate * 1.01)
+    fifo_traj = run_newton_dynamics(fifo, fifo_profile, start, n_steps=25)
+    fifo_matrix = relaxation_matrix(fifo, fifo_profile,
+                                    np.full(n_fifo, eq_rate))
+    newton_table.add_row("fifo", n_fifo,
+                         fifo_traj.converged,
+                         fifo_traj.steps_to_converge,
+                         spectral_radius(fifo_matrix))
+    if fifo_traj.diverged or not fifo_traj.converged:
+        fifo_blows_up = True
+
+    # Figure: |leading eigenvalue| vs equilibrium load, one series per
+    # N, with the 1-N limits visible as the heavy-load asymptotes.
+    from repro.experiments.asciiplot import AsciiChart
+
+    chart = AsciiChart(
+        title="FIFO |leading eigenvalue| vs equilibrium load "
+              "(asymptote N-1)",
+        width=56, height=14)
+    gamma_sweep = np.geomspace(0.9, 0.002, 12)
+    for n_users in (2, 3, 5):
+        loads = []
+        magnitudes = []
+        for gamma in gamma_sweep:
+            rate = fifo_symmetric_linear_nash(n_users, float(gamma))
+            loads.append(n_users * rate)
+            magnitudes.append(abs(fifo_linear_eigenvalue(
+                n_users, float(gamma))))
+        chart.add_series(f"N={n_users}", loads, magnitudes)
+
+    passed = (nilpotent_everywhere and instability_as_predicted
+              and fs_fast and fifo_blows_up)
+    return ExperimentReport(
+        experiment_id=EXPERIMENT_ID, claim=CLAIM, passed=passed,
+        tables=[eig_table, newton_table], charts=[chart.render()],
+        summary={
+            "fs_nilpotent_at_random_points": nilpotent_everywhere,
+            "fifo_unstable_for_N_gt_2": instability_as_predicted,
+            "fs_newton_steps": fs_traj.steps_to_converge,
+            "fifo_newton_diverged": fifo_traj.diverged,
+        },
+        notes=["the 1-N value is the heavy-load limit of the leading "
+               "eigenvalue; the table shows the approach as gamma -> 0"])

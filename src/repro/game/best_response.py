@@ -1,0 +1,104 @@
+"""Best responses: one user's optimal rate against fixed opponents.
+
+The paper's users are selfish: user ``i`` varies ``r_i`` to maximize
+``U_i(r_i, C_i(r |^i r_i))`` with the other rates held fixed.  The
+objective is smooth inside the stable region and drops to ``-inf``
+where the user's own congestion diverges, so a scan + golden-section
+maximization is both robust and accurate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.numerics.optimize import ScalarMaxResult, multistart_maximize
+from repro.users.utility import Utility
+
+#: Smallest rate a user will consider (the paper requires ``r_i > 0``).
+MIN_RATE = 1e-6
+
+
+def _default_rate_cap(allocation) -> float:
+    """Upper end of the rate interval a user searches.
+
+    For curves with a capacity pole (M/M/1), rates at or beyond capacity
+    are never optimal (own congestion is infinite), so the pole bounds
+    the search.  For pole-free constraints (the separable world) we use
+    a generous fixed cap; utilities in AU eventually punish congestion
+    enough to keep optima interior.
+    """
+    capacity = getattr(allocation.curve, "capacity", math.inf)
+    if math.isfinite(capacity):
+        return capacity * (1.0 - 1e-6)
+    return 4.0
+
+
+def best_response(allocation, utility: Utility, rates: Sequence[float],
+                  i: int, r_max: Optional[float] = None,
+                  n_scan: int = 65, tol: float = 1e-11) -> ScalarMaxResult:
+    """Maximize user ``i``'s utility along her own rate axis.
+
+    Parameters
+    ----------
+    allocation:
+        An allocation function (or subsystem) exposing ``congestion_i``.
+    utility:
+        User ``i``'s utility.
+    rates:
+        Current full rate vector; entry ``i`` is ignored.
+    r_max:
+        Upper search bound; defaults to just under the capacity pole.
+    n_scan:
+        Grid size of the global scan preceding local refinement.
+    """
+    base = np.asarray(rates, dtype=float).copy()
+    hi = _default_rate_cap(allocation) if r_max is None else float(r_max)
+
+    def objective(x: float) -> float:
+        base[i] = x
+        congestion = allocation.congestion_i(base, i)
+        return utility.value(x, congestion)
+
+    result = multistart_maximize(objective, MIN_RATE, hi, n_scan=n_scan,
+                                 tol=tol)
+    base[i] = result.x
+    return result
+
+
+def best_response_map(allocation, profile: Sequence[Utility],
+                      rates: Sequence[float],
+                      r_max: Optional[float] = None,
+                      n_scan: int = 65) -> np.ndarray:
+    """Simultaneous best responses: ``B(r)_i = argmax_x U_i(x, C_i)``.
+
+    Fixed points of this map are exactly the Nash equilibria.
+    """
+    r = np.asarray(rates, dtype=float)
+    if len(profile) != r.size:
+        raise ValueError(
+            f"profile has {len(profile)} utilities for {r.size} rates")
+    out = np.empty_like(r)
+    for i, utility in enumerate(profile):
+        out[i] = best_response(allocation, utility, r, i, r_max=r_max,
+                               n_scan=n_scan).x
+    return out
+
+
+def utility_improvement(allocation, utility: Utility,
+                        rates: Sequence[float], i: int,
+                        r_max: Optional[float] = None) -> float:
+    """How much user ``i`` could gain by deviating unilaterally.
+
+    Zero (up to solver tolerance) at a Nash equilibrium.  Used as the
+    equilibrium certificate because rate-space distance is a bad metric
+    when the objective is flat.
+    """
+    r = np.asarray(rates, dtype=float)
+    current = utility.value(float(r[i]), allocation.congestion_i(r, i))
+    best = best_response(allocation, utility, r, i, r_max=r_max)
+    if math.isinf(current) and math.isinf(best.value):
+        return 0.0
+    return best.value - current

@@ -1,0 +1,124 @@
+"""Envy and the unilaterally envy-free property (Section 4.1.2).
+
+User ``i`` envies user ``j`` when she would strictly prefer ``j``'s
+allocation to her own, judged by *her own* utility (no interpersonal
+comparison).  The paper's strong fairness notion is *unilateral*
+envy-freeness: whenever a user has best-responded, she envies no one —
+no matter what the others are doing.  Fair Share has it (Theorem 3);
+FIFO does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.game.best_response import best_response
+from repro.users.utility import Utility
+
+
+def envy_matrix(profile: Sequence[Utility], rates: Sequence[float],
+                congestion: Sequence[float]) -> np.ndarray:
+    """``E[i, j] = U_i(r_j, c_j) - U_i(r_i, c_i)``.
+
+    Positive entries mean ``i`` envies ``j``.  The diagonal is zero by
+    construction.  Infinite congestions compare as equally bad.
+    """
+    r = np.asarray(rates, dtype=float)
+    c = np.asarray(congestion, dtype=float)
+    n = r.size
+    out = np.zeros((n, n))
+    for i, utility in enumerate(profile):
+        own = utility.value(float(r[i]), float(c[i]))
+        for j in range(n):
+            if j == i:
+                continue
+            other = utility.value(float(r[j]), float(c[j]))
+            if np.isinf(own) and np.isinf(other):
+                out[i, j] = 0.0
+            else:
+                out[i, j] = other - own
+    return out
+
+
+def max_envy(profile: Sequence[Utility], rates: Sequence[float],
+             congestion: Sequence[float]) -> float:
+    """Largest envy entry; ``<= 0`` iff the allocation is envy-free."""
+    return float(envy_matrix(profile, rates, congestion).max())
+
+
+@dataclass
+class UnilateralEnvyOutcome:
+    """Result of one unilateral-envy probe.
+
+    Attributes
+    ----------
+    rates:
+        Rate vector after user ``i`` best-responded.
+    envy:
+        Max envy user ``i`` feels toward anyone at that point.
+    best_rate:
+        The best response chosen.
+    """
+
+    rates: np.ndarray
+    envy: float
+    best_rate: float
+
+
+def unilateral_envy(allocation, profile: Sequence[Utility],
+                    opponent_rates: Sequence[float], i: int) -> (
+        UnilateralEnvyOutcome):
+    """Best-respond user ``i`` against ``opponent_rates``, measure envy.
+
+    ``opponent_rates`` is a full-length vector whose ``i``-th entry is
+    ignored.  An allocation function is unilaterally envy-free iff this
+    envy is ``<= 0`` for every opponent configuration and every utility
+    in AU.
+    """
+    r = np.asarray(opponent_rates, dtype=float).copy()
+    response = best_response(allocation, profile[i], r, i)
+    r[i] = response.x
+    congestion = allocation.congestion(r)
+    utility = profile[i]
+    own = utility.value(float(r[i]), float(congestion[i]))
+    worst = -np.inf
+    for j in range(r.size):
+        if j == i:
+            continue
+        other = utility.value(float(r[j]), float(congestion[j]))
+        if np.isinf(own) and np.isinf(other):
+            gap = 0.0
+        else:
+            gap = other - own
+        worst = max(worst, gap)
+    return UnilateralEnvyOutcome(rates=r, envy=float(worst),
+                                 best_rate=float(response.x))
+
+
+def search_unilateral_envy(allocation, profile: Sequence[Utility],
+                           n_trials: int = 50,
+                           rng: Optional[np.random.Generator] = None,
+                           load_high: float = 0.95) -> UnilateralEnvyOutcome:
+    """Adversarial search for positive unilateral envy.
+
+    Samples random opponent rate vectors, best-responds each user in
+    turn, and returns the single worst (most envious) outcome found.
+    For Fair Share the returned envy should never be positive; for FIFO
+    it usually is.
+    """
+    generator = rng if rng is not None else np.random.default_rng(11)
+    n = len(profile)
+    worst: Optional[UnilateralEnvyOutcome] = None
+    for _ in range(n_trials):
+        direction = generator.dirichlet(np.ones(n))
+        load = generator.uniform(0.1, load_high)
+        rates = direction * load
+        for i in range(n):
+            outcome = unilateral_envy(allocation, profile, rates, i)
+            if worst is None or outcome.envy > worst.envy:
+                worst = outcome
+    assert worst is not None  # n_trials >= 1 and n >= 1
+    return worst

@@ -1,0 +1,192 @@
+"""Nash equilibrium computation.
+
+Two complementary solvers:
+
+* :func:`solve_nash` — damped best-response iteration.  Globally robust;
+  under Fair Share it converges for any profile in AU (Theorem 5), and
+  the damping handles FIFO's oscillatory coupling.
+* :func:`solve_nash_fdc` — Newton/root-finding on the first-derivative
+  conditions ``E_i(r) = M_i(r_i, C_i(r)) + dC_i/dr_i = 0``.  Fast and
+  precise near a solution; every root is re-certified with actual best
+  responses before being reported.
+
+:func:`find_all_nash` runs multistart searches and clusters the
+results — the experimental instrument behind the Theorem-4 uniqueness
+study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import optimize as sp_optimize
+
+from repro.game.best_response import (
+    best_response_map,
+    utility_improvement,
+)
+from repro.numerics.iterate import damped_fixed_point
+from repro.users.utility import Utility
+
+
+@dataclass
+class NashResult:
+    """A computed Nash equilibrium candidate.
+
+    Attributes
+    ----------
+    rates:
+        Equilibrium rate vector.
+    congestion:
+        The induced congestion vector ``C(r)``.
+    utilities:
+        Per-user utility levels at the equilibrium.
+    converged:
+        Whether the solver met its tolerance.
+    iterations:
+        Iterations used by the underlying solver.
+    max_gain:
+        Largest unilateral utility improvement any user retains
+        (certificate; ~0 at a true equilibrium).
+    method:
+        Which solver produced the point.
+    """
+
+    rates: np.ndarray
+    congestion: np.ndarray
+    utilities: np.ndarray
+    converged: bool
+    iterations: int
+    max_gain: float
+    method: str
+
+    def is_equilibrium(self, tol: float = 1e-6) -> bool:
+        """Whether no user can gain more than ``tol`` by deviating."""
+        return self.max_gain <= tol
+
+
+def _certify(allocation, profile: Sequence[Utility],
+             rates: np.ndarray) -> float:
+    """Max unilateral gain over all users (equilibrium certificate)."""
+    gains = [utility_improvement(allocation, u, rates, i)
+             for i, u in enumerate(profile)]
+    return float(max(gains))
+
+
+def _package(allocation, profile: Sequence[Utility], rates: np.ndarray,
+             converged: bool, iterations: int, method: str) -> NashResult:
+    congestion = allocation.congestion(rates)
+    utilities = np.array([u.value(float(rates[i]), float(congestion[i]))
+                          for i, u in enumerate(profile)])
+    return NashResult(rates=np.asarray(rates, dtype=float),
+                      congestion=congestion, utilities=utilities,
+                      converged=converged, iterations=iterations,
+                      max_gain=_certify(allocation, profile, rates),
+                      method=method)
+
+
+def default_start(n_users: int, allocation=None) -> np.ndarray:
+    """A safe interior starting point (equal split at 50% load)."""
+    capacity = 1.0
+    if allocation is not None:
+        cap = getattr(allocation.curve, "capacity", math.inf)
+        if math.isfinite(cap):
+            capacity = cap
+    return np.full(n_users, 0.5 * capacity / n_users)
+
+
+def solve_nash(allocation, profile: Sequence[Utility],
+               r0: Optional[Sequence[float]] = None,
+               damping: float = 0.5, tol: float = 1e-9,
+               max_iter: int = 400) -> NashResult:
+    """Damped best-response iteration to a Nash equilibrium."""
+    n = len(profile)
+    start = (default_start(n, allocation) if r0 is None
+             else np.asarray(r0, dtype=float))
+
+    def mapping(r: np.ndarray) -> np.ndarray:
+        return best_response_map(allocation, profile, r)
+
+    outcome = damped_fixed_point(mapping, start, damping=damping, tol=tol,
+                                 max_iter=max_iter)
+    return _package(allocation, profile, outcome.x, outcome.converged,
+                    outcome.iterations, method="best-response")
+
+
+def solve_nash_fdc(allocation, profile: Sequence[Utility],
+                   r0: Optional[Sequence[float]] = None,
+                   tol: float = 1e-10) -> NashResult:
+    """Root-find the Nash first-derivative conditions.
+
+    ``E_i(r) = M_i(r_i, C_i(r)) + dC_i/dr_i``; a Nash equilibrium in
+    the interior satisfies ``E = 0``.  The returned point carries its
+    best-response certificate — for non-Fair-Share disciplines an FDC
+    root need not be a global best response (Lemma 4 is specific to
+    Fair Share), and the ``max_gain`` field exposes that.
+    """
+    n = len(profile)
+    start = (default_start(n, allocation) if r0 is None
+             else np.asarray(r0, dtype=float))
+
+    def residuals(r: np.ndarray) -> np.ndarray:
+        out = np.empty(n)
+        congestion = allocation.congestion(r)
+        for i, utility in enumerate(profile):
+            if not math.isfinite(congestion[i]):
+                out[i] = 1e6
+                continue
+            m = utility.marginal_ratio(float(r[i]), float(congestion[i]))
+            out[i] = m + allocation.own_derivative(r, i)
+        return out
+
+    solution = sp_optimize.root(residuals, start, method="hybr",
+                                options={"xtol": tol})
+    rates = np.asarray(solution.x, dtype=float)
+    converged = bool(solution.success) and bool(np.all(rates > 0.0))
+    iterations = int(solution.nfev)
+    return _package(allocation, profile, np.abs(rates), converged,
+                    iterations, method="fdc-root")
+
+
+def is_nash(allocation, profile: Sequence[Utility],
+            rates: Sequence[float], tol: float = 1e-6) -> bool:
+    """Certify ``rates`` as a Nash equilibrium by best responses."""
+    r = np.asarray(rates, dtype=float)
+    return _certify(allocation, profile, r) <= tol
+
+
+def find_all_nash(allocation, profile: Sequence[Utility],
+                  n_starts: int = 12,
+                  rng: Optional[np.random.Generator] = None,
+                  gain_tol: float = 1e-6,
+                  distinct_tol: float = 1e-3,
+                  max_iter: int = 400) -> List[NashResult]:
+    """Multistart equilibrium search with clustering.
+
+    Runs damped best-response iteration from ``n_starts`` random
+    interior points, keeps runs that certify as equilibria, and merges
+    points closer than ``distinct_tol`` in sup norm.  Returns the
+    distinct equilibria found (possibly empty if nothing certified).
+    """
+    generator = rng if rng is not None else np.random.default_rng(0)
+    n = len(profile)
+    capacity = getattr(allocation.curve, "capacity", math.inf)
+    max_total = 0.95 * capacity if math.isfinite(capacity) else 2.0
+    found: List[NashResult] = []
+    for trial in range(n_starts):
+        direction = generator.dirichlet(np.ones(n))
+        load = generator.uniform(0.05, max_total)
+        start = direction * load
+        result = solve_nash(allocation, profile, r0=start,
+                            max_iter=max_iter)
+        if not result.is_equilibrium(gain_tol):
+            continue
+        duplicate = any(
+            float(np.max(np.abs(result.rates - other.rates))) < distinct_tol
+            for other in found)
+        if not duplicate:
+            found.append(result)
+    return found

@@ -1,0 +1,57 @@
+"""Hand-constructed games witnessing FIFO pathologies.
+
+The uniqueness/Stackelberg/learning theorems are "only Fair Share"
+statements; exhibiting them experimentally needs explicit games where
+FIFO misbehaves.  The biconvex witness below is the workhorse: one
+utility in AU, shared by two users, tuned so an *asymmetric* point
+satisfies the FIFO Nash conditions — by symmetry its mirror is then a
+second equilibrium, and in fact a near-flat component of equilibria
+connects them.  On the same profile Fair Share has a single (symmetric)
+equilibrium.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.users.families import BiconvexUtility
+from repro.users.utility import Utility
+
+
+def fifo_multiplicity_witness(a: float = 0.15, b: float = 0.45,
+                              a1: float = 0.1, b1: float = 0.6,
+                              ell: float = 0.1) -> BiconvexUtility:
+    """Tune a biconvex utility so ``(a, b)`` is a FIFO Nash point.
+
+    The FIFO Nash condition at own rate ``x`` with total ``S = a + b``
+    is ``a0 e^{a1 x} = k(x) (ell + b0 e^{-b1 c(x)})`` with
+    ``k(x) = (1 - S + x)/(1 - S)^2`` and ``c(x) = x/(1 - S)``.
+    Imposing it at both ``a`` and ``b`` gives two equations; solving
+    for ``(a0, b0)`` with the curvatures ``(a1, b1, ell)`` fixed yields
+    the witness utility.  Both users share it, so the mirror point
+    ``(b, a)`` is an equilibrium whenever ``(a, b)`` is.
+    """
+    if not 0.0 < a < b or a + b >= 1.0:
+        raise ValueError(f"need 0 < a < b with a + b < 1, got {a}, {b}")
+    total = a + b
+    slack = 1.0 - total
+    c_a, c_b = a / slack, b / slack
+    k_a = (slack + a) / slack ** 2
+    k_b = (slack + b) / slack ** 2
+    ea, eb = math.exp(-b1 * c_a), math.exp(-b1 * c_b)
+    growth = math.exp(a1 * (b - a))
+    denominator = k_a * growth * ea - k_b * eb
+    if abs(denominator) < 1e-12:
+        raise ValueError("degenerate curvature choice; pick a1 != b1 mix")
+    b0 = ell * (k_b - k_a * growth) / denominator
+    if b0 <= 0.0:
+        raise ValueError("curvatures give a negative b0; adjust a1/b1/ell")
+    a0 = k_a * (ell + b0 * ea) / math.exp(a1 * a)
+    return BiconvexUtility(a0=a0, a1=a1, ell=ell, b0=b0, b1=b1)
+
+
+def witness_profile(a: float = 0.15, b: float = 0.45) -> List[Utility]:
+    """The two-user profile built from the multiplicity witness."""
+    utility = fifo_multiplicity_witness(a=a, b=b)
+    return [utility, utility]

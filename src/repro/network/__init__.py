@@ -1,0 +1,28 @@
+"""Networks of switches (the Section-5.4 generalization).
+
+The paper's closing discussion sketches the multi-switch game: users
+route through several switches, care only about their *total*
+congestion ``c_i = sum_alpha c_i^alpha``, and — modulo the Poisson
+output approximation — most single-switch results generalize.  This
+package builds that model:
+
+* :class:`NetworkAllocation` composes per-switch allocation functions
+  over user routes into one allocation-function-like object, so the
+  entire game layer (best responses, Nash, Stackelberg, protection,
+  dynamics) runs on networks unchanged;
+* :func:`repro.network.tandem.simulate_tandem` is a packet-level
+  two-switch tandem simulator used to probe the Poisson approximation:
+  exact for FIFO tandems (Burke/Jackson), approximate for priority
+  ladders.
+"""
+
+from repro.network.model import NetworkAllocation, Route
+from repro.network.tandem import TandemConfig, TandemResult, simulate_tandem
+
+__all__ = [
+    "Route",
+    "NetworkAllocation",
+    "TandemConfig",
+    "TandemResult",
+    "simulate_tandem",
+]

@@ -1,0 +1,110 @@
+"""Finite-difference derivatives.
+
+Central differences with a curvature-aware default step.  These are used
+both as the numeric fallback for allocation functions without analytic
+derivatives and as the cross-check for those with them.
+
+All routines accept functions of a numpy vector returning a float, and
+are careful never to evaluate the target function at the base point more
+often than necessary (allocation functions can be moderately expensive
+when they wrap a simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+#: Default relative step for first derivatives (cube root of eps is the
+#: textbook optimum for central differences).
+DEFAULT_STEP = float(np.cbrt(np.finfo(float).eps))
+
+#: Default relative step for second derivatives (fourth root of eps).
+DEFAULT_STEP2 = float(np.finfo(float).eps ** 0.25)
+
+VectorFunc = Callable[[np.ndarray], float]
+
+
+def _step_for(x: float, rel: float) -> float:
+    """Absolute step scaled to the magnitude of ``x``."""
+    return rel * max(abs(x), 1.0)
+
+
+def partial_derivative(func: VectorFunc, x: np.ndarray, i: int,
+                       step: Optional[float] = None) -> float:
+    """Central-difference estimate of ``d func / d x_i`` at ``x``.
+
+    Parameters
+    ----------
+    func:
+        Scalar function of a vector.
+    x:
+        Evaluation point; not modified.
+    i:
+        Index of the coordinate to differentiate.
+    step:
+        Absolute step size; defaults to a relative step of
+        :data:`DEFAULT_STEP`.
+    """
+    x = np.asarray(x, dtype=float)
+    h = _step_for(x[i], DEFAULT_STEP) if step is None else step
+    forward = x.copy()
+    backward = x.copy()
+    forward[i] += h
+    backward[i] -= h
+    return (func(forward) - func(backward)) / (2.0 * h)
+
+
+def gradient(func: VectorFunc, x: np.ndarray,
+             step: Optional[float] = None) -> np.ndarray:
+    """Central-difference gradient of ``func`` at ``x``."""
+    x = np.asarray(x, dtype=float)
+    return np.array([partial_derivative(func, x, i, step=step)
+                     for i in range(x.size)])
+
+
+def second_partial(func: VectorFunc, x: np.ndarray, i: int, j: int,
+                   step: Optional[float] = None) -> float:
+    """Central-difference estimate of ``d^2 func / d x_i d x_j``.
+
+    Uses the four-point stencil for mixed partials and the three-point
+    stencil on the diagonal.
+    """
+    x = np.asarray(x, dtype=float)
+    hi = _step_for(x[i], DEFAULT_STEP2) if step is None else step
+    if i == j:
+        plus = x.copy()
+        minus = x.copy()
+        plus[i] += hi
+        minus[i] -= hi
+        return (func(plus) - 2.0 * func(x) + func(minus)) / (hi * hi)
+    hj = _step_for(x[j], DEFAULT_STEP2) if step is None else step
+    pp = x.copy()
+    pm = x.copy()
+    mp = x.copy()
+    mm = x.copy()
+    pp[i] += hi
+    pp[j] += hj
+    pm[i] += hi
+    pm[j] -= hj
+    mp[i] -= hi
+    mp[j] += hj
+    mm[i] -= hi
+    mm[j] -= hj
+    return (func(pp) - func(pm) - func(mp) + func(mm)) / (4.0 * hi * hj)
+
+
+def hessian(func: VectorFunc, x: np.ndarray,
+            step: Optional[float] = None) -> np.ndarray:
+    """Symmetric central-difference Hessian of ``func`` at ``x``."""
+    x = np.asarray(x, dtype=float)
+    n = x.size
+    out = np.empty((n, n))
+    for i in range(n):
+        out[i, i] = second_partial(func, x, i, i, step=step)
+        for j in range(i + 1, n):
+            value = second_partial(func, x, i, j, step=step)
+            out[i, j] = value
+            out[j, i] = value
+    return out

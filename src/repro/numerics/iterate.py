@@ -1,0 +1,108 @@
+"""Damped fixed-point iteration.
+
+Best-response dynamics are a fixed-point iteration ``r <- B(r)``; plain
+iteration can overshoot under disciplines with strong coupling (FIFO),
+so the solver supports damping and adaptive damping reduction when the
+residual stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+
+@dataclass
+class FixedPointResult:
+    """Outcome of a damped fixed-point iteration.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    converged:
+        Whether the residual dropped below tolerance.
+    iterations:
+        Number of iterations performed.
+    residual:
+        Final sup-norm residual ``||B(x) - x||``.
+    history:
+        Iterate trajectory (including the start point) when recording
+        was requested, else ``None``.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    history: Optional[np.ndarray] = None
+
+
+def damped_fixed_point(mapping: Callable[[np.ndarray], np.ndarray],
+                       x0: np.ndarray,
+                       damping: float = 0.5,
+                       tol: float = 1e-10,
+                       max_iter: int = 500,
+                       adapt: bool = True,
+                       record: bool = False,
+                       raise_on_failure: bool = False) -> FixedPointResult:
+    """Iterate ``x <- (1-d) x + d B(x)`` until ``||B(x) - x||_inf < tol``.
+
+    Parameters
+    ----------
+    mapping:
+        The map ``B`` whose fixed point is sought.
+    x0:
+        Starting point.
+    damping:
+        Initial step fraction ``d`` in (0, 1].
+    adapt:
+        Halve the damping whenever the residual fails to shrink for
+        several consecutive iterations (helps FIFO's near-oscillatory
+        best-response dynamics).
+    record:
+        Keep the full trajectory in :attr:`FixedPointResult.history`.
+    raise_on_failure:
+        Raise :class:`~repro.exceptions.ConvergenceError` instead of
+        returning a non-converged result.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError("damping must lie in (0, 1]")
+    x = np.asarray(x0, dtype=float).copy()
+    trail = [x.copy()] if record else None
+    d = damping
+    last_residual = np.inf
+    stall = 0
+    residual = np.inf
+    for iteration in range(1, max_iter + 1):
+        target = np.asarray(mapping(x), dtype=float)
+        residual = float(np.max(np.abs(target - x)))
+        if record:
+            trail.append(target.copy())
+        if residual < tol:
+            history = np.array(trail) if record else None
+            return FixedPointResult(x=x, converged=True,
+                                    iterations=iteration,
+                                    residual=residual, history=history)
+        if adapt:
+            if residual >= last_residual * 0.999:
+                stall += 1
+                if stall >= 3 and d > 1.0 / 64.0:
+                    d *= 0.5
+                    stall = 0
+            else:
+                stall = 0
+        last_residual = residual
+        x = (1.0 - d) * x + d * target
+    if raise_on_failure:
+        raise ConvergenceError(
+            "fixed-point iteration did not converge "
+            f"(residual {residual:.3e} after {max_iter} iterations)",
+            iterations=max_iter, residual=residual)
+    history = np.array(trail) if record else None
+    return FixedPointResult(x=x, converged=False, iterations=max_iter,
+                            residual=residual, history=history)

@@ -1,0 +1,55 @@
+"""Queueing-theory substrate.
+
+The paper's switch is an M/M/1 queue; its feasibility theory (which
+congestion vectors ``c`` a work-conserving discipline can realize for a
+given rate vector ``r``) is what every allocation function must respect.
+This package provides:
+
+* *service curves* ``g`` mapping total offered load to total mean queue
+  (M/M/1's ``x/(1-x)``, the general M/G/1 Pollaczek-Khinchine curve,
+  and the quadratic curve used by Corollary 2);
+* the feasibility *constraint* ``F(r, c) = sum(c) - g(sum(r))`` together
+  with the Coffman-Mitrani subset inequalities;
+* closed-form M/M/1 and priority-queue formulas used to validate the
+  discrete-event simulator.
+"""
+
+from repro.queueing.service_curves import (
+    MD1Curve,
+    MG1Curve,
+    MM1Curve,
+    QuadraticCurve,
+    ServiceCurve,
+)
+from repro.queueing.constraints import (
+    FeasibilitySet,
+    constraint_residual,
+    is_feasible,
+    subset_slacks,
+)
+from repro.queueing.mm1 import (
+    mm1_mean_delay,
+    mm1_mean_queue,
+    mm1_utilization,
+)
+from repro.queueing.priority import (
+    nonpreemptive_priority_queues,
+    preemptive_priority_queues,
+)
+
+__all__ = [
+    "ServiceCurve",
+    "MM1Curve",
+    "MG1Curve",
+    "MD1Curve",
+    "QuadraticCurve",
+    "FeasibilitySet",
+    "constraint_residual",
+    "is_feasible",
+    "subset_slacks",
+    "mm1_mean_queue",
+    "mm1_mean_delay",
+    "mm1_utilization",
+    "preemptive_priority_queues",
+    "nonpreemptive_priority_queues",
+]

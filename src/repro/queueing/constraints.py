@@ -1,0 +1,168 @@
+"""Feasibility of congestion allocations (Section 3.1).
+
+A work-conserving (nonstalling) discipline can realize congestion
+vector ``c`` for rate vector ``r`` iff
+
+* ``sum_i c_i == g(sum_i r_i)``  (total queue is the M/M/1 value), and
+* for every subset ``S`` of users, ``sum_{i in S} c_i >= g(sum_{i in S}
+  r_i)`` (no subset can beat the queue it would have alone) —
+  the Coffman-Mitrani characterization.
+
+Checking every subset is exponential, but the paper notes it suffices
+to check prefixes after sorting users by ``c_i / r_i`` ascending: any
+other subset of size ``k`` has at least the aggregate queue of the
+``k`` "cheapest" users.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import FeasibilityError
+from repro.queueing.service_curves import MM1Curve, ServiceCurve
+
+
+def _as_vector(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return arr
+
+
+class FeasibilitySet:
+    """The set of feasible ``(r, c)`` allocations for a service curve.
+
+    Parameters
+    ----------
+    curve:
+        The total-queue service curve ``g``; defaults to the paper's
+        M/M/1 curve.
+    """
+
+    def __init__(self, curve: Optional[ServiceCurve] = None) -> None:
+        self.curve = curve if curve is not None else MM1Curve()
+
+    # -- rate-vector domain -------------------------------------------------
+
+    def rates_in_domain(self, rates: Sequence[float]) -> bool:
+        """Whether ``rates`` lies in the natural domain ``D``.
+
+        ``D = { r : r_i > 0 and sum(r) < capacity }``.
+        """
+        r = _as_vector(rates, "rates")
+        return bool(np.all(r > 0.0) and r.sum() < self.curve.capacity)
+
+    def require_domain(self, rates: Sequence[float]) -> np.ndarray:
+        """Validate and return ``rates``; raise if outside ``D``."""
+        r = _as_vector(rates, "rates")
+        if not np.all(r > 0.0):
+            raise FeasibilityError(f"all rates must be positive, got {r}")
+        if r.sum() >= self.curve.capacity:
+            raise FeasibilityError(
+                f"total load {r.sum():.6f} is at or above capacity "
+                f"{self.curve.capacity}")
+        return r
+
+    # -- allocation feasibility --------------------------------------------
+
+    def total_queue(self, rates: Sequence[float]) -> float:
+        """``f(r) = g(sum r)``."""
+        r = _as_vector(rates, "rates")
+        return self.curve.value(float(r.sum()))
+
+    def constraint_residual(self, rates: Sequence[float],
+                            congestions: Sequence[float]) -> float:
+        """``F(r, c) = sum(c) - f(r)`` (zero iff work-conserving)."""
+        r = _as_vector(rates, "rates")
+        c = _as_vector(congestions, "congestions")
+        if r.size != c.size:
+            raise ValueError("rates and congestions must have equal length")
+        return float(c.sum() - self.total_queue(r))
+
+    def subset_slacks(self, rates: Sequence[float],
+                      congestions: Sequence[float]) -> np.ndarray:
+        """Slacks of the binding subset constraints.
+
+        Users are sorted by ``c_i / r_i`` ascending; entry ``k`` (for
+        ``k = 1 .. N-1``) is ``sum_{i<=k} c_i - g(sum_{i<=k} r_i)``,
+        which must be nonnegative for feasibility.  The full-set
+        constraint is the equality handled separately.
+        """
+        r = _as_vector(rates, "rates")
+        c = _as_vector(congestions, "congestions")
+        if r.size != c.size:
+            raise ValueError("rates and congestions must have equal length")
+        if np.any(r <= 0.0):
+            raise FeasibilityError("subset slacks require positive rates")
+        order = np.argsort(c / r, kind="stable")
+        r_sorted = r[order]
+        c_sorted = c[order]
+        slacks = np.empty(max(r.size - 1, 0))
+        run_r = 0.0
+        run_c = 0.0
+        for k in range(r.size - 1):
+            run_r += float(r_sorted[k])
+            run_c += float(c_sorted[k])
+            slacks[k] = run_c - self.curve.value(run_r)
+        return slacks
+
+    def is_feasible(self, rates: Sequence[float],
+                    congestions: Sequence[float],
+                    tol: float = 1e-9) -> bool:
+        """Full feasibility test: equality constraint + subset slacks."""
+        residual = self.constraint_residual(rates, congestions)
+        if abs(residual) > tol:
+            return False
+        slacks = self.subset_slacks(rates, congestions)
+        return bool(slacks.size == 0 or slacks.min() >= -tol)
+
+    def is_interior(self, rates: Sequence[float],
+                    congestions: Sequence[float],
+                    tol: float = 1e-9) -> bool:
+        """Feasible with *strictly* positive subset slacks.
+
+        The paper restricts acceptable allocation functions to the
+        interior of the feasible set, where no subset inequality is
+        saturated.
+        """
+        residual = self.constraint_residual(rates, congestions)
+        if abs(residual) > tol:
+            return False
+        slacks = self.subset_slacks(rates, congestions)
+        return bool(slacks.size == 0 or slacks.min() > tol)
+
+    def marginal_cost(self, rates: Sequence[float]) -> float:
+        """``f'(sum r) = dF/dr_i / dF/dc_i`` — the Pareto FDC target.
+
+        At a Pareto optimum every user's marginal rate of substitution
+        ``M_i`` equals ``-f'``; this scalar is ``Z_i`` up to sign.
+        """
+        r = _as_vector(rates, "rates")
+        return self.curve.derivative(float(r.sum()))
+
+
+# Convenience module-level wrappers around a default M/M/1 set. ------------
+
+_DEFAULT = FeasibilitySet()
+
+
+def constraint_residual(rates: Sequence[float],
+                        congestions: Sequence[float]) -> float:
+    """``F(r, c)`` under the paper's M/M/1 curve."""
+    return _DEFAULT.constraint_residual(rates, congestions)
+
+
+def subset_slacks(rates: Sequence[float],
+                  congestions: Sequence[float]) -> np.ndarray:
+    """Subset-constraint slacks under the paper's M/M/1 curve."""
+    return _DEFAULT.subset_slacks(rates, congestions)
+
+
+def is_feasible(rates: Sequence[float], congestions: Sequence[float],
+                tol: float = 1e-9) -> bool:
+    """Feasibility under the paper's M/M/1 curve."""
+    return _DEFAULT.is_feasible(rates, congestions, tol=tol)

@@ -1,0 +1,70 @@
+"""Closed-form M/M/1 quantities.
+
+Unit-rate exponential server throughout (the paper normalizes the
+service rate to 1); arrival rates are therefore also utilizations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def mm1_utilization(arrival_rate: float, service_rate: float = 1.0) -> float:
+    """Server utilization ``rho = lambda / mu``."""
+    if arrival_rate < 0.0:
+        raise ValueError(f"arrival rate must be nonnegative, got {arrival_rate}")
+    if service_rate <= 0.0:
+        raise ValueError(f"service rate must be positive, got {service_rate}")
+    return arrival_rate / service_rate
+
+
+def mm1_mean_queue(arrival_rate: float, service_rate: float = 1.0) -> float:
+    """Mean number in system, ``rho / (1 - rho)`` (``inf`` if unstable)."""
+    rho = mm1_utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        return math.inf
+    return rho / (1.0 - rho)
+
+
+def mm1_mean_delay(arrival_rate: float, service_rate: float = 1.0) -> float:
+    """Mean sojourn time ``1 / (mu - lambda)`` (``inf`` if unstable)."""
+    if service_rate <= 0.0:
+        raise ValueError(f"service rate must be positive, got {service_rate}")
+    if arrival_rate >= service_rate:
+        return math.inf
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_queue_distribution(arrival_rate: float, max_n: int,
+                           service_rate: float = 1.0) -> np.ndarray:
+    """P(N = n) for n = 0..max_n: geometric ``(1-rho) rho^n``."""
+    rho = mm1_utilization(arrival_rate, service_rate)
+    if rho >= 1.0:
+        raise ValueError("queue-length distribution requires rho < 1")
+    n = np.arange(max_n + 1)
+    return (1.0 - rho) * rho ** n
+
+
+def proportional_split(rates: Sequence[float],
+                       service_rate: float = 1.0) -> np.ndarray:
+    """Per-user mean queues under any user-oblivious discipline.
+
+    When the discipline treats packets symmetrically without regard to
+    their source (FIFO, preemptive LIFO, processor sharing, random
+    order, packet-level polling), each user's share of the mean queue
+    is proportional to their arrival rate — the paper's *proportional*
+    allocation ``C_i = r_i / (1 - sum r)``.
+    """
+    r = np.asarray(rates, dtype=float)
+    if np.any(r < 0.0):
+        raise ValueError(f"rates must be nonnegative, got {r}")
+    total = float(r.sum())
+    if total >= service_rate:
+        return np.full(r.shape, math.inf)
+    rho = total / service_rate
+    if total == 0.0:
+        return np.zeros_like(r)
+    return (rho / (1.0 - rho)) * (r / total)

@@ -1,0 +1,98 @@
+"""Analytic priority-queue formulas (unit-rate exponential server).
+
+These are the closed forms behind the Table-1 priority-ladder
+realization of Fair Share and behind the HOL-priority allocation
+function, and the references the discrete-event simulator is validated
+against.
+
+Class 1 is the *highest* priority throughout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate(class_rates: Sequence[float]) -> np.ndarray:
+    rates = np.asarray(class_rates, dtype=float)
+    if rates.ndim != 1 or rates.size == 0:
+        raise ValueError("class_rates must be a non-empty vector")
+    if np.any(rates < 0.0):
+        raise ValueError(f"class rates must be nonnegative, got {rates}")
+    return rates
+
+
+def preemptive_priority_queues(class_rates: Sequence[float]) -> np.ndarray:
+    """Per-class mean number in system under preemptive priority.
+
+    Classes ``1..k`` are unaffected by lower classes, so their aggregate
+    is an M/M/1 at load ``sigma_k = sum_{j<=k} lambda_j``; class ``k``'s
+    mean number in system telescopes:
+
+    ``L_k = g(sigma_k) - g(sigma_{k-1})``,  ``g(x) = x/(1-x)``.
+
+    Classes whose cumulative load reaches 1 (and all lower ones) are
+    unstable and get ``inf``.
+    """
+    rates = _validate(class_rates)
+    sigma = np.cumsum(rates)
+    queues = np.empty_like(rates)
+    prev_g = 0.0
+    for k, s in enumerate(sigma):
+        if s >= 1.0:
+            queues[k:] = math.inf
+            return queues
+        g = s / (1.0 - s)
+        queues[k] = g - prev_g
+        prev_g = g
+    return queues
+
+
+def nonpreemptive_priority_queues(class_rates: Sequence[float]) -> np.ndarray:
+    """Per-class mean number in system under HOL (nonpreemptive) priority.
+
+    Cobham's formula with exponential service (``E[S] = 1``,
+    ``E[S^2] = 2``): residual work ``W0 = rho``, class-``k`` queueing
+    delay ``W_k = W0 / ((1 - sigma_{k-1})(1 - sigma_k))``, and by
+    Little's law the mean number in system is
+    ``L_k = lambda_k W_k + rho_k``.
+
+    The whole system is unstable when total load reaches 1 (a
+    nonpreemptive server still completes whatever it starts, so any
+    class with ``sigma_k >= 1`` diverges).
+    """
+    rates = _validate(class_rates)
+    rho = float(rates.sum())
+    sigma = np.cumsum(rates)
+    queues = np.empty_like(rates)
+    if rho >= 1.0:
+        queues[:] = math.inf
+        return queues
+    w0 = rho  # sum lambda_j * E[S^2] / 2 with E[S^2] = 2
+    prev_sigma = 0.0
+    for k, s in enumerate(sigma):
+        wait = w0 / ((1.0 - prev_sigma) * (1.0 - s))
+        queues[k] = rates[k] * (wait + 1.0)
+        prev_sigma = s
+    return queues
+
+
+def fair_share_class_rates(user_rates: Sequence[float]) -> np.ndarray:
+    """Aggregate per-class rates of the Table-1 Fair Share ladder.
+
+    With users sorted so ``r_1 <= ... <= r_N`` (``r_0 = 0``), priority
+    class ``m`` receives rate ``r_m - r_{m-1}`` from *each* of users
+    ``m..N``, hence an aggregate rate ``(N - m + 1)(r_m - r_{m-1})``.
+    The cumulative class rate through class ``m`` is then
+    ``R_m = (N - m + 1) r_m + sum_{j<m} r_j`` — exactly the argument of
+    ``g`` in the paper's recursion for ``C^FS``.
+    """
+    rates = _validate(user_rates)
+    ordered = np.sort(rates)
+    n = ordered.size
+    increments = np.diff(np.concatenate(([0.0], ordered)))
+    multiplicity = n - np.arange(n)
+    return multiplicity * increments

@@ -1,0 +1,154 @@
+"""Closed-loop selfish agents on the simulated switch.
+
+This module enacts the paper's behavioral story end to end: each user
+runs a naive hill-climbing flow controller that knows *nothing* about
+the switch — it only observes its own noisy (throughput, congestion)
+measurements from simulation episodes and adjusts its Poisson rate to
+increase its own measured utility, exactly the "turn the knob until the
+picture looks best" optimizer of Section 2.2.
+
+Under a Fair Share switch these uncoordinated greedy loops settle near
+the analytic Nash equilibrium; under FIFO they couple strongly, drift
+toward overload, and oscillate — the experimental echo of Theorems 4,
+5, and 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.sim.queues import QueuePolicy
+from repro.sim.runner import SimulationConfig, simulate
+from repro.users.utility import Utility
+
+
+@dataclass
+class AgentConfig:
+    """Tuning of a hill-climbing agent.
+
+    Attributes
+    ----------
+    initial_rate:
+        Starting Poisson rate.
+    step:
+        Initial probe step size (multiplicative decay applies).
+    min_rate, max_rate:
+        Clamp bounds for the rate.
+    decay:
+        Per-episode step decay factor (simulated annealing flavour).
+    """
+
+    initial_rate: float = 0.05
+    step: float = 0.02
+    min_rate: float = 1e-3
+    max_rate: float = 0.95
+    decay: float = 0.99
+
+
+class HillClimbingAgent:
+    """One selfish user: probe up or down, keep what measured better.
+
+    The agent alternates probe directions episode by episode and moves
+    when the measured utility of the probe beats the measured utility
+    of the incumbent rate.  All information it uses is its own
+    ``(rate, measured congestion)`` pair — utilities of others, the
+    discipline, and the analytic allocation are invisible to it.
+    """
+
+    def __init__(self, utility: Utility,
+                 config: Optional[AgentConfig] = None) -> None:
+        self.utility = utility
+        self.config = config if config is not None else AgentConfig()
+        self.rate = self.config.initial_rate
+        self._step = self.config.step
+        self._direction = 1.0
+        self._last_value = -math.inf
+
+    def propose(self) -> float:
+        """Rate to try next episode."""
+        candidate = self.rate + self._direction * self._step
+        lo, hi = self.config.min_rate, self.config.max_rate
+        return min(max(candidate, lo), hi)
+
+    def observe(self, tried_rate: float, measured_congestion: float) -> None:
+        """Digest an episode's measurement and update the incumbent."""
+        value = self.utility.value(tried_rate, measured_congestion)
+        if value > self._last_value:
+            self.rate = tried_rate
+            self._last_value = value
+        else:
+            self._direction = -self._direction
+        self._step *= self.config.decay
+
+
+@dataclass
+class SelfishLoopResult:
+    """Trace of a closed-loop selfish-agents run.
+
+    Attributes
+    ----------
+    rate_history:
+        Episode-by-episode rates, shape ``(episodes + 1, N)``.
+    congestion_history:
+        Measured per-user congestion per episode.
+    final_rates:
+        Rates after the last episode.
+    """
+
+    rate_history: np.ndarray
+    congestion_history: np.ndarray
+    final_rates: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.final_rates = self.rate_history[-1].copy()
+
+
+def run_selfish_loop(profile: Sequence[Utility],
+                     policy_factory,
+                     n_episodes: int = 60,
+                     episode_length: float = 3000.0,
+                     warmup: float = 300.0,
+                     agent_configs: Optional[Sequence[AgentConfig]] = None,
+                     seed: int = 0) -> SelfishLoopResult:
+    """Run the greedy closed loop.
+
+    Parameters
+    ----------
+    profile:
+        True utilities of the users.
+    policy_factory:
+        Callable ``(rates) -> QueuePolicy | str`` building the switch
+        policy for an episode (the Fair Share ladder needs the current
+        rates; FIFO ignores them).
+    n_episodes:
+        Measurement/adjustment rounds.
+    episode_length, warmup:
+        Simulated time per episode and its discarded prefix.
+    """
+    n = len(profile)
+    configs = (list(agent_configs) if agent_configs is not None
+               else [AgentConfig() for _ in range(n)])
+    if len(configs) != n:
+        raise ValueError(f"{len(configs)} agent configs for {n} users")
+    agents = [HillClimbingAgent(profile[i], configs[i]) for i in range(n)]
+    rates = np.array([a.rate for a in agents])
+    rate_trail: List[np.ndarray] = [rates.copy()]
+    congestion_trail: List[np.ndarray] = []
+    for episode in range(n_episodes):
+        tried = np.array([a.propose() for a in agents])
+        policy: Union[str, QueuePolicy] = policy_factory(tried)
+        result = simulate(SimulationConfig(
+            rates=tried, policy=policy, horizon=episode_length,
+            warmup=warmup, seed=seed + episode))
+        measured = result.mean_queues
+        for i, agent in enumerate(agents):
+            agent.observe(float(tried[i]), float(measured[i]))
+        rates = np.array([a.rate for a in agents])
+        rate_trail.append(rates.copy())
+        congestion_trail.append(measured.copy())
+    return SelfishLoopResult(rate_history=np.array(rate_trail),
+                             congestion_history=np.array(congestion_trail))

@@ -1,0 +1,113 @@
+"""Finite buffers and packet loss.
+
+The paper inherits Nagle's infinite-storage switch [26]: congestion is
+pure queueing, never loss.  Real switches drop.  This module wraps any
+queue policy with a finite buffer so the infinite-storage assumption
+becomes an ablation: when the buffer fills, arrivals are dropped —
+either tail-drop (the arriving packet dies) or, for ladder-style
+policies, *push-out* (the lowest-priority resident dies instead, which
+is the natural finite-buffer reading of Fair Share's insulation).
+
+Loss statistics are per user, so the protection question transfers to
+loss-space: under a flooding attacker, who loses packets?
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sim.packet import Packet
+from repro.sim.queues import PreemptivePriorityQueue, QueuePolicy
+
+
+class FiniteBufferPolicy(QueuePolicy):
+    """A queue policy bounded to ``capacity`` resident packets.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped policy.
+    capacity:
+        Maximum packets in the system (including the one in service).
+    push_out:
+        If true and the inner policy is priority-based, a full buffer
+        evicts the lowest-priority resident packet in favor of an
+        arrival of higher priority (Fair-Share-flavoured drop policy);
+        otherwise the arrival itself is dropped (tail drop).
+    """
+
+    def __init__(self, inner: QueuePolicy, capacity: int,
+                 push_out: bool = False) -> None:
+        if capacity < 1:
+            raise SimulationError(
+                f"buffer capacity must be >= 1, got {capacity}")
+        if push_out and not isinstance(inner, PreemptivePriorityQueue):
+            raise SimulationError(
+                "push-out dropping needs a priority-based inner policy")
+        self.inner = inner
+        self.capacity = int(capacity)
+        self.push_out = bool(push_out)
+        self.name = f"{inner.name}+buf{capacity}" + (
+            "+pushout" if push_out else "")
+        self.sized = getattr(inner, "sized", False)
+        self.preemptive = getattr(inner, "preemptive", False)
+        self.drops: dict = {}
+
+    def _record_drop(self, user: int) -> None:
+        self.drops[user] = self.drops.get(user, 0) + 1
+
+    def push(self, packet: Packet,
+             rng: Optional[np.random.Generator] = None) -> Optional[dict]:
+        """Admit, tail-drop, or push-out according to buffer state.
+
+        Returns ``None`` when simply admitted, else a record:
+        ``{"admitted": False}`` (tail drop) or
+        ``{"admitted": True, "evicted_user": u}`` (push-out) — the
+        engine uses it to keep the queue tracker consistent.
+        """
+        if len(self.inner) < self.capacity:
+            self.inner.push(packet, rng=rng)
+            return None
+        if not self.push_out:
+            self._record_drop(packet.user)
+            return {"admitted": False}
+        # Push-out: classify the arrival first (the inner ladder
+        # assigns its priority), then evict the newest lowest-priority
+        # resident.
+        self.inner.push(packet, rng=rng)
+        victim = self._evict_lowest_priority()
+        if victim is None:
+            return None
+        self._record_drop(victim.user)
+        return {"admitted": True, "evicted_user": victim.user}
+
+    def _evict_lowest_priority(self) -> Optional[Packet]:
+        """Remove the newest packet of the lowest-priority class."""
+        classes = self.inner._classes
+        for queue in reversed(classes):
+            if queue:
+                victim = queue.pop()
+                self.inner._count -= 1
+                return victim
+        return None
+
+    def serving(self) -> Optional[Packet]:
+        """Delegate to the wrapped policy."""
+        return self.inner.serving()
+
+    def complete(self, rng: np.random.Generator) -> Packet:
+        """Delegate to the wrapped policy."""
+        return self.inner.complete(rng)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def loss_counts(self, n_users: int) -> np.ndarray:
+        """Per-user dropped-packet counts."""
+        out = np.zeros(n_users, dtype=int)
+        for user, count in self.drops.items():
+            out[user] = count
+        return out

@@ -1,0 +1,186 @@
+"""Measurement: time-weighted queue statistics and batch-means CIs.
+
+The congestion quantity in the paper is the *time-average number of a
+user's packets in the system*, so the tracker integrates per-user queue
+lengths against time.  Confidence intervals come from the method of
+batch means, the standard remedy for the autocorrelation of queueing
+processes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class QueueTracker:
+    """Per-user time-weighted queue-length integrator with batching.
+
+    Parameters
+    ----------
+    n_users:
+        Number of users.
+    warmup:
+        Simulation time discarded before statistics accumulate.
+    n_batches:
+        Number of equal-duration batches for the batch-means CI; the
+        batch boundaries are laid out once the horizon is known (via
+        :meth:`finalize`), so the tracker records a fine-grained series
+        of (interval, per-user area) segments during the run.
+    """
+
+    def __init__(self, n_users: int, warmup: float = 0.0) -> None:
+        if n_users < 1:
+            raise ValueError("need at least one user")
+        if warmup < 0.0:
+            raise ValueError(f"warmup must be nonnegative, got {warmup}")
+        self.n_users = n_users
+        self.warmup = warmup
+        self._counts = np.zeros(n_users, dtype=float)
+        self._areas = np.zeros(n_users)
+        self._measured_time = 0.0
+        self._last_time = 0.0
+        self._segment_times: List[float] = []
+        self._segment_areas: List[np.ndarray] = []
+        self._segment_area_acc = np.zeros(n_users)
+        self._segment_time_acc = 0.0
+        self._segment_quota = math.inf
+        self._departures = np.zeros(n_users, dtype=int)
+        self._sojourn_sums = np.zeros(n_users)
+        self._sojourn_counts = np.zeros(n_users, dtype=int)
+
+    def configure_batches(self, horizon: float, n_batches: int = 20) -> None:
+        """Set the batch duration from the planned horizon."""
+        effective = max(horizon - self.warmup, 0.0)
+        if n_batches < 2 or effective <= 0.0:
+            self._segment_quota = math.inf
+            return
+        self._segment_quota = effective / n_batches
+
+    def advance(self, now: float) -> None:
+        """Integrate queue lengths up to time ``now``.
+
+        The step is split at batch boundaries so a long idle stretch
+        distributes its area across the batches it spans.
+        """
+        if now < self._last_time:
+            raise ValueError(
+                f"time ran backwards: {now} < {self._last_time}")
+        start = max(self._last_time, self.warmup)
+        remaining = now - start
+        while remaining > 0.0:
+            if math.isfinite(self._segment_quota):
+                room = self._segment_quota - self._segment_time_acc
+                step = min(remaining, room)
+            else:
+                step = remaining
+            self._areas += self._counts * step
+            self._measured_time += step
+            self._segment_area_acc += self._counts * step
+            self._segment_time_acc += step
+            remaining -= step
+            if (math.isfinite(self._segment_quota)
+                    and self._segment_time_acc
+                    >= self._segment_quota - 1e-12):
+                self._segment_times.append(self._segment_time_acc)
+                self._segment_areas.append(self._segment_area_acc.copy())
+                self._segment_area_acc[:] = 0.0
+                self._segment_time_acc = 0.0
+        self._last_time = now
+
+    def on_arrival(self, user: int) -> None:
+        """A packet of ``user`` entered the system (after advance)."""
+        self._counts[user] += 1
+
+    def on_departure(self, user: int,
+                     sojourn: Optional[float] = None) -> None:
+        """A packet of ``user`` left the system (after advance).
+
+        ``sojourn`` (time in system) feeds the per-user delay
+        statistics; only post-warmup departures are recorded.
+        """
+        if self._counts[user] <= 0:
+            raise ValueError(f"departure for user {user} with empty count")
+        self._counts[user] -= 1
+        self._departures[user] += 1
+        if sojourn is not None and self._last_time >= self.warmup:
+            self._sojourn_sums[user] += sojourn
+            self._sojourn_counts[user] += 1
+
+    def on_drop(self, user: int) -> None:
+        """A resident packet of ``user`` was evicted (buffer push-out).
+
+        Decrements the in-system count without recording a departure
+        or a sojourn.
+        """
+        if self._counts[user] <= 0:
+            raise ValueError(f"drop for user {user} with empty count")
+        self._counts[user] -= 1
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def measured_time(self) -> float:
+        """Post-warmup time integrated so far."""
+        return self._measured_time
+
+    def mean_queues(self) -> np.ndarray:
+        """Per-user time-average number in system."""
+        if self._measured_time <= 0.0:
+            return np.full(self.n_users, math.nan)
+        return self._areas / self._measured_time
+
+    def throughputs(self) -> np.ndarray:
+        """Per-user departure rates over the measured window."""
+        if self._measured_time <= 0.0:
+            return np.full(self.n_users, math.nan)
+        return self._departures / self._measured_time
+
+    def mean_delays(self) -> np.ndarray:
+        """Per-user mean sojourn time from recorded departures.
+
+        By Little's law this should equal ``mean_queues / throughputs``
+        up to estimation noise; both routes are exposed so tests can
+        cross-check them.
+        """
+        out = np.full(self.n_users, math.nan)
+        mask = self._sojourn_counts > 0
+        out[mask] = self._sojourn_sums[mask] / self._sojourn_counts[mask]
+        return out
+
+    def batch_means(self) -> "BatchMeans":
+        """Batch-means summary of per-user mean queues."""
+        if not self._segment_areas:
+            return BatchMeans(means=self.mean_queues(),
+                              half_widths=np.full(self.n_users, math.nan),
+                              n_batches=0)
+        times = np.asarray(self._segment_times)
+        areas = np.vstack(self._segment_areas)
+        per_batch = areas / times[:, None]
+        means = per_batch.mean(axis=0)
+        n = per_batch.shape[0]
+        if n >= 2:
+            stderr = per_batch.std(axis=0, ddof=1) / math.sqrt(n)
+            half = 1.96 * stderr
+        else:
+            half = np.full(self.n_users, math.nan)
+        return BatchMeans(means=means, half_widths=half, n_batches=n)
+
+
+@dataclass
+class BatchMeans:
+    """Batch-means estimate with normal-approximation half-widths."""
+
+    means: np.ndarray
+    half_widths: np.ndarray
+    n_batches: int
+
+    def contains(self, reference: Sequence[float],
+                 slack: float = 1.0) -> bool:
+        """Whether ``reference`` lies within ``slack`` x the CI."""
+        ref = np.asarray(reference, dtype=float)
+        return bool(np.all(np.abs(ref - self.means)
+                           <= slack * self.half_widths))

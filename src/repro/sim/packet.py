@@ -1,0 +1,46 @@
+"""The packet record flowing through the simulated switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+_SEQUENCE = count()
+
+
+@dataclass
+class Packet:
+    """One packet in flight.
+
+    Attributes
+    ----------
+    user:
+        Index of the sending user.
+    arrival_time:
+        Simulation clock at arrival.
+    priority:
+        Priority class assigned by the policy (0 = highest); policies
+        that do not use priorities leave it at 0.
+    size:
+        Service requirement in time units.  Memoryless policies ignore
+        it (the engine redraws exponential service); *sized* policies
+        (Fair Queueing variants) schedule by it.
+    seq:
+        Global monotone sequence number (arrival order tiebreaker).
+    departure_time:
+        Set when service completes; ``None`` while in the system.
+    """
+
+    user: int
+    arrival_time: float
+    priority: int = 0
+    size: float = 0.0
+    seq: int = field(default_factory=lambda: next(_SEQUENCE))
+    departure_time: float = None
+
+    @property
+    def sojourn(self) -> float:
+        """Time in system (only valid after departure)."""
+        if self.departure_time is None:
+            raise ValueError("packet has not departed yet")
+        return self.departure_time - self.arrival_time

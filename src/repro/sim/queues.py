@@ -1,0 +1,468 @@
+"""Queueing policies: who is served, and who departs next.
+
+The engine (see :mod:`repro.sim.runner`) is a jump chain: at every
+state change it asks the policy which packet currently holds the
+server, then draws the next tentative completion ``Exp(mu)`` for it.
+Memorylessness makes this exact, so a policy only needs to implement:
+
+* :meth:`QueuePolicy.push` — accept an arriving packet;
+* :meth:`QueuePolicy.serving` — the packet the server works on *now*
+  (may change on arrivals for preemptive policies);
+* :meth:`QueuePolicy.complete` — remove and return the packet whose
+  service just finished.
+
+For most policies the completing packet is :meth:`serving`; processor
+sharing overrides :meth:`complete` to pick uniformly (each of the ``n``
+present packets completes at hazard ``mu/n``, so the first completion
+is ``Exp(mu)`` with a uniform winner).
+
+Sticky (nonpreemptive) policies keep the serving packet locked until it
+completes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sim.packet import Packet
+
+
+class QueuePolicy(ABC):
+    """Interface the simulation engine drives."""
+
+    name: str = "policy"
+
+    #: Sized policies schedule by explicit packet sizes (service time =
+    #: Packet.size, fixed at service start); memoryless policies let
+    #: the engine redraw exponential service at every event.
+    sized: bool = False
+
+    #: Preemptive policies may change the served packet on arrivals.
+    #: The memoryless redraw is only exact for them under exponential
+    #: service, so the engine refuses to pair them with other service
+    #: distributions.
+    preemptive: bool = False
+
+    @abstractmethod
+    def push(self, packet: Packet,
+             rng: Optional[np.random.Generator] = None) -> None:
+        """Accept an arriving packet.
+
+        ``rng`` is the engine's random stream; only policies that
+        randomize on arrival (thinning ladders) use it.
+        """
+
+    @abstractmethod
+    def serving(self) -> Optional[Packet]:
+        """Packet currently holding the server (None when empty)."""
+
+    @abstractmethod
+    def complete(self, rng: np.random.Generator) -> Packet:
+        """Remove and return the packet whose service completed."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of packets in the system."""
+
+    def reset(self) -> None:  # pragma: no cover - optional hook
+        """Clear all state (default: subclasses rebuild themselves)."""
+
+
+class FIFOQueue(QueuePolicy):
+    """First-in first-out — the baseline the paper criticizes."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    def push(self, packet: Packet,
+             rng: Optional[np.random.Generator] = None) -> None:
+        self._queue.append(packet)
+
+    def serving(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
+    def complete(self, rng: np.random.Generator) -> Packet:
+        if not self._queue:
+            raise SimulationError("completion on an empty FIFO queue")
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LIFOPreemptiveQueue(QueuePolicy):
+    """Preemptive last-in first-out.
+
+    A newcomer seizes the server immediately; with exponential service
+    the interrupted packet's remaining work is again ``Exp(mu)``, so
+    the jump-chain engine needs no explicit resume bookkeeping.  Mean
+    per-user queues still split proportionally (the policy ignores
+    identities), which the validation experiment confirms.
+    """
+
+    name = "lifo"
+    preemptive = True
+
+    def __init__(self) -> None:
+        self._stack: List[Packet] = []
+
+    def push(self, packet: Packet,
+             rng: Optional[np.random.Generator] = None) -> None:
+        self._stack.append(packet)
+
+    def serving(self) -> Optional[Packet]:
+        return self._stack[-1] if self._stack else None
+
+    def complete(self, rng: np.random.Generator) -> Packet:
+        if not self._stack:
+            raise SimulationError("completion on an empty LIFO queue")
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class ProcessorSharingQueue(QueuePolicy):
+    """Egalitarian processor sharing.
+
+    All ``n`` present packets receive rate ``mu/n``; the next
+    completion is ``Exp(mu)`` overall and the finisher is uniform among
+    those present.
+    """
+
+    name = "ps"
+    preemptive = True
+
+    def __init__(self) -> None:
+        self._packets: List[Packet] = []
+
+    def push(self, packet: Packet,
+             rng: Optional[np.random.Generator] = None) -> None:
+        self._packets.append(packet)
+
+    def serving(self) -> Optional[Packet]:
+        # Nominal; only the completion draw matters for PS.
+        return self._packets[0] if self._packets else None
+
+    def complete(self, rng: np.random.Generator) -> Packet:
+        if not self._packets:
+            raise SimulationError("completion on an empty PS queue")
+        index = int(rng.integers(0, len(self._packets)))
+        return self._packets.pop(index)
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+
+class PreemptivePriorityQueue(QueuePolicy):
+    """Preemptive priority across classes, FIFO within a class.
+
+    ``classifier(packet, rng)`` assigns the class (0 = highest) at
+    arrival; subclasses configure it.  The serving packet is the head
+    of the highest-priority nonempty class and may change on arrivals
+    (preemption) — which the memoryless engine handles by redrawing the
+    completion timer.
+    """
+
+    name = "priority"
+    preemptive = True
+
+    def __init__(self, n_classes: int,
+                 classifier: Callable[[Packet, np.random.Generator],
+                                      int]) -> None:
+        if n_classes < 1:
+            raise SimulationError("need at least one priority class")
+        self._classes: List[deque] = [deque() for _ in range(n_classes)]
+        self._classifier = classifier
+        self._count = 0
+
+    def push(self, packet: Packet, rng: Optional[np.random.Generator] = None
+             ) -> None:
+        generator = rng if rng is not None else np.random.default_rng(0)
+        klass = self._classifier(packet, generator)
+        if not 0 <= klass < len(self._classes):
+            raise SimulationError(
+                f"classifier produced class {klass} outside "
+                f"[0, {len(self._classes)})")
+        packet.priority = klass
+        self._classes[klass].append(packet)
+        self._count += 1
+
+    def serving(self) -> Optional[Packet]:
+        for queue in self._classes:
+            if queue:
+                return queue[0]
+        return None
+
+    def complete(self, rng: np.random.Generator) -> Packet:
+        for queue in self._classes:
+            if queue:
+                self._count -= 1
+                return queue.popleft()
+        raise SimulationError("completion on an empty priority queue")
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class FairShareLadderQueue(PreemptivePriorityQueue):
+    """The Table-1 priority ladder realizing the Fair Share allocation.
+
+    Given the users' (true) rates, sort them ascending (``r_0 = 0``).
+    Priority class ``m`` carries, from *every* user with sorted
+    position ``>= m``, a Poisson substream of rate
+    ``delta_m = r_(m) - r_(m-1)``.  A packet from the user in sorted
+    position ``k`` is therefore thinned into class ``m <= k`` with
+    probability ``delta_m / r_i`` — Poisson thinning keeps every
+    substream Poisson with the right rate.
+
+    The per-user mean queues of this system are exactly ``C^FS``
+    (validated against the closed form by the ``table1`` experiment).
+    """
+
+    name = "fair-share-ladder"
+
+    def __init__(self, rates: Sequence[float]) -> None:
+        r = np.asarray(rates, dtype=float)
+        if np.any(r <= 0.0):
+            raise SimulationError(
+                f"ladder rates must be positive, got {r}")
+        order = np.argsort(r, kind="stable")
+        sorted_r = r[order]
+        deltas = np.diff(np.concatenate(([0.0], sorted_r)))
+        position: Dict[int, int] = {int(u): k
+                                    for k, u in enumerate(order)}
+        # Per-user class membership probabilities (thinning weights).
+        self._class_probs: Dict[int, np.ndarray] = {}
+        for user, k in position.items():
+            weights = deltas[: k + 1].copy()
+            total = weights.sum()
+            if total <= 0.0:
+                raise SimulationError(
+                    f"user {user} has zero ladder weight")
+            self._class_probs[user] = weights / total
+
+        def classify(packet: Packet, rng: np.random.Generator) -> int:
+            probs = self._class_probs[packet.user]
+            return int(rng.choice(probs.size, p=probs))
+
+        super().__init__(n_classes=r.size, classifier=classify)
+
+
+class AdaptiveFairShareQueue(PreemptivePriorityQueue):
+    """Fair Share ladder with *estimated* rates.
+
+    The Table-1 construction needs the users' rates, which a real
+    switch does not know a priori.  This variant estimates each user's
+    rate with an exponentially weighted moving average of interarrival
+    times and rebuilds the thinning weights every ``rebuild_every``
+    arrivals.  The validation experiment shows the realized allocation
+    approaches ``C^FS`` as the estimates converge.
+    """
+
+    name = "adaptive-fair-share"
+
+    def __init__(self, n_users: int, ewma: float = 0.02,
+                 rebuild_every: int = 200,
+                 initial_rate: float = 0.05) -> None:
+        if not 0.0 < ewma <= 1.0:
+            raise SimulationError(f"ewma must be in (0, 1], got {ewma}")
+        self._n_users = n_users
+        self._ewma = float(ewma)
+        self._rebuild_every = int(rebuild_every)
+        # Estimate the mean interarrival GAP and invert: an EWMA of
+        # 1/gap would be badly biased upward (the reciprocal of an
+        # exponential has infinite mean).
+        self._gap_estimates = np.full(n_users, 1.0 / float(initial_rate))
+        self._last_arrival = np.full(n_users, math.nan)
+        self._arrivals_seen = 0
+        self._class_probs: Dict[int, np.ndarray] = {}
+        self._rebuild()
+
+        def classify(packet: Packet, rng: np.random.Generator) -> int:
+            self._observe(packet)
+            probs = self._class_probs[packet.user]
+            return int(rng.choice(probs.size, p=probs))
+
+        super().__init__(n_classes=n_users, classifier=classify)
+
+    def _observe(self, packet: Packet) -> None:
+        user = packet.user
+        last = self._last_arrival[user]
+        if not math.isnan(last) and packet.arrival_time > last:
+            gap = packet.arrival_time - last
+            self._gap_estimates[user] = (
+                (1.0 - self._ewma) * self._gap_estimates[user]
+                + self._ewma * gap)
+        self._last_arrival[user] = packet.arrival_time
+        self._arrivals_seen += 1
+        if self._arrivals_seen % self._rebuild_every == 0:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        rates = np.maximum(self.rate_estimates, 1e-6)
+        order = np.argsort(rates, kind="stable")
+        sorted_r = rates[order]
+        deltas = np.diff(np.concatenate(([0.0], sorted_r)))
+        for k, user in enumerate(order):
+            weights = deltas[: k + 1].copy()
+            total = weights.sum()
+            self._class_probs[int(user)] = (
+                weights / total if total > 0.0
+                else np.ones(k + 1) / (k + 1))
+
+    @property
+    def rate_estimates(self) -> np.ndarray:
+        """Current per-user rate estimates (for diagnostics)."""
+        return 1.0 / np.maximum(self._gap_estimates, 1e-9)
+
+
+class HOLPriorityQueue(QueuePolicy):
+    """Nonpreemptive head-of-line priority with fixed class per user.
+
+    The server finishes whatever it started; at completion it takes
+    the head of the highest nonempty class.  Class = user index by
+    default (user 0 highest), or an explicit map.
+    """
+
+    name = "hol-priority"
+
+    def __init__(self, n_classes: int,
+                 class_of_user: Optional[Dict[int, int]] = None) -> None:
+        self._classes: List[deque] = [deque() for _ in range(n_classes)]
+        self._map = class_of_user
+        self._locked: Optional[Packet] = None
+        self._count = 0
+
+    def _class_for(self, packet: Packet) -> int:
+        if self._map is None:
+            return min(packet.user, len(self._classes) - 1)
+        return self._map[packet.user]
+
+    def push(self, packet: Packet,
+             rng: Optional[np.random.Generator] = None) -> None:
+        klass = self._class_for(packet)
+        packet.priority = klass
+        self._classes[klass].append(packet)
+        self._count += 1
+        if self._locked is None:
+            self._lock_next()
+
+    def _lock_next(self) -> None:
+        for queue in self._classes:
+            if queue:
+                self._locked = queue.popleft()
+                return
+        self._locked = None
+
+    def serving(self) -> Optional[Packet]:
+        return self._locked
+
+    def complete(self, rng: np.random.Generator) -> Packet:
+        if self._locked is None:
+            raise SimulationError("completion on an empty HOL queue")
+        done = self._locked
+        self._count -= 1
+        self._lock_next()
+        return done
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class RoundRobinQueue(QueuePolicy):
+    """Packet-level polling: one packet per user, cyclically.
+
+    Nonpreemptive; per-user FIFO subqueues served in round-robin
+    order.  Another identity-blind-in-the-mean policy whose per-user
+    mean queues split proportionally.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, n_users: int) -> None:
+        self._queues: List[deque] = [deque() for _ in range(n_users)]
+        self._cursor = 0
+        self._locked: Optional[Packet] = None
+        self._count = 0
+
+    def push(self, packet: Packet,
+             rng: Optional[np.random.Generator] = None) -> None:
+        self._queues[packet.user].append(packet)
+        self._count += 1
+        if self._locked is None:
+            self._lock_next()
+
+    def _lock_next(self) -> None:
+        n = len(self._queues)
+        for offset in range(n):
+            idx = (self._cursor + offset) % n
+            if self._queues[idx]:
+                self._locked = self._queues[idx].popleft()
+                self._cursor = (idx + 1) % n
+                return
+        self._locked = None
+
+    def serving(self) -> Optional[Packet]:
+        return self._locked
+
+    def complete(self, rng: np.random.Generator) -> Packet:
+        if self._locked is None:
+            raise SimulationError("completion on an empty RR queue")
+        done = self._locked
+        self._count -= 1
+        self._lock_next()
+        return done
+
+    def __len__(self) -> int:
+        return self._count
+
+
+def make_policy(name: str, rates: Optional[Sequence[float]] = None,
+                n_users: Optional[int] = None) -> QueuePolicy:
+    """Construct a policy by name.
+
+    ``rates`` is required for the oracle Fair Share ladder;
+    ``n_users`` for the adaptive ladder, HOL, and round robin.
+    """
+    key = name.strip().lower()
+    if key == "fifo":
+        return FIFOQueue()
+    if key == "lifo":
+        return LIFOPreemptiveQueue()
+    if key in ("ps", "processor-sharing"):
+        return ProcessorSharingQueue()
+    if key in ("fair-share", "fair-share-ladder", "fs"):
+        if rates is None:
+            raise SimulationError(
+                "the oracle fair-share ladder needs the rate vector")
+        return FairShareLadderQueue(rates)
+    if key in ("adaptive-fair-share", "afs"):
+        if n_users is None:
+            raise SimulationError("adaptive fair share needs n_users")
+        return AdaptiveFairShareQueue(n_users)
+    if key in ("hol", "hol-priority"):
+        if n_users is None:
+            raise SimulationError("HOL priority needs n_users")
+        return HOLPriorityQueue(n_users)
+    if key in ("rr", "round-robin"):
+        if n_users is None:
+            raise SimulationError("round robin needs n_users")
+        return RoundRobinQueue(n_users)
+    if key in ("fq", "fair-queueing", "sfq"):
+        from repro.sim.fair_queueing import StartTimeFairQueue
+
+        if n_users is None:
+            raise SimulationError("fair queueing needs n_users")
+        return StartTimeFairQueue(n_users)
+    raise SimulationError(
+        f"unknown policy {name!r}; known: fifo, lifo, ps, fair-share, "
+        "adaptive-fair-share, hol-priority, round-robin, fair-queueing")

@@ -1,0 +1,274 @@
+"""The discrete-event engine and high-level ``simulate`` entry point.
+
+Model: ``N`` independent Poisson sources (rates ``r_i``) feed a
+unit-rate exponential server run by a :class:`QueuePolicy`.  The engine
+is a jump chain over arrival/completion events:
+
+* per-user next-arrival times live in a heap;
+* one tentative completion time exists whenever the system is
+  nonempty; it is *redrawn* ``Exp(mu)`` at every event, which is
+  distributionally exact because exponential service is memoryless —
+  this uniformly handles preemption, resumption, and processor
+  sharing without tracking attained service.
+
+The engine integrates per-user queue lengths over time; the mean per
+user is the paper's congestion ``c_i``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.sim.arrivals import interarrival_sampler
+from repro.sim.measurements import BatchMeans, QueueTracker
+from repro.sim.packet import Packet
+from repro.sim.queues import QueuePolicy, make_policy
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of one simulation run.
+
+    Attributes
+    ----------
+    rates:
+        Per-user Poisson arrival rates.
+    policy:
+        A :class:`QueuePolicy` instance or a policy name understood by
+        :func:`repro.sim.queues.make_policy`.
+    horizon:
+        Simulated time to run.
+    warmup:
+        Initial time excluded from statistics.
+    service_rate:
+        Exponential service rate ``mu`` (the paper fixes 1).
+    seed:
+        RNG seed; runs are reproducible given the seed.
+    n_batches:
+        Batches for the batch-means confidence intervals.
+    arrival_process:
+        Interarrival distribution: ``"poisson"`` (the paper's model),
+        ``"deterministic"``, or ``"hyperexponential"`` (cv 2) — see
+        :mod:`repro.sim.arrivals`.
+    service_process:
+        Service-time distribution: ``"exponential"`` (the paper's
+        model), ``"deterministic"`` (M/D/1), or ``"hyperexponential"``
+        (cv 2).  Non-exponential service forces sized mode and is only
+        valid with nonpreemptive policies (FIFO, HOL, round robin,
+        fair queueing) — the memoryless redraw would be wrong.
+    """
+
+    rates: Sequence[float]
+    policy: Union[str, QueuePolicy] = "fifo"
+    horizon: float = 20000.0
+    warmup: float = 1000.0
+    service_rate: float = 1.0
+    seed: int = 0
+    n_batches: int = 20
+    arrival_process: str = "poisson"
+    service_process: str = "exponential"
+
+
+@dataclass
+class SimulationResult:
+    """Measured outcome of a simulation run.
+
+    Attributes
+    ----------
+    mean_queues:
+        Per-user time-average number in system (the paper's ``c_i``).
+    batch:
+        Batch-means summary (means + CI half-widths).
+    throughputs:
+        Per-user measured departure rates.
+    mean_delays:
+        Per-user mean sojourn times (post-warmup departures).
+    losses:
+        Per-user dropped-packet counts (all zeros for infinite-buffer
+        policies).
+    arrivals, departures:
+        Event counts (diagnostics).
+    policy_name:
+        Which policy ran.
+    config:
+        The configuration used.
+    """
+
+    mean_queues: np.ndarray
+    batch: BatchMeans
+    throughputs: np.ndarray
+    mean_delays: np.ndarray
+    losses: np.ndarray
+    arrivals: int
+    departures: int
+    policy_name: str
+    config: SimulationConfig = field(repr=False)
+
+    @property
+    def total_mean_queue(self) -> float:
+        """Aggregate mean number in system."""
+        return float(self.mean_queues.sum())
+
+
+def _resolve_policy(config: SimulationConfig) -> QueuePolicy:
+    if isinstance(config.policy, QueuePolicy):
+        return config.policy
+    return make_policy(config.policy, rates=config.rates,
+                       n_users=len(list(config.rates)))
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """Run one discrete-event simulation to its horizon."""
+    rates = np.asarray(config.rates, dtype=float)
+    if rates.ndim != 1 or rates.size == 0:
+        raise SimulationError("rates must be a non-empty vector")
+    if np.any(rates <= 0.0):
+        raise SimulationError(f"rates must be positive, got {rates}")
+    if config.service_rate <= 0.0:
+        raise SimulationError(
+            f"service rate must be positive, got {config.service_rate}")
+    if config.horizon <= config.warmup:
+        raise SimulationError(
+            f"horizon {config.horizon} must exceed warmup {config.warmup}")
+    policy = _resolve_policy(config)
+    rng = np.random.default_rng(config.seed)
+    n = rates.size
+    tracker = QueueTracker(n, warmup=config.warmup)
+    tracker.configure_batches(config.horizon, n_batches=config.n_batches)
+
+    # Heap of (next_arrival_time, user).
+    samplers = [interarrival_sampler(config.arrival_process,
+                                     float(rates[i]), rng)
+                for i in range(n)]
+    arrivals_heap = [(samplers[i](), i) for i in range(n)]
+    heapq.heapify(arrivals_heap)
+    mu = config.service_rate
+    # Sized policies (Fair Queueing variants) schedule by explicit
+    # packet sizes: a packet's service time is fixed when it enters
+    # service.  Memoryless policies get the jump-chain redraw instead.
+    # Non-exponential service invalidates the redraw, so it forces
+    # sized mode and requires a nonpreemptive policy.
+    service_key = config.service_process.strip().lower()
+    if service_key == "exponential":
+        size_sampler = None
+    else:
+        if getattr(policy, "preemptive", False):
+            raise SimulationError(
+                f"service process {config.service_process!r} requires "
+                f"a nonpreemptive policy; {policy.name!r} preempts")
+        # The interarrival samplers double as size samplers: a
+        # distribution with mean 1/mu and the named shape.
+        size_sampler = interarrival_sampler(service_key,
+                                            config.service_rate, rng)
+    sized = bool(getattr(policy, "sized", False)) or (
+        size_sampler is not None)
+    next_completion = math.inf
+    serving_seq = -1
+    now = 0.0
+    n_arrivals = 0
+    n_departures = 0
+
+    while True:
+        next_arrival = arrivals_heap[0][0]
+        if next_arrival >= config.horizon and (
+                next_completion >= config.horizon):
+            tracker.advance(config.horizon)
+            break
+        if next_arrival <= next_completion:
+            event_time, user = heapq.heappop(arrivals_heap)
+            tracker.advance(event_time)
+            now = event_time
+            size = (float(rng.exponential(1.0 / mu))
+                    if size_sampler is None else size_sampler())
+            packet = Packet(user=user, arrival_time=now, size=size)
+            outcome = policy.push(packet, rng=rng)
+            n_arrivals += 1
+            if outcome is None or outcome.get("admitted", True):
+                tracker.on_arrival(user)
+                evicted = (outcome or {}).get("evicted_user")
+                if evicted is not None:
+                    tracker.on_drop(evicted)
+            heapq.heappush(arrivals_heap,
+                           (now + samplers[user](), user))
+        else:
+            tracker.advance(next_completion)
+            now = next_completion
+            done = policy.complete(rng)
+            done.departure_time = now
+            tracker.on_departure(done.user, sojourn=done.sojourn)
+            n_departures += 1
+        serving = policy.serving()
+        if serving is None:
+            next_completion = math.inf
+            serving_seq = -1
+        elif sized:
+            # Fixed service requirement; timer set once per packet.
+            if serving.seq != serving_seq:
+                next_completion = now + serving.size
+                serving_seq = serving.seq
+        else:
+            # Redraw the tentative completion for whoever is served
+            # now (exact under exponential service).
+            next_completion = now + float(rng.exponential(1.0 / mu))
+
+    losses = (policy.loss_counts(n)
+              if hasattr(policy, "loss_counts")
+              else np.zeros(n, dtype=int))
+    return SimulationResult(mean_queues=tracker.mean_queues(),
+                            batch=tracker.batch_means(),
+                            throughputs=tracker.throughputs(),
+                            mean_delays=tracker.mean_delays(),
+                            losses=losses,
+                            arrivals=n_arrivals,
+                            departures=n_departures,
+                            policy_name=policy.name,
+                            config=config)
+
+
+def simulate_allocation(rates: Sequence[float], policy: Union[str, QueuePolicy],
+                        horizon: float = 20000.0, warmup: float = 1000.0,
+                        seed: int = 0) -> np.ndarray:
+    """Convenience wrapper returning just the measured ``c`` vector."""
+    result = simulate(SimulationConfig(rates=rates, policy=policy,
+                                       horizon=horizon, warmup=warmup,
+                                       seed=seed))
+    return result.mean_queues
+
+
+def replicate(config: SimulationConfig, n_replications: int = 5) -> (
+        "ReplicationSummary"):
+    """Run independent replications (different seeds) and pool them."""
+    if n_replications < 1:
+        raise SimulationError("need at least one replication")
+    runs = []
+    for k in range(n_replications):
+        cfg = SimulationConfig(rates=config.rates, policy=config.policy,
+                               horizon=config.horizon, warmup=config.warmup,
+                               service_rate=config.service_rate,
+                               seed=config.seed + 1000 * k,
+                               n_batches=config.n_batches,
+                               arrival_process=config.arrival_process)
+        runs.append(simulate(cfg))
+    queues = np.vstack([r.mean_queues for r in runs])
+    means = queues.mean(axis=0)
+    if n_replications >= 2:
+        half = 1.96 * queues.std(axis=0, ddof=1) / math.sqrt(n_replications)
+    else:
+        half = np.full(means.shape, math.nan)
+    return ReplicationSummary(mean_queues=means, half_widths=half,
+                              runs=runs)
+
+
+@dataclass
+class ReplicationSummary:
+    """Pooled mean queues across independent replications."""
+
+    mean_queues: np.ndarray
+    half_widths: np.ndarray
+    runs: list

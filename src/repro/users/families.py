@@ -1,0 +1,342 @@
+"""Concrete utility families.
+
+A note on curvature.  The paper's Section 3.2 says utilities are
+"convex functions", but its own Lemma-5 construction is a strictly
+*concave* function and the appendix proofs compose utilities with
+convex allocation functions in the way that needs concavity — the
+intended class is convex *preferences*.  This library's default AU
+reading is therefore concave (see
+:func:`repro.users.utility.check_acceptable`):
+
+* in concave AU: :class:`LinearUtility`, :class:`ExponentialUtility`,
+  :class:`PowerUtility` with ``p <= 1 <= q``, :class:`QuadraticUtility`
+  with ``b <= 0``;
+* convex as a function (the paper's literal wording):
+  :class:`LinearUtility`, :class:`BiconvexUtility`,
+  :class:`PowerUtility` with ``p >= 1 >= q``,
+  :class:`QuadraticUtility` with ``b >= 0``;
+* outside AU on any reading: :class:`ThresholdUtility` (the
+  Ferguson-style preferences of Section 5.3; it is not strictly
+  monotone in ``r`` past the threshold and not C^2) — kept for
+  negative tests and the related-work comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.users.utility import Utility
+
+
+class LinearUtility(Utility):
+    """``U = a r - gamma c``.
+
+    The workhorse profile of Section 4.2.3 (the ``1 - N`` eigenvalue
+    example uses ``U = r - gamma c``).  Linear, hence convex; marginal
+    ratio is the constant ``-a / gamma``.
+    """
+
+    def __init__(self, gamma: float, a: float = 1.0) -> None:
+        if gamma <= 0.0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        if a <= 0.0:
+            raise ValueError(f"a must be positive, got {a}")
+        self.gamma = float(gamma)
+        self.a = float(a)
+
+    def value(self, r: float, c: float) -> float:
+        if math.isinf(c):
+            return -math.inf
+        return self.a * r - self.gamma * c
+
+    def du_dr(self, r: float, c: float) -> float:
+        return self.a
+
+    def du_dc(self, r: float, c: float) -> float:
+        return -self.gamma
+
+    def marginal_ratio(self, r: float, c: float) -> float:
+        return -self.a / self.gamma
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearUtility(gamma={self.gamma}, a={self.a})"
+
+
+class ExponentialUtility(Utility):
+    """The Lemma-5 family:
+
+    ``U = -(alpha^2/beta) exp(-(beta/alpha)(r - r_ref))
+         - (gamma^2/nu)  exp( (nu/gamma) (c - c_ref))``.
+
+    At the anchor ``(r_ref, c_ref)``: ``dU/dr = alpha``,
+    ``dU/dc = -gamma``, so ``M = -alpha/gamma``; ``beta`` and ``nu``
+    control curvature.  With ``alpha/gamma`` matched to ``dC_i/dr_i``
+    and curvature large enough, the anchor becomes a (globally optimal)
+    best response — the construction used throughout the paper's
+    uniqueness/characterization proofs.
+
+    Both terms are strictly concave, so this family sits in concave AU
+    (despite the paper introducing it under the label "convex" — see
+    the module docstring).
+    """
+
+    def __init__(self, alpha: float, beta: float, gamma: float, nu: float,
+                 r_ref: float = 0.0, c_ref: float = 0.0) -> None:
+        for name, val in (("alpha", alpha), ("beta", beta),
+                          ("gamma", gamma), ("nu", nu)):
+            if val <= 0.0:
+                raise ValueError(f"{name} must be positive, got {val}")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.nu = float(nu)
+        self.r_ref = float(r_ref)
+        self.c_ref = float(c_ref)
+
+    def value(self, r: float, c: float) -> float:
+        if math.isinf(c):
+            return -math.inf
+        r_term = -(self.alpha ** 2 / self.beta) * math.exp(
+            -(self.beta / self.alpha) * (r - self.r_ref))
+        exponent = (self.nu / self.gamma) * (c - self.c_ref)
+        if exponent > 700.0:        # exp overflow guard
+            return -math.inf
+        c_term = -(self.gamma ** 2 / self.nu) * math.exp(exponent)
+        return r_term + c_term
+
+    def du_dr(self, r: float, c: float) -> float:
+        return self.alpha * math.exp(
+            -(self.beta / self.alpha) * (r - self.r_ref))
+
+    def du_dc(self, r: float, c: float) -> float:
+        exponent = (self.nu / self.gamma) * (c - self.c_ref)
+        if exponent > 700.0:
+            return -math.inf
+        return -self.gamma * math.exp(exponent)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ExponentialUtility(alpha={self.alpha}, beta={self.beta}, "
+                f"gamma={self.gamma}, nu={self.nu}, r_ref={self.r_ref}, "
+                f"c_ref={self.c_ref})")
+
+
+class PowerUtility(Utility):
+    """``U = a r^p - gamma c^q`` with ``p, q > 0``.
+
+    Curvature regimes: the function is concave (the default AU
+    reading) for ``p <= 1 <= q`` — diminishing returns to throughput,
+    growing pain from congestion, yielding interior equilibria — and
+    convex (the paper's literal wording) for ``p >= 1 >= q``.  Mixed
+    exponents are neither.
+    """
+
+    def __init__(self, gamma: float, a: float = 1.0, p: float = 1.0,
+                 q: float = 1.0) -> None:
+        if gamma <= 0.0 or a <= 0.0:
+            raise ValueError("a and gamma must be positive")
+        if p <= 0.0:
+            raise ValueError(f"p must be positive, got {p}")
+        if q <= 0.0:
+            raise ValueError(f"q must be positive, got {q}")
+        self.gamma = float(gamma)
+        self.a = float(a)
+        self.p = float(p)
+        self.q = float(q)
+
+    def value(self, r: float, c: float) -> float:
+        if math.isinf(c):
+            return -math.inf
+        if r < 0.0 or c < 0.0:
+            return -math.inf
+        return self.a * r ** self.p - self.gamma * c ** self.q
+
+    def du_dr(self, r: float, c: float) -> float:
+        if r <= 0.0 and self.p < 1.0:
+            r = 1e-12      # one-sided limit at the p < 1 pole
+        return self.a * self.p * r ** (self.p - 1.0)
+
+    def du_dc(self, r: float, c: float) -> float:
+        if c <= 0.0 and self.q < 1.0:
+            c = 1e-12      # one-sided limit at the q < 1 pole
+        return -self.gamma * self.q * c ** (self.q - 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PowerUtility(gamma={self.gamma}, a={self.a}, "
+                f"p={self.p}, q={self.q})")
+
+
+class QuadraticUtility(Utility):
+    """``U = a r + b r^2 - gamma c``.
+
+    ``b <= 0`` gives a concave family (the default AU reading) with
+    diminishing returns to throughput; ``b >= 0`` gives the convex
+    variant.  Strict monotonicity in ``r`` on the unit rate interval
+    requires ``a + 2 b > 0`` when ``b < 0``, which the constructor
+    enforces.
+    """
+
+    def __init__(self, gamma: float, a: float = 1.0, b: float = 0.0) -> None:
+        if gamma <= 0.0 or a <= 0.0:
+            raise ValueError("a and gamma must be positive")
+        if b < 0.0 and a + 2.0 * b <= 0.0:
+            raise ValueError(
+                f"a + 2b must be positive for monotonicity on [0, 1], "
+                f"got a={a}, b={b}")
+        self.gamma = float(gamma)
+        self.a = float(a)
+        self.b = float(b)
+
+    def value(self, r: float, c: float) -> float:
+        if math.isinf(c):
+            return -math.inf
+        return self.a * r + self.b * r * r - self.gamma * c
+
+    def du_dr(self, r: float, c: float) -> float:
+        return self.a + 2.0 * self.b * r
+
+    def du_dc(self, r: float, c: float) -> float:
+        return -self.gamma
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QuadraticUtility(gamma={self.gamma}, a={self.a}, "
+                f"b={self.b})")
+
+
+class ThresholdUtility(Utility):
+    """Ferguson-style preferences: throughput matters only up to ``t``.
+
+    ``U = a min(r, t) - gamma c``.  Concave (not convex) in ``r`` and
+    not differentiable at the threshold, hence **outside AU** — kept to
+    exercise the acceptance checker and the Section-5.3 related-work
+    comparison (such decoupled preferences make incentive issues much
+    easier, as the paper notes).
+    """
+
+    def __init__(self, threshold: float, gamma: float, a: float = 1.0) -> None:
+        if threshold <= 0.0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if gamma <= 0.0 or a <= 0.0:
+            raise ValueError("a and gamma must be positive")
+        self.threshold = float(threshold)
+        self.gamma = float(gamma)
+        self.a = float(a)
+
+    def value(self, r: float, c: float) -> float:
+        if math.isinf(c):
+            return -math.inf
+        return self.a * min(r, self.threshold) - self.gamma * c
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ThresholdUtility(threshold={self.threshold}, "
+                f"gamma={self.gamma}, a={self.a})")
+
+
+class BiconvexUtility(Utility):
+    """``U = (a0/a1) e^{a1 r} - L c + (b0/b1) e^{-b1 c}``.
+
+    Every term is convex; ``dU/dr = a0 e^{a1 r} > 0`` and
+    ``dU/dc = -(L + b0 e^{-b1 c}) < 0``, so the family is in AU for all
+    positive parameters.  Its distinguishing feature is a marginal rate
+    of substitution *increasing in both arguments* —
+    ``|M| = a0 e^{a1 r} / (L + b0 e^{-b1 c})`` — which is what lets a
+    single utility satisfy the FIFO Nash condition at several distinct
+    rate/congestion pairs simultaneously.  The Theorem-4 experiment
+    uses it to construct FIFO games with multiple Nash equilibria.
+
+    This family is convex as a function — inside the paper's *literal*
+    AU wording but outside the concave reading its own Lemma 5 uses
+    (see the module docstring); the Theorem-4 experiment notes spell
+    out that caveat.
+    """
+
+    def __init__(self, a0: float, a1: float, ell: float, b0: float,
+                 b1: float) -> None:
+        for name, val in (("a0", a0), ("a1", a1), ("ell", ell),
+                          ("b0", b0), ("b1", b1)):
+            if val <= 0.0:
+                raise ValueError(f"{name} must be positive, got {val}")
+        self.a0 = float(a0)
+        self.a1 = float(a1)
+        self.ell = float(ell)
+        self.b0 = float(b0)
+        self.b1 = float(b1)
+
+    def value(self, r: float, c: float) -> float:
+        if math.isinf(c):
+            return -math.inf
+        exponent = self.a1 * r
+        if exponent > 700.0:
+            return math.inf
+        return ((self.a0 / self.a1) * math.exp(exponent)
+                - self.ell * c
+                + (self.b0 / self.b1) * math.exp(-self.b1 * c))
+
+    def du_dr(self, r: float, c: float) -> float:
+        return self.a0 * math.exp(self.a1 * r)
+
+    def du_dc(self, r: float, c: float) -> float:
+        return -(self.ell + self.b0 * math.exp(-self.b1 * c))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BiconvexUtility(a0={self.a0}, a1={self.a1}, "
+                f"ell={self.ell}, b0={self.b0}, b1={self.b1})")
+
+
+class DelayBasedUtility(Utility):
+    """Preferences over (throughput, mean delay) via Little's law.
+
+    The paper's footnote 2: since ``c_i = r_i d_i``, working with the
+    average queue loses no generality.  This wrapper takes a utility
+    ``V(r, d)`` over throughput and mean *delay* and exposes it as a
+    utility over throughput and mean *queue*: ``U(r, c) = V(r, c/r)``.
+
+    Note the paper's warning in the same footnote: convexity-type
+    conditions on ``V`` translate into more complicated conditions on
+    ``U``, so wrapped utilities should be acceptance-checked rather
+    than assumed in AU.
+    """
+
+    def __init__(self, delay_utility: Utility,
+                 min_rate: float = 1e-9) -> None:
+        if min_rate <= 0.0:
+            raise ValueError(f"min_rate must be positive, got {min_rate}")
+        self.delay_utility = delay_utility
+        self.min_rate = float(min_rate)
+
+    def value(self, r: float, c: float) -> float:
+        if math.isinf(c):
+            return -math.inf
+        rate = max(r, self.min_rate)
+        return self.delay_utility.value(r, c / rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DelayBasedUtility({self.delay_utility!r})"
+
+
+class MonotoneTransformedUtility(Utility):
+    """``G(U)`` for a strictly increasing transform ``G``.
+
+    Utilities are ordinal: the paper requires every result to be
+    invariant under ``U -> G(U)``.  This wrapper lets tests verify that
+    invariance (same best responses, same Nash equilibria, same envy
+    relations) without duplicating family code.
+
+    Note that ``G(U)`` generally leaves AU (convexity is not preserved
+    by monotone transforms), but Nash/envy/Stackelberg computations are
+    purely ordinal and must not care.
+    """
+
+    def __init__(self, base: Utility,
+                 transform: Callable[[float], float]) -> None:
+        self.base = base
+        self.transform = transform
+
+    def value(self, r: float, c: float) -> float:
+        inner = self.base.value(r, c)
+        if math.isinf(inner):
+            return inner
+        return self.transform(inner)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MonotoneTransformedUtility({self.base!r})"

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disciplines import (
+    FairShareAllocation,
+    PriorityAllocation,
+    ProportionalAllocation,
+    SeparableAllocation,
+)
+from repro.users.families import LinearUtility, PowerUtility
+
+
+@pytest.fixture
+def rng():
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def fifo():
+    return ProportionalAllocation()
+
+
+@pytest.fixture
+def fair_share():
+    return FairShareAllocation()
+
+
+@pytest.fixture
+def priority():
+    return PriorityAllocation()
+
+
+@pytest.fixture
+def separable():
+    return SeparableAllocation()
+
+
+@pytest.fixture
+def rates3():
+    """A canonical 3-user interior rate vector (distinct rates)."""
+    return np.array([0.1, 0.2, 0.3])
+
+
+@pytest.fixture
+def linear_profile3():
+    """Three linear users with interior equilibria (gamma < 1)."""
+    return [LinearUtility(gamma=0.2), LinearUtility(gamma=0.4),
+            LinearUtility(gamma=0.7)]
+
+
+@pytest.fixture
+def power_profile2():
+    return [PowerUtility(gamma=0.35, q=0.8),
+            PowerUtility(gamma=0.6, q=0.9)]

@@ -1,0 +1,115 @@
+"""Tests for arrival-process samplers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.arrivals import PROCESS_CV, interarrival_sampler
+from repro.sim.runner import SimulationConfig, simulate
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12)
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("process", sorted(PROCESS_CV))
+    def test_mean_matches_rate(self, process, rng):
+        sampler = interarrival_sampler(process, rate=2.0, rng=rng)
+        samples = np.array([sampler() for _ in range(20000)])
+        assert samples.mean() == pytest.approx(0.5, rel=0.05)
+
+    @pytest.mark.parametrize("process,cv", sorted(PROCESS_CV.items()))
+    def test_cv_matches_spec(self, process, cv, rng):
+        sampler = interarrival_sampler(process, rate=1.0, rng=rng)
+        samples = np.array([sampler() for _ in range(40000)])
+        measured = samples.std() / samples.mean()
+        assert measured == pytest.approx(cv, abs=0.08)
+
+    def test_samples_positive(self, rng):
+        for process in PROCESS_CV:
+            sampler = interarrival_sampler(process, rate=3.0, rng=rng)
+            assert all(sampler() > 0 for _ in range(100))
+
+    def test_validation(self, rng):
+        with pytest.raises(SimulationError):
+            interarrival_sampler("poisson", rate=0.0, rng=rng)
+        with pytest.raises(SimulationError):
+            interarrival_sampler("weibull", rate=1.0, rng=rng)
+
+
+class TestSimulationWithProcesses:
+    def test_throughput_independent_of_process(self):
+        for process in PROCESS_CV:
+            result = simulate(SimulationConfig(
+                rates=[0.3], policy="fifo", horizon=20000.0,
+                warmup=1000.0, seed=4, arrival_process=process))
+            assert result.throughputs[0] == pytest.approx(0.3, rel=0.08)
+
+    def test_queueing_orders_by_burstiness(self):
+        totals = {}
+        for process in PROCESS_CV:
+            result = simulate(SimulationConfig(
+                rates=[0.35, 0.35], policy="fifo", horizon=30000.0,
+                warmup=1500.0, seed=5, arrival_process=process))
+            totals[process] = result.total_mean_queue
+        assert (totals["deterministic"] < totals["poisson"]
+                < totals["hyperexponential"])
+
+    def test_deterministic_d_m_1_below_mm1(self):
+        # D/M/1 queues strictly less than M/M/1 at the same load.
+        result = simulate(SimulationConfig(
+            rates=[0.6], policy="fifo", horizon=30000.0, warmup=1500.0,
+            seed=6, arrival_process="deterministic"))
+        assert result.total_mean_queue < 1.5    # M/M/1 value
+
+
+class TestServiceProcesses:
+    """M/G/1 validation: the DES against Pollaczek-Khinchine."""
+
+    def test_md1_total_queue(self):
+        from repro.queueing.service_curves import MG1Curve
+
+        result = simulate(SimulationConfig(
+            rates=[0.3, 0.3], policy="fifo", horizon=60000.0,
+            warmup=3000.0, seed=3, service_process="deterministic"))
+        assert result.total_mean_queue == pytest.approx(
+            MG1Curve(cv=0.0).value(0.6), rel=0.1)
+
+    def test_h2_service_total_queue(self):
+        from repro.queueing.service_curves import MG1Curve
+
+        result = simulate(SimulationConfig(
+            rates=[0.3, 0.3], policy="fifo", horizon=120000.0,
+            warmup=6000.0, seed=11,
+            service_process="hyperexponential"))
+        assert result.total_mean_queue == pytest.approx(
+            MG1Curve(cv=2.0).value(0.6), rel=0.15)
+
+    def test_exponential_service_unchanged(self):
+        a = simulate(SimulationConfig(
+            rates=[0.4], policy="fifo", horizon=20000.0, warmup=1000.0,
+            seed=2))
+        b = simulate(SimulationConfig(
+            rates=[0.4], policy="fifo", horizon=20000.0, warmup=1000.0,
+            seed=2, service_process="exponential"))
+        assert a.total_mean_queue == b.total_mean_queue
+
+    def test_preemptive_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate(SimulationConfig(
+                rates=[0.2, 0.2], policy="ps", horizon=1000.0,
+                warmup=50.0, service_process="deterministic"))
+        with pytest.raises(SimulationError):
+            simulate(SimulationConfig(
+                rates=[0.2, 0.2], policy="fair-share", horizon=1000.0,
+                warmup=50.0, service_process="deterministic"))
+
+    def test_nonpreemptive_policies_accepted(self):
+        for policy in ("hol", "round-robin", "fair-queueing"):
+            result = simulate(SimulationConfig(
+                rates=[0.2, 0.2], policy=policy, horizon=3000.0,
+                warmup=150.0, seed=4,
+                service_process="deterministic"))
+            assert result.departures > 500

@@ -1,0 +1,95 @@
+"""Tests for finite buffers and loss accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.buffers import FiniteBufferPolicy
+from repro.sim.packet import Packet
+from repro.sim.queues import FairShareLadderQueue, FIFOQueue
+from repro.sim.runner import SimulationConfig, simulate
+
+
+def packet(user, t=0.0):
+    return Packet(user=user, arrival_time=t)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)
+
+
+class TestFiniteBufferMechanics:
+    def test_tail_drop(self):
+        policy = FiniteBufferPolicy(FIFOQueue(), capacity=2)
+        assert policy.push(packet(0)) is None
+        assert policy.push(packet(0)) is None
+        outcome = policy.push(packet(1))
+        assert outcome == {"admitted": False}
+        assert len(policy) == 2
+        assert policy.loss_counts(2).tolist() == [0, 1]
+
+    def test_push_out_evicts_low_priority(self, rng):
+        inner = FairShareLadderQueue([0.1, 0.5])
+        policy = FiniteBufferPolicy(inner, capacity=3, push_out=True)
+        # Fill with the big user's packets (they span classes 0-1).
+        for _ in range(3):
+            policy.push(packet(1), rng=rng)
+        # The small user's arrival (always class 0) must displace a
+        # resident rather than die.
+        outcome = policy.push(packet(0), rng=rng)
+        assert outcome is None or outcome.get("admitted", True)
+        assert len(policy) == 3
+
+    def test_push_out_requires_priority_inner(self):
+        with pytest.raises(SimulationError):
+            FiniteBufferPolicy(FIFOQueue(), capacity=3, push_out=True)
+
+    def test_capacity_validated(self):
+        with pytest.raises(SimulationError):
+            FiniteBufferPolicy(FIFOQueue(), capacity=0)
+
+    def test_delegation(self, rng):
+        policy = FiniteBufferPolicy(FIFOQueue(), capacity=5)
+        first = packet(0)
+        policy.push(first)
+        assert policy.serving() is first
+        assert policy.complete(rng) is first
+        assert len(policy) == 0
+
+
+class TestFiniteBufferSimulation:
+    def test_stable_system_rarely_drops(self):
+        policy = FiniteBufferPolicy(FIFOQueue(), capacity=60)
+        result = simulate(SimulationConfig(
+            rates=[0.2, 0.2], policy=policy, horizon=15000.0,
+            warmup=750.0, seed=2))
+        assert result.losses.sum() == 0
+
+    def test_overload_drops_bounded_queue(self):
+        policy = FiniteBufferPolicy(FIFOQueue(), capacity=15)
+        result = simulate(SimulationConfig(
+            rates=[0.8, 0.8], policy=policy, horizon=8000.0,
+            warmup=400.0, seed=3))
+        assert result.losses.sum() > 1000
+        assert result.total_mean_queue <= 15.0 + 1e-9
+
+    def test_ladder_pushout_protects_victim(self):
+        rates = np.array([0.15, 1.2])
+        policy = FiniteBufferPolicy(FairShareLadderQueue(rates),
+                                    capacity=20, push_out=True)
+        result = simulate(SimulationConfig(
+            rates=rates, policy=policy, horizon=15000.0, warmup=750.0,
+            seed=4))
+        assert result.losses[0] == 0
+        assert result.losses[1] > 1000
+        assert result.throughputs[0] == pytest.approx(0.15, rel=0.1)
+
+    def test_fifo_taildrop_hurts_victim(self):
+        rates = np.array([0.15, 1.2])
+        policy = FiniteBufferPolicy(FIFOQueue(), capacity=20)
+        result = simulate(SimulationConfig(
+            rates=rates, policy=policy, horizon=15000.0, warmup=750.0,
+            seed=4))
+        victim_loss = result.losses[0] / (0.15 * 15000.0)
+        assert victim_loss > 0.1

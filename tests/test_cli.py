@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "t8_protection" in out
+
+
+class TestNash:
+    def test_solves_and_prints(self, capsys):
+        code = main(["nash", "--gammas", "0.2", "0.5",
+                     "--discipline", "fair-share"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Nash equilibrium under fair-share" in out
+        assert "converged: True" in out
+
+    def test_fifo_alias(self, capsys):
+        assert main(["nash", "--gammas", "0.3", "0.3",
+                     "--discipline", "fifo"]) == 0
+
+
+class TestSimulate:
+    def test_short_simulation(self, capsys):
+        code = main(["simulate", "--rates", "0.2", "0.3",
+                     "--policy", "fifo", "--horizon", "2000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "policy=fifo" in out
+
+    def test_fair_share_policy(self, capsys):
+        code = main(["simulate", "--rates", "0.1", "0.2",
+                     "--policy", "fair-share", "--horizon", "2000"])
+        assert code == 0
+
+
+class TestRun:
+    @pytest.mark.slow
+    def test_single_experiment(self, capsys):
+        code = main(["run", "t7_dynamics", "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[PASS]" in out
+
+
+class TestArgumentErrors:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestProtect:
+    def test_fs_protective(self, capsys):
+        code = main(["protect", "--rate", "0.1", "--users", "3",
+                     "--samples", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Protection of a rate-0.1 user" in out
+        assert "yes" in out
+
+    def test_fifo_not_protective(self, capsys):
+        code = main(["protect", "--rate", "0.1", "--users", "2",
+                     "--discipline", "fifo", "--samples", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no" in out
+
+
+class TestTandem:
+    def test_runs(self, capsys):
+        code = main(["tandem", "--rates", "0.2", "0.3",
+                     "--horizon", "3000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tandem fifo -> fifo" in out
+
+    def test_mixed_policies(self, capsys):
+        code = main(["tandem", "--rates", "0.1", "0.2",
+                     "--policies", "fifo", "fair-share",
+                     "--horizon", "3000"])
+        assert code == 0

@@ -1,0 +1,72 @@
+"""Tests for coalitional-deviation search (footnote 14)."""
+
+import numpy as np
+import pytest
+
+from repro.game.coalitions import (
+    coalition_gain,
+    search_profitable_coalitions,
+)
+from repro.game.nash import solve_nash
+from repro.users.families import PowerUtility
+
+
+@pytest.fixture
+def power_profile3():
+    return [PowerUtility(gamma=0.4, q=1.5),
+            PowerUtility(gamma=0.8, q=1.5),
+            PowerUtility(gamma=1.5, q=1.5)]
+
+
+class TestCoalitionGain:
+    def test_singleton_at_nash_gains_nothing(self, fair_share,
+                                             power_profile3):
+        nash = solve_nash(fair_share, power_profile3)
+        outcome = coalition_gain(fair_share, power_profile3,
+                                 nash.rates, [0], grid_points=7)
+        assert outcome.gain <= 1e-6
+
+    def test_fs_pairs_resilient(self, fair_share, power_profile3):
+        """Insularity: the smaller member is untouched by the larger's
+        move, so no pair can jointly profit at the FS Nash point."""
+        nash = solve_nash(fair_share, power_profile3)
+        for pair in ((0, 1), (0, 2), (1, 2)):
+            outcome = coalition_gain(fair_share, power_profile3,
+                                     nash.rates, pair, grid_points=7)
+            assert outcome.gain <= 1e-6, pair
+
+    def test_fifo_pair_cartel(self, fifo, power_profile3):
+        """Mutual congestion externalities make joint rate cuts
+        profitable for FIFO pairs."""
+        nash = solve_nash(fifo, power_profile3)
+        outcome = coalition_gain(fifo, power_profile3, nash.rates,
+                                 (0, 1), grid_points=9)
+        assert outcome.gain > 1e-5
+        # The cartel deviation is a joint *reduction*.
+        assert np.all(outcome.deviation
+                      <= nash.rates[[0, 1]] + 1e-9)
+
+    def test_invalid_coalitions(self, fair_share, power_profile3,
+                                rates3):
+        with pytest.raises(ValueError):
+            coalition_gain(fair_share, power_profile3, rates3, [])
+        with pytest.raises(ValueError):
+            coalition_gain(fair_share, power_profile3, rates3, [1, 1])
+
+
+class TestSearchProfitableCoalitions:
+    def test_fifo_finds_cartels(self, fifo, power_profile3):
+        nash = solve_nash(fifo, power_profile3)
+        found = search_profitable_coalitions(fifo, power_profile3,
+                                             nash.rates, max_size=2,
+                                             grid_points=7)
+        assert found
+        assert all(len(c.members) == 2 for c in found)
+
+    def test_fs_finds_none(self, fair_share, power_profile3):
+        nash = solve_nash(fair_share, power_profile3)
+        found = search_profitable_coalitions(fair_share,
+                                             power_profile3,
+                                             nash.rates, max_size=3,
+                                             grid_points=7)
+        assert found == []

@@ -1,0 +1,118 @@
+"""Tests for the feasibility set (Coffman-Mitrani constraints)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeasibilityError
+from repro.queueing.constraints import (
+    FeasibilitySet,
+    constraint_residual,
+    is_feasible,
+    subset_slacks,
+)
+from repro.queueing.service_curves import MG1Curve
+
+
+class TestDomain:
+    def setup_method(self):
+        self.fset = FeasibilitySet()
+
+    def test_interior_point(self):
+        assert self.fset.rates_in_domain([0.1, 0.2, 0.3])
+
+    def test_zero_rate_excluded(self):
+        assert not self.fset.rates_in_domain([0.0, 0.2])
+
+    def test_overload_excluded(self):
+        assert not self.fset.rates_in_domain([0.6, 0.6])
+
+    def test_require_domain_passes_through(self):
+        rates = self.fset.require_domain([0.2, 0.3])
+        assert np.allclose(rates, [0.2, 0.3])
+
+    def test_require_domain_raises_on_overload(self):
+        with pytest.raises(FeasibilityError):
+            self.fset.require_domain([0.7, 0.5])
+
+    def test_require_domain_raises_on_nonpositive(self):
+        with pytest.raises(FeasibilityError):
+            self.fset.require_domain([-0.1, 0.5])
+
+
+class TestConstraint:
+    def test_total_queue_is_mm1(self):
+        fset = FeasibilitySet()
+        assert fset.total_queue([0.3, 0.3]) == pytest.approx(1.5)
+
+    def test_residual_zero_for_work_conserving_split(self):
+        rates = [0.1, 0.2]
+        total = 0.3 / 0.7
+        congestion = [total / 3.0, 2.0 * total / 3.0]
+        assert constraint_residual(rates, congestion) == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_residual_sign(self):
+        # Stalling (extra queue) gives positive residual.
+        assert constraint_residual([0.3], [1.0]) > 0
+        assert constraint_residual([0.3], [0.1]) < 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            constraint_residual([0.1, 0.2], [0.5])
+
+
+class TestSubsetConstraints:
+    def test_proportional_split_has_positive_slacks(self):
+        rates = np.array([0.1, 0.2, 0.3])
+        total = 0.6 / 0.4
+        congestion = rates / rates.sum() * total
+        slacks = subset_slacks(rates, congestion)
+        assert np.all(slacks > 0)
+
+    def test_priority_saturates_first_slack(self):
+        # Strict priority to user 0: c_0 = g(r_0) exactly.
+        rates = np.array([0.2, 0.3])
+        c0 = 0.2 / 0.8
+        c1 = 0.5 / 0.5 - c0
+        slacks = subset_slacks(rates, [c0, c1])
+        assert slacks[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_infeasible_allocation_detected(self):
+        # Give user 0 less queue than its solo M/M/1 — impossible.
+        rates = np.array([0.3, 0.3])
+        solo = 0.3 / 0.7
+        total = 0.6 / 0.4
+        congestion = [solo * 0.5, total - solo * 0.5]
+        assert not is_feasible(rates, congestion)
+
+    def test_feasible_requires_total_to_match(self):
+        assert not is_feasible([0.3, 0.3], [1.0, 1.0])
+
+    def test_single_user_no_subset_constraints(self):
+        slacks = subset_slacks([0.4], [0.4 / 0.6])
+        assert slacks.size == 0
+
+    def test_is_interior(self):
+        fset = FeasibilitySet()
+        rates = np.array([0.1, 0.2, 0.3])
+        total = 0.6 / 0.4
+        congestion = rates / rates.sum() * total
+        assert fset.is_interior(rates, congestion)
+        # Priority allocation saturates a subset constraint.
+        c0 = 0.1 / 0.9
+        rest = total - c0
+        c_rest = np.array([0.2, 0.3]) / 0.5 * rest
+        assert not fset.is_interior(rates, [c0, c_rest[0], c_rest[1]])
+
+
+class TestOtherCurves:
+    def test_mg1_feasibility_set(self):
+        fset = FeasibilitySet(MG1Curve(cv=0.0))
+        rates = [0.2, 0.4]
+        total = fset.total_queue(rates)
+        congestion = [total / 3.0, 2.0 * total / 3.0]
+        assert fset.is_feasible(rates, congestion)
+
+    def test_marginal_cost(self):
+        fset = FeasibilitySet()
+        assert fset.marginal_cost([0.25, 0.25]) == pytest.approx(4.0)

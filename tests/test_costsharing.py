@@ -1,0 +1,110 @@
+"""Tests for serial/average cost sharing and the demand game."""
+
+import numpy as np
+import pytest
+
+from repro.costsharing.game import solve_cost_game
+from repro.costsharing.rules import (
+    average_cost_shares,
+    serial_cost_shares,
+    serial_matches_fair_share,
+    unanimity_bound,
+)
+
+
+def square(x):
+    return x * x
+
+
+class TestAverageCostShares:
+    def test_proportional(self):
+        shares = average_cost_shares([1.0, 3.0], square)
+        assert shares.sum() == pytest.approx(16.0)
+        assert shares[1] == pytest.approx(3.0 * shares[0])
+
+    def test_zero_demand(self):
+        assert np.allclose(average_cost_shares([0.0, 0.0], square), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_cost_shares([-1.0], square)
+
+
+class TestSerialCostShares:
+    def test_budget_balance(self):
+        demands = [0.5, 1.5, 2.5]
+        shares = serial_cost_shares(demands, square)
+        assert shares.sum() == pytest.approx(square(4.5))
+
+    def test_equal_demands_split_equally(self):
+        shares = serial_cost_shares([2.0, 2.0], square)
+        assert np.allclose(shares, square(4.0) / 2.0)
+
+    def test_smallest_pays_as_if_unanimous(self):
+        demands = [1.0, 5.0, 9.0]
+        shares = serial_cost_shares(demands, square)
+        assert shares[0] == pytest.approx(square(3.0) / 3.0)
+
+    def test_insularity(self):
+        """The small demander's share ignores larger demands."""
+        base = serial_cost_shares([1.0, 2.0, 3.0], square)
+        inflated = serial_cost_shares([1.0, 2.0, 30.0], square)
+        assert inflated[0] == pytest.approx(base[0])
+        assert inflated[1] == pytest.approx(base[1])
+
+    def test_unanimity_bound_respected(self):
+        demands = [0.7, 1.3, 4.0]
+        shares = serial_cost_shares(demands, square)
+        for demand, share in zip(demands, shares):
+            assert share <= unanimity_bound(demand, 3, square) + 1e-12
+
+    def test_average_violates_unanimity_bound(self):
+        demands = [0.5, 4.0]
+        shares = average_cost_shares(demands, square)
+        assert shares[0] > unanimity_bound(0.5, 2, square)
+
+    def test_monotone_in_demand_order(self):
+        shares = serial_cost_shares([0.5, 1.5, 2.5], square)
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_order_invariance(self):
+        a = serial_cost_shares([3.0, 1.0, 2.0], square)
+        b = serial_cost_shares([1.0, 2.0, 3.0], square)
+        assert np.allclose(a, b[[2, 0, 1]])
+
+
+class TestSerialFairShareIdentity:
+    def test_identity_at_random_points(self, rng):
+        """Fair Share IS serial cost sharing of g (the import the paper
+        makes from Moulin-Shenker)."""
+        for _ in range(10):
+            n = int(rng.integers(2, 6))
+            rates = rng.dirichlet(np.ones(n)) * rng.uniform(0.2, 0.9)
+            assert serial_matches_fair_share(rates)
+
+
+class TestCostGame:
+    def test_serial_game_converges(self):
+        benefits = [lambda q: 3.0 * np.sqrt(q),
+                    lambda q: 2.0 * np.sqrt(q)]
+        result = solve_cost_game(benefits, square, rule="serial")
+        assert result.converged
+        assert np.all(result.demands > 0)
+        assert result.shares.sum() == pytest.approx(
+            square(result.demands.sum()), abs=1e-6)
+
+    def test_average_game_runs(self):
+        benefits = [lambda q: 3.0 * np.sqrt(q),
+                    lambda q: 2.0 * np.sqrt(q)]
+        result = solve_cost_game(benefits, square, rule="average")
+        assert result.demands.shape == (2,)
+
+    def test_bigger_benefit_bigger_demand(self):
+        benefits = [lambda q: 5.0 * np.sqrt(q),
+                    lambda q: 1.0 * np.sqrt(q)]
+        result = solve_cost_game(benefits, square, rule="serial")
+        assert result.demands[0] > result.demands[1]
+
+    def test_unknown_rule(self):
+        with pytest.raises(ValueError):
+            solve_cost_game([lambda q: q], square, rule="shapley")

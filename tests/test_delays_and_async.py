@@ -1,0 +1,78 @@
+"""Tests for sojourn-time measurement and asynchronous dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.game.dynamics import (
+    fifo_symmetric_linear_nash,
+    run_newton_dynamics,
+)
+from repro.sim.runner import SimulationConfig, simulate
+from repro.users.families import LinearUtility
+from repro.users.profiles import lemma5_profile
+
+
+class TestDelayMeasurement:
+    def test_fifo_mean_delay_matches_mm1(self):
+        result = simulate(SimulationConfig(
+            rates=[0.2, 0.4], policy="fifo", horizon=60000.0,
+            warmup=3000.0, seed=4))
+        # FIFO M/M/1: every packet sees E[T] = 1/(1 - rho).
+        for i in range(2):
+            assert result.mean_delays[i] == pytest.approx(2.5, rel=0.1)
+
+    def test_littles_law_cross_check(self):
+        result = simulate(SimulationConfig(
+            rates=[0.15, 0.35], policy="fifo", horizon=60000.0,
+            warmup=3000.0, seed=5))
+        via_little = result.throughputs * result.mean_delays
+        assert np.allclose(result.mean_queues, via_little, rtol=0.1)
+
+    def test_ladder_delay_discrimination(self):
+        """Under the FS ladder the small user's delay is far below the
+        big user's — the paper's low-delay-for-light-users story."""
+        result = simulate(SimulationConfig(
+            rates=[0.1, 0.5], policy="fair-share", horizon=60000.0,
+            warmup=3000.0, seed=6))
+        assert result.mean_delays[0] < 0.6 * result.mean_delays[1]
+
+    def test_delays_nan_without_departures(self):
+        from repro.sim.measurements import QueueTracker
+
+        tracker = QueueTracker(2)
+        assert np.all(np.isnan(tracker.mean_delays()))
+
+
+class TestAsynchronousDynamics:
+    def test_fs_converges_async(self, fair_share):
+        target = np.array([0.1, 0.2, 0.3])
+        profile = lemma5_profile(fair_share, target)
+        trajectory = run_newton_dynamics(fair_share, profile,
+                                         target * 1.01, n_steps=30,
+                                         synchronous=False)
+        assert trajectory.converged
+        assert trajectory.steps_to_converge <= 10
+
+    def test_fifo_async_does_not_blow_up(self, fifo):
+        """Gauss-Seidel sweeps tame the divergence of FIFO's
+        synchronous dynamics (instability is partly an artifact of
+        simultaneous moves)."""
+        n, gamma = 5, 0.05
+        rate = fifo_symmetric_linear_nash(n, gamma)
+        profile = [LinearUtility(gamma=gamma)] * n
+        start = np.full(n, rate * 1.01)
+        sync = run_newton_dynamics(fifo, profile, start, n_steps=25)
+        asynchronous = run_newton_dynamics(fifo, profile, start,
+                                           n_steps=25,
+                                           synchronous=False)
+        assert sync.diverged
+        assert not asynchronous.diverged
+
+    def test_async_fixed_point_is_nash(self, fair_share):
+        target = np.array([0.15, 0.25])
+        profile = lemma5_profile(fair_share, target)
+        trajectory = run_newton_dynamics(fair_share, profile,
+                                         target * 1.02, n_steps=30,
+                                         synchronous=False)
+        assert trajectory.converged
+        assert np.allclose(trajectory.rates[-1], target, atol=1e-4)

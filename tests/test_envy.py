@@ -1,0 +1,82 @@
+"""Tests for envy computation and unilateral envy-freeness."""
+
+import numpy as np
+import pytest
+
+from repro.game.envy import (
+    envy_matrix,
+    max_envy,
+    search_unilateral_envy,
+    unilateral_envy,
+)
+from repro.users.families import LinearUtility
+from repro.users.profiles import lemma5_profile
+
+
+class TestEnvyMatrix:
+    def test_zero_diagonal(self, fifo, linear_profile3, rates3):
+        congestion = fifo.congestion(rates3)
+        matrix = envy_matrix(linear_profile3, rates3, congestion)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_linear_envy_formula(self, fifo):
+        """Linear users under proportional split: envy of i toward j is
+        (r_j - r_i)(1 - gamma_i / (1 - S))."""
+        profile = [LinearUtility(gamma=0.2), LinearUtility(gamma=0.2)]
+        rates = np.array([0.1, 0.4])
+        congestion = fifo.congestion(rates)
+        matrix = envy_matrix(profile, rates, congestion)
+        phi = 1.0 / (1.0 - 0.5)
+        expected = (0.4 - 0.1) * (1.0 - 0.2 * phi)
+        assert matrix[0, 1] == pytest.approx(expected)
+
+    def test_symmetric_allocation_envy_free(self, fair_share):
+        profile = [LinearUtility(gamma=0.4)] * 3
+        rates = np.array([0.15, 0.15, 0.15])
+        congestion = fair_share.congestion(rates)
+        assert max_envy(profile, rates, congestion) == pytest.approx(0.0)
+
+    def test_infinite_congestion_pairs(self, fifo, linear_profile3):
+        rates = np.array([0.5, 0.5, 0.5])
+        congestion = fifo.congestion(rates)
+        matrix = envy_matrix(linear_profile3, rates, congestion)
+        assert np.allclose(matrix, 0.0)
+
+
+class TestUnilateralEnvy:
+    def test_fs_never_envies(self, fair_share, rng):
+        """Theorem 3.1: a best-responding FS user envies no one."""
+        profile = [LinearUtility(gamma=0.3), LinearUtility(gamma=0.3)]
+        for opponent_rate in (0.1, 0.3, 0.5, 0.8):
+            outcome = unilateral_envy(fair_share, profile,
+                                      np.array([0.0, opponent_rate]), 0)
+            assert outcome.envy <= 1e-8, opponent_rate
+
+    def test_fifo_envies_bigger_sender(self, fifo):
+        profile = [LinearUtility(gamma=0.3), LinearUtility(gamma=0.3)]
+        outcome = unilateral_envy(fifo, profile,
+                                  np.array([0.0, 0.5]), 0)
+        assert outcome.envy > 0.0
+
+    def test_search_returns_worst(self, fifo, rng):
+        profile = [LinearUtility(gamma=0.3), LinearUtility(gamma=0.3)]
+        worst = search_unilateral_envy(fifo, profile, n_trials=10,
+                                       rng=rng)
+        assert worst.envy > 0.0
+
+    def test_fs_search_clean_under_lemma5(self, fair_share, rng):
+        target = np.array([0.1, 0.25, 0.3])
+        profile = lemma5_profile(fair_share, target)
+        worst = search_unilateral_envy(fair_share, profile, n_trials=8,
+                                       rng=rng)
+        assert worst.envy <= 1e-7
+
+    def test_subsystem_envy_freedom(self, fair_share):
+        """Theorem 3.1 holds in subsystems: freeze one user, the
+        best-responding remainder still envies no one."""
+        profile = [LinearUtility(gamma=0.25), LinearUtility(gamma=0.4),
+                   LinearUtility(gamma=0.6)]
+        for frozen_rate in (0.2, 0.5):
+            rates = np.array([0.0, 0.15, frozen_rate])
+            outcome = unilateral_envy(fair_share, profile, rates, 0)
+            assert outcome.envy <= 1e-8

@@ -1,0 +1,83 @@
+"""Tests for report/table rendering and the experiment registry."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.base import ExperimentReport, Table
+from repro.experiments.registry import (
+    all_experiments,
+    claim_of,
+    get_experiment,
+)
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(title="demo", headers=["name", "value"])
+        table.add_row("alpha", 1.0)
+        table.add_row("a-longer-name", 123.4567)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1          # all box lines equal width
+
+    def test_row_length_checked(self):
+        table = Table(title="demo", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_number_formatting(self):
+        assert Table._format(0.5) == "0.5000"
+        assert Table._format(1.5e-8) == "1.500e-08"
+        assert Table._format(True) == "yes"
+        assert Table._format(False) == "no"
+        assert Table._format(math.inf) == "inf"
+        assert Table._format(-math.inf) == "-inf"
+        assert Table._format(float("nan")) == "nan"
+        assert Table._format(7) == "7"
+
+    def test_large_numbers_scientific(self):
+        assert "e" in Table._format(3.2e7)
+
+
+class TestExperimentReport:
+    def test_render_contains_everything(self):
+        table = Table(title="inner", headers=["x"])
+        table.add_row(1.0)
+        report = ExperimentReport(
+            experiment_id="demo", claim="things hold", passed=True,
+            tables=[table], summary={"metric": 3.0},
+            notes=["a caveat"])
+        text = report.render()
+        assert "[PASS] demo" in text
+        assert "inner" in text
+        assert "metric = 3.0000" in text
+        assert "note: a caveat" in text
+
+    def test_fail_marker(self):
+        report = ExperimentReport(experiment_id="demo", claim="c",
+                                  passed=False)
+        assert "[FAIL]" in report.render()
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        ids = all_experiments()
+        assert "table1" in ids
+        assert "t8_protection" in ids
+        assert len(ids) == 22
+        assert "network_extension" in ids
+
+    def test_get_and_claim(self):
+        runner = get_experiment("table1")
+        assert callable(runner)
+        assert "priority ladder" in claim_of("table1")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError):
+            get_experiment("t99")
+        with pytest.raises(ReproError):
+            claim_of("t99")

@@ -1,0 +1,29 @@
+"""End-to-end experiment runs (fast mode).
+
+Each experiment's ``passed`` flag is the computational statement of a
+paper claim; these tests pin them green.  They are the slowest tests in
+the suite and are marked ``slow`` except for a representative subset.
+"""
+
+import pytest
+
+from repro.experiments.registry import all_experiments, get_experiment
+
+FAST_SUBSET = ["t2_symmetric", "t3_envy", "t7_dynamics",
+               "ablation_costshare", "poa_sweep", "stalling_pivot"]
+SLOW_SET = [x for x in all_experiments() if x not in FAST_SUBSET]
+
+
+@pytest.mark.parametrize("experiment_id", FAST_SUBSET)
+def test_experiment_passes_fast(experiment_id):
+    report = get_experiment(experiment_id)(seed=0, fast=True)
+    assert report.passed, report.render()
+    assert report.tables
+    assert report.render()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("experiment_id", SLOW_SET)
+def test_experiment_passes_slow(experiment_id):
+    report = get_experiment(experiment_id)(seed=0, fast=True)
+    assert report.passed, report.render()

@@ -1,0 +1,86 @@
+"""Tests for generalized hill climbing / iterated elimination."""
+
+import numpy as np
+import pytest
+
+from repro.game.learning import (
+    iterated_elimination,
+    stochastic_better_reply,
+)
+from repro.game.nash import solve_nash
+from repro.game.witnesses import witness_profile
+from repro.users.families import LinearUtility
+
+
+class TestIteratedElimination:
+    def test_fs_collapses_near_nash(self, fair_share):
+        profile = [LinearUtility(gamma=0.25), LinearUtility(gamma=0.4)]
+        nash = solve_nash(fair_share, profile)
+        grids = [np.linspace(0.02, 0.6, 15) for _ in profile]
+        result = iterated_elimination(fair_share, profile, grids)
+        spacing = grids[0][1] - grids[0][0]
+        assert np.nanmax(result.survivor_spans) <= 3 * spacing
+        # Survivors bracket the Nash rates.
+        for i in range(2):
+            assert np.min(np.abs(result.survivors[i] - nash.rates[i])) \
+                <= spacing
+
+    def test_survivors_contain_nash_grid_point(self, fifo):
+        """S^inf must contain every Nash equilibrium (grid-rounded)."""
+        profile = witness_profile()
+        grids = [np.linspace(0.02, 0.6, 15) for _ in profile]
+        result = iterated_elimination(fifo, profile, grids)
+        spacing = grids[0][1] - grids[0][0]
+        for nash_rate, survivors in zip((0.15, 0.45), result.survivors):
+            assert np.min(np.abs(survivors - nash_rate)) <= spacing
+
+    def test_fifo_witness_stays_fat(self, fifo):
+        profile = witness_profile()
+        grids = [np.linspace(0.02, 0.6, 15) for _ in profile]
+        result = iterated_elimination(fifo, profile, grids)
+        assert not result.collapsed
+        assert np.nanmax(result.survivor_spans) > 0.2
+
+    def test_grid_count_validated(self, fair_share):
+        with pytest.raises(ValueError):
+            iterated_elimination(fair_share,
+                                 [LinearUtility(gamma=0.3)] * 2,
+                                 [np.linspace(0.1, 0.3, 5)])
+
+    def test_dominated_strategy_eliminated(self, fair_share):
+        """A rate that is strictly worse than another against every
+        opponent choice must not survive."""
+        profile = [LinearUtility(gamma=3.0), LinearUtility(gamma=3.0)]
+        # gamma > 1: lower rate always strictly better, so only the
+        # smallest grid point survives for each user.
+        grids = [np.array([0.05, 0.15, 0.3]) for _ in profile]
+        result = iterated_elimination(fair_share, profile, grids)
+        assert result.collapsed
+        assert result.survivors[0][0] == pytest.approx(0.05)
+
+
+class TestStochasticBetterReply:
+    def test_moves_toward_equilibrium(self, fair_share, rng):
+        profile = [LinearUtility(gamma=0.25), LinearUtility(gamma=0.4)]
+        nash = solve_nash(fair_share, profile)
+        trail = stochastic_better_reply(fair_share, profile,
+                                        r0=[0.05, 0.05], n_steps=800,
+                                        rng=rng)
+        final_gap = np.max(np.abs(trail[-1] - nash.rates))
+        initial_gap = np.max(np.abs(trail[0] - nash.rates))
+        assert final_gap < initial_gap
+        assert final_gap < 0.05
+
+    def test_trajectory_shape(self, fair_share, rng):
+        profile = [LinearUtility(gamma=0.3)] * 2
+        trail = stochastic_better_reply(fair_share, profile,
+                                        r0=[0.1, 0.1], n_steps=50,
+                                        rng=rng)
+        assert trail.shape == (51, 2)
+
+    def test_rates_stay_in_bounds(self, fifo, rng):
+        profile = [LinearUtility(gamma=0.05)] * 2
+        trail = stochastic_better_reply(fifo, profile, r0=[0.4, 0.4],
+                                        n_steps=300, rng=rng)
+        assert np.all(trail >= 1e-6)
+        assert np.all(trail <= 0.999)

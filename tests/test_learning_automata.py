@@ -1,0 +1,80 @@
+"""Tests for the linear reward-inaction learning automata."""
+
+import numpy as np
+import pytest
+
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.game.learning import learning_automata
+from repro.game.nash import solve_nash
+from repro.users.families import DelayBasedUtility, LinearUtility, \
+    PowerUtility
+
+
+class TestLearningAutomata:
+    def test_probability_vectors_stay_normalized(self, fair_share, rng):
+        profile = [PowerUtility(gamma=0.6, q=1.5)] * 2
+        grids = [np.linspace(0.05, 0.4, 9)] * 2
+        result = learning_automata(fair_share, profile, grids,
+                                   n_steps=300, rng=rng)
+        for p in result.probabilities:
+            assert p.sum() == pytest.approx(1.0)
+            assert np.all(p >= 0)
+
+    def test_grid_count_validated(self, fair_share):
+        with pytest.raises(ValueError):
+            learning_automata(fair_share,
+                              [PowerUtility(gamma=0.6, q=1.5)] * 2,
+                              [np.linspace(0.05, 0.4, 5)], n_steps=10)
+
+    def test_history_shape(self, fair_share, rng):
+        profile = [PowerUtility(gamma=0.6, q=1.5)] * 2
+        grids = [np.linspace(0.05, 0.4, 9)] * 2
+        result = learning_automata(fair_share, profile, grids,
+                                   n_steps=1000, record_every=100,
+                                   rng=rng)
+        assert result.history.shape[1] == 2
+        assert result.history.shape[0] >= 9
+
+    @pytest.mark.slow
+    def test_converges_near_fs_nash(self):
+        """Theorem 5.1's learners: L_R-I play concentrates within one
+        grid cell of the unique Fair Share equilibrium."""
+        fs = FairShareAllocation()
+        profile = [PowerUtility(gamma=0.5, q=1.5),
+                   PowerUtility(gamma=1.2, q=1.5)]
+        nash = solve_nash(fs, profile)
+        grids = [np.linspace(0.02, 0.5, 17)] * 2
+        spacing = grids[0][1] - grids[0][0]
+        result = learning_automata(fs, profile, grids, n_steps=12000,
+                                   learning_rate=0.02,
+                                   rng=np.random.default_rng(7))
+        gaps = np.abs(result.modal_rates - nash.rates)
+        assert np.all(gaps <= 1.5 * spacing)
+
+
+class TestDelayBasedUtility:
+    def test_littles_law_wiring(self):
+        # V(r, d) = r - d  ->  U(r, c) = r - c/r.
+        wrapped = DelayBasedUtility(LinearUtility(gamma=1.0))
+        assert wrapped.value(0.5, 1.0) == pytest.approx(0.5 - 2.0)
+
+    def test_infinite_congestion(self):
+        wrapped = DelayBasedUtility(LinearUtility(gamma=1.0))
+        assert wrapped.value(0.5, float("inf")) == -float("inf")
+
+    def test_min_rate_guard(self):
+        wrapped = DelayBasedUtility(LinearUtility(gamma=1.0),
+                                    min_rate=1e-6)
+        assert np.isfinite(wrapped.value(0.0, 0.5))
+        with pytest.raises(ValueError):
+            DelayBasedUtility(LinearUtility(gamma=1.0), min_rate=0.0)
+
+    def test_usable_in_best_response(self, fair_share):
+        from repro.game.best_response import best_response
+
+        # A pure delay-hater still sends something: at tiny rates her
+        # own delay under FS is near the empty-system value.
+        wrapped = DelayBasedUtility(LinearUtility(gamma=0.2))
+        result = best_response(fair_share, wrapped,
+                               np.array([0.0, 0.3]), 0)
+        assert 0.0 < result.x < 1.0

@@ -1,0 +1,126 @@
+"""Tests for MAC checking, the parametric family, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.disciplines import (
+    FairShareAllocation,
+    ProportionalAllocation,
+    WeightedProportionalAllocation,
+    available_disciplines,
+    check_mac,
+    make_discipline,
+)
+from repro.disciplines.mac import sample_domain
+from repro.exceptions import DisciplineError
+
+
+class TestSampleDomain:
+    def test_inside_domain(self, rng):
+        points = sample_domain(3, 50, rng=rng)
+        assert points.shape == (50, 3)
+        assert np.all(points > 0)
+        assert np.all(points.sum(axis=1) < 1.0)
+
+
+class TestCheckMAC:
+    def test_proportional_is_mac(self, rng):
+        report = check_mac(ProportionalAllocation(), 3, n_points=10,
+                           rng=rng)
+        assert report.is_mac, report.violations
+
+    def test_fair_share_is_mac(self, rng):
+        report = check_mac(FairShareAllocation(), 3, n_points=10,
+                           rng=rng)
+        assert report.is_mac, report.violations
+
+    def test_anti_monotone_fails(self, rng):
+        """An allocation that *rewards* your own extra traffic (own
+        congestion decreasing in own rate at light load) must fail
+        MAC's strict-monotonicity condition."""
+        from repro.disciplines.base import AllocationFunction
+
+        class Subsidy(AllocationFunction):
+            """c_i = g(S)/n - (r_i - S/n): work conserving, but own
+            congestion falls as own rate rises when g'(S) < n/(n-1)."""
+
+            name = "subsidy"
+
+            def congestion(self, rates):
+                r = np.asarray(rates, dtype=float)
+                total = float(r.sum())
+                if total >= 1.0:
+                    return np.full(r.shape, np.inf)
+                share = total / (1.0 - total) / r.size
+                return share - (r - total / r.size)
+
+        report = check_mac(Subsidy(), 3, n_points=10, rng=rng)
+        assert not report.is_mac
+        assert report.violations
+
+    def test_report_counts_points(self, rng):
+        report = check_mac(ProportionalAllocation(), 2, n_points=5,
+                           rng=rng)
+        assert report.points_checked == 5
+
+
+class TestWeightedProportional:
+    def test_equal_weights_is_fifo(self, rates3):
+        weighted = WeightedProportionalAllocation([1.0, 1.0, 1.0])
+        fifo = ProportionalAllocation()
+        assert np.allclose(weighted.congestion(rates3),
+                           fifo.congestion(rates3))
+
+    def test_lower_weight_means_less_queue(self, rates3):
+        weighted = WeightedProportionalAllocation([0.8, 1.0, 1.0])
+        fifo = ProportionalAllocation()
+        assert (weighted.congestion(rates3)[0]
+                < fifo.congestion(rates3)[0])
+
+    def test_work_conserving(self, rates3):
+        weighted = WeightedProportionalAllocation([0.9, 1.0, 1.2])
+        assert weighted.congestion(rates3).sum() == pytest.approx(
+            0.6 / 0.4)
+
+    def test_extreme_weights_break_feasibility(self):
+        """Corollary-1 context: extreme signals leave the feasible set."""
+        weighted = WeightedProportionalAllocation([0.5, 2.0])
+        assert not weighted.is_feasible_at([0.15, 0.3])
+
+    def test_mild_weights_stay_feasible(self):
+        weighted = WeightedProportionalAllocation([0.8, 1.25])
+        assert weighted.is_feasible_at([0.15, 0.3])
+
+    def test_validation(self):
+        with pytest.raises(DisciplineError):
+            WeightedProportionalAllocation([1.0, -1.0])
+        with pytest.raises(DisciplineError):
+            WeightedProportionalAllocation([])
+        weighted = WeightedProportionalAllocation([1.0, 1.0])
+        with pytest.raises(DisciplineError):
+            weighted.congestion([0.1, 0.2, 0.3])
+
+    def test_with_weights_copy(self):
+        weighted = WeightedProportionalAllocation([1.0, 1.0])
+        other = weighted.with_weights([2.0, 1.0])
+        assert np.allclose(other.weights, [2.0, 1.0])
+        assert np.allclose(weighted.weights, [1.0, 1.0])
+
+
+class TestRegistry:
+    def test_known_names(self):
+        names = available_disciplines()
+        assert "fifo" in names
+        assert "fair-share" in names
+
+    def test_construction(self):
+        assert isinstance(make_discipline("fifo"), ProportionalAllocation)
+        assert isinstance(make_discipline("FS"), FairShareAllocation)
+
+    def test_descending_priority(self):
+        alloc = make_discipline("priority-descending")
+        assert alloc.name == "priority-descending"
+
+    def test_unknown_name(self):
+        with pytest.raises(DisciplineError):
+            make_discipline("wfq2")

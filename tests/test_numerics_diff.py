@@ -1,0 +1,80 @@
+"""Tests for finite-difference derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.diff import (
+    gradient,
+    hessian,
+    partial_derivative,
+    second_partial,
+)
+
+
+def quadratic(x):
+    """f = x0^2 + 3 x0 x1 + 5 x1^2 with known derivatives."""
+    return x[0] ** 2 + 3.0 * x[0] * x[1] + 5.0 * x[1] ** 2
+
+
+class TestPartialDerivative:
+    def test_matches_analytic_gradient(self):
+        x = np.array([1.5, -0.7])
+        assert partial_derivative(quadratic, x, 0) == pytest.approx(
+            2 * 1.5 + 3 * -0.7, rel=1e-6)
+        assert partial_derivative(quadratic, x, 1) == pytest.approx(
+            3 * 1.5 + 10 * -0.7, rel=1e-6)
+
+    def test_custom_step(self):
+        x = np.array([2.0])
+        value = partial_derivative(lambda v: v[0] ** 3, x, 0, step=1e-5)
+        assert value == pytest.approx(12.0, rel=1e-6)
+
+    def test_does_not_mutate_input(self):
+        x = np.array([1.0, 2.0])
+        partial_derivative(quadratic, x, 0)
+        assert np.array_equal(x, [1.0, 2.0])
+
+
+class TestGradient:
+    def test_full_gradient(self):
+        x = np.array([0.3, 0.4])
+        grad = gradient(quadratic, x)
+        expected = np.array([2 * 0.3 + 3 * 0.4, 3 * 0.3 + 10 * 0.4])
+        assert np.allclose(grad, expected, rtol=1e-6)
+
+    def test_exponential(self):
+        grad = gradient(lambda v: np.exp(v[0] + 2 * v[1]),
+                        np.array([0.1, 0.2]))
+        base = np.exp(0.5)
+        assert np.allclose(grad, [base, 2 * base], rtol=1e-6)
+
+
+class TestSecondPartial:
+    def test_diagonal(self):
+        x = np.array([1.0, 1.0])
+        assert second_partial(quadratic, x, 0, 0) == pytest.approx(
+            2.0, rel=1e-4)
+        assert second_partial(quadratic, x, 1, 1) == pytest.approx(
+            10.0, rel=1e-4)
+
+    def test_mixed(self):
+        x = np.array([0.5, 0.2])
+        assert second_partial(quadratic, x, 0, 1) == pytest.approx(
+            3.0, rel=1e-4)
+
+    def test_symmetry(self):
+        x = np.array([0.4, 0.9])
+        ij = second_partial(quadratic, x, 0, 1)
+        ji = second_partial(quadratic, x, 1, 0)
+        assert ij == pytest.approx(ji, rel=1e-8)
+
+
+class TestHessian:
+    def test_constant_hessian(self):
+        h = hessian(quadratic, np.array([7.0, -3.0]))
+        assert np.allclose(h, [[2.0, 3.0], [3.0, 10.0]], atol=1e-3)
+
+    def test_hessian_is_symmetric_by_construction(self):
+        h = hessian(lambda v: np.sin(v[0]) * np.cos(v[1]),
+                    np.array([0.3, 0.8]))
+        assert np.array_equal(h, h.T)

@@ -1,0 +1,120 @@
+"""Tests for Pareto machinery."""
+
+import numpy as np
+import pytest
+
+from repro.game.nash import solve_nash
+from repro.game.pareto import (
+    ConstraintAdapter,
+    is_pareto_fdc,
+    pareto_fdc_residuals,
+    pareto_improvement,
+    solve_weighted_pareto,
+)
+from repro.queueing.service_curves import MM1Curve
+from repro.users.families import LinearUtility
+from repro.users.profiles import lemma5_profile
+
+
+class TestConstraintAdapter:
+    def test_from_curve(self):
+        adapter = ConstraintAdapter(MM1Curve())
+        assert adapter.total([0.25, 0.25]) == pytest.approx(1.0)
+        assert adapter.partial([0.25, 0.25], 0) == pytest.approx(4.0)
+        assert adapter.has_subset_constraints
+
+    def test_from_separable(self, separable):
+        adapter = ConstraintAdapter.for_allocation(separable)
+        assert adapter.total([1.0, 2.0]) == pytest.approx(5.0)
+        assert adapter.partial([1.0, 2.0], 1) == pytest.approx(4.0)
+        assert not adapter.has_subset_constraints
+
+    def test_for_allocation_curve(self, fifo):
+        adapter = ConstraintAdapter.for_allocation(fifo)
+        assert adapter.total([0.3]) == pytest.approx(0.3 / 0.7)
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            ConstraintAdapter(42)
+
+
+class TestParetoFDC:
+    def test_symmetric_fs_nash_satisfies_fdc(self, fair_share):
+        """Theorem 2: identical users -> the FS Nash point is the
+        symmetric Pareto optimum, so the Pareto FDC holds there."""
+        profile = [LinearUtility(gamma=0.3)] * 3
+        nash = solve_nash(fair_share, profile)
+        adapter = ConstraintAdapter.for_allocation(fair_share)
+        assert is_pareto_fdc(profile, nash.rates, nash.congestion,
+                             adapter, tol=1e-3)
+
+    def test_fifo_nash_violates_fdc(self, fifo):
+        profile = [LinearUtility(gamma=0.3)] * 3
+        nash = solve_nash(fifo, profile)
+        adapter = ConstraintAdapter.for_allocation(fifo)
+        residuals = pareto_fdc_residuals(profile, nash.rates,
+                                         nash.congestion, adapter)
+        assert np.max(np.abs(residuals)) > 0.5
+
+    def test_separable_nash_satisfies_fdc(self, separable):
+        profile = [LinearUtility(gamma=0.8), LinearUtility(gamma=1.2)]
+        nash = solve_nash(separable, profile)
+        adapter = ConstraintAdapter.for_allocation(separable)
+        assert is_pareto_fdc(profile, nash.rates, nash.congestion,
+                             adapter, tol=1e-4)
+
+
+class TestWeightedPareto:
+    def test_symmetric_case_matches_direct_optimum(self, fair_share):
+        """Equal weights + identical linear users -> the symmetric
+        social optimum, computable directly in one dimension."""
+        from repro.experiments.t2_symmetric import symmetric_pareto_rate
+
+        utility = LinearUtility(gamma=0.3)
+        profile = [utility] * 2
+        adapter = ConstraintAdapter.for_allocation(fair_share)
+        result = solve_weighted_pareto(profile, [0.5, 0.5], adapter)
+        direct = symmetric_pareto_rate(utility, 2, fair_share.curve)
+        assert result.success
+        assert result.rates.mean() == pytest.approx(direct, abs=1e-3)
+
+    def test_weights_validated(self, fair_share):
+        adapter = ConstraintAdapter.for_allocation(fair_share)
+        profile = [LinearUtility(gamma=0.3)] * 2
+        with pytest.raises(ValueError):
+            solve_weighted_pareto(profile, [0.5], adapter)
+        with pytest.raises(ValueError):
+            solve_weighted_pareto(profile, [-1.0, 2.0], adapter)
+
+    def test_allocation_feasible(self, fair_share):
+        profile = [LinearUtility(gamma=0.25), LinearUtility(gamma=0.5)]
+        adapter = ConstraintAdapter.for_allocation(fair_share)
+        result = solve_weighted_pareto(profile, [0.6, 0.4], adapter)
+        assert result.success
+        total = adapter.total(result.rates)
+        assert result.congestion.sum() == pytest.approx(total, abs=1e-6)
+
+
+class TestParetoImprovement:
+    def test_improves_planted_fifo_nash(self, fifo):
+        target = np.array([0.15, 0.3])
+        profile = lemma5_profile(fifo, target)
+        nash = solve_nash(fifo, profile, r0=target)
+        adapter = ConstraintAdapter.for_allocation(fifo)
+        improvement = pareto_improvement(profile, nash.rates,
+                                         nash.congestion, adapter)
+        assert improvement is not None
+        base_u = nash.utilities
+        gains = improvement.utilities - base_u
+        assert gains.min() >= -1e-8
+        assert gains.sum() > 1e-4
+
+    def test_no_improvement_at_pareto_point(self, fair_share):
+        """The symmetric FS Nash of identical users is Pareto optimal:
+        the search must come back empty."""
+        profile = [LinearUtility(gamma=0.3)] * 2
+        nash = solve_nash(fair_share, profile)
+        adapter = ConstraintAdapter.for_allocation(fair_share)
+        improvement = pareto_improvement(profile, nash.rates,
+                                         nash.congestion, adapter)
+        assert improvement is None

@@ -1,0 +1,78 @@
+"""Tests for the strict priority-by-rate allocation."""
+
+import math
+
+import pytest
+
+from repro.disciplines.priority import PriorityAllocation
+from repro.exceptions import DisciplineError
+
+
+class TestAscending:
+    def setup_method(self):
+        self.alloc = PriorityAllocation(ascending=True)
+
+    def test_work_conserving(self, rates3):
+        congestion = self.alloc.congestion(rates3)
+        assert congestion.sum() == pytest.approx(0.6 / 0.4)
+
+    def test_smallest_user_sees_solo_queue(self, rates3):
+        congestion = self.alloc.congestion(rates3)
+        assert congestion[0] == pytest.approx(0.1 / 0.9)
+
+    def test_telescoping(self, rates3):
+        congestion = self.alloc.congestion(rates3)
+        assert congestion[0] + congestion[1] == pytest.approx(0.3 / 0.7)
+
+    def test_symmetry(self, rates3, rng):
+        assert self.alloc.check_symmetry(rates3, rng=rng)
+
+    def test_ties_share_equally(self):
+        congestion = self.alloc.congestion([0.2, 0.2, 0.1])
+        assert congestion[0] == pytest.approx(congestion[1])
+        # The tied pair shares classes 2 and 3 equally.
+        expected = (0.5 / 0.5 - 0.1 / 0.9) / 2.0
+        assert congestion[0] == pytest.approx(expected)
+
+    def test_insularity(self, rates3):
+        # The small user is unaffected by the big user's rate.
+        base = self.alloc.congestion(rates3)[0]
+        boosted = self.alloc.congestion([0.1, 0.2, 0.65])[0]
+        assert boosted == pytest.approx(base)
+
+    def test_overload_protects_small_users(self):
+        congestion = self.alloc.congestion([0.1, 2.0])
+        assert math.isfinite(congestion[0])
+        assert congestion[1] == math.inf
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(DisciplineError):
+            self.alloc.congestion([-0.1, 0.2])
+
+
+class TestDescending:
+    def test_biggest_user_wins(self, rates3):
+        alloc = PriorityAllocation(ascending=False)
+        congestion = alloc.congestion(rates3)
+        assert congestion[2] == pytest.approx(0.3 / 0.7)
+        assert congestion.sum() == pytest.approx(0.6 / 0.4)
+
+    def test_name(self):
+        assert PriorityAllocation(ascending=False).name == (
+            "priority-descending")
+        assert PriorityAllocation().name == "priority-ascending"
+
+
+class TestComparisonWithFairShare:
+    def test_priority_is_harsher_to_big_users(self, fair_share, rates3):
+        """Ascending priority gives the big user strictly more queue
+        than Fair Share (FS shares the ladder; priority does not)."""
+        priority = PriorityAllocation()
+        big_priority = priority.congestion(rates3)[2]
+        big_fs = fair_share.congestion(rates3)[2]
+        assert big_priority > big_fs
+
+    def test_small_user_better_under_priority(self, fair_share, rates3):
+        priority = PriorityAllocation()
+        assert (priority.congestion(rates3)[0]
+                < fair_share.congestion(rates3)[0])

@@ -1,0 +1,113 @@
+"""Tests for analytic priority-queue formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing.priority import (
+    fair_share_class_rates,
+    nonpreemptive_priority_queues,
+    preemptive_priority_queues,
+)
+
+
+class TestPreemptivePriority:
+    def test_totals_match_mm1(self):
+        rates = [0.1, 0.2, 0.3]
+        queues = preemptive_priority_queues(rates)
+        assert queues.sum() == pytest.approx(0.6 / 0.4)
+
+    def test_single_class_is_mm1(self):
+        assert preemptive_priority_queues([0.4])[0] == pytest.approx(
+            0.4 / 0.6)
+
+    def test_top_class_sees_no_others(self):
+        alone = preemptive_priority_queues([0.3])[0]
+        with_lower = preemptive_priority_queues([0.3, 0.5])[0]
+        assert with_lower == pytest.approx(alone)
+
+    def test_telescoping(self):
+        rates = [0.15, 0.25, 0.2]
+        queues = preemptive_priority_queues(rates)
+        sigma = np.cumsum(rates)
+        for k in range(3):
+            partial = sigma[k] / (1.0 - sigma[k])
+            assert queues[: k + 1].sum() == pytest.approx(partial)
+
+    def test_partial_overload(self):
+        queues = preemptive_priority_queues([0.4, 0.7])
+        assert math.isfinite(queues[0])
+        assert queues[1] == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            preemptive_priority_queues([])
+        with pytest.raises(ValueError):
+            preemptive_priority_queues([-0.1])
+
+
+class TestNonpreemptivePriority:
+    def test_totals_match_mm1(self):
+        # With exponential service the aggregate mean number in system
+        # is g(rho) regardless of the (work-conserving) order.
+        rates = [0.1, 0.2, 0.3]
+        queues = nonpreemptive_priority_queues(rates)
+        assert queues.sum() == pytest.approx(0.6 / 0.4)
+
+    def test_single_class_is_mm1(self):
+        assert nonpreemptive_priority_queues([0.5])[0] == pytest.approx(
+            1.0)
+
+    def test_high_class_waits_behind_in_service_packet(self):
+        # Unlike the preemptive case, the top class does feel lower
+        # classes' residual service.
+        alone = nonpreemptive_priority_queues([0.3])[0]
+        with_lower = nonpreemptive_priority_queues([0.3, 0.5])[0]
+        assert with_lower > alone
+
+    def test_total_overload(self):
+        queues = nonpreemptive_priority_queues([0.5, 0.6])
+        assert np.all(np.isinf(queues))
+
+    def test_priority_ordering_helps(self):
+        queues = nonpreemptive_priority_queues([0.2, 0.2, 0.2])
+        # Same rate in every class: higher priority has smaller queue.
+        assert queues[0] < queues[1] < queues[2]
+
+
+class TestFairShareClassRates:
+    def test_matches_ladder_structure(self):
+        rates = [0.08, 0.16, 0.24, 0.32]
+        classes = fair_share_class_rates(rates)
+        # Class m has rate (N - m)(r_m - r_{m-1}) with 0-based m.
+        expected = [4 * 0.08, 3 * 0.08, 2 * 0.08, 1 * 0.08]
+        assert np.allclose(classes, expected)
+
+    def test_total_preserved(self):
+        rates = [0.05, 0.17, 0.4]
+        assert fair_share_class_rates(rates).sum() == pytest.approx(
+            sum(rates))
+
+    def test_order_invariance(self):
+        a = fair_share_class_rates([0.3, 0.1, 0.2])
+        b = fair_share_class_rates([0.1, 0.2, 0.3])
+        assert np.allclose(a, b)
+
+    def test_ties_give_zero_classes(self):
+        classes = fair_share_class_rates([0.2, 0.2, 0.2])
+        assert classes[0] == pytest.approx(0.6)
+        assert np.allclose(classes[1:], 0.0)
+
+    def test_fair_share_congestion_from_class_rates(self):
+        # C^FS of the largest user equals the sum over classes of the
+        # per-class queue divided by the class population.
+        from repro.disciplines.fair_share import FairShareAllocation
+
+        rates = np.array([0.1, 0.2, 0.3])
+        classes = fair_share_class_rates(rates)
+        queues = preemptive_priority_queues(classes)
+        population = np.array([3, 2, 1])
+        biggest = float(np.sum(queues / population))
+        fs = FairShareAllocation()
+        assert biggest == pytest.approx(float(fs.congestion(rates)[2]))

@@ -1,0 +1,73 @@
+"""Tests for profile generators and the Lemma-5 construction."""
+
+import numpy as np
+import pytest
+
+from repro.game.nash import is_nash
+from repro.users.families import ExponentialUtility
+from repro.users.profiles import (
+    lemma5_profile,
+    random_exponential_profile,
+    random_linear_profile,
+    random_mixed_profile,
+    random_power_profile,
+)
+from repro.users.utility import check_acceptable
+
+
+class TestRandomProfiles:
+    def test_sizes(self, rng):
+        assert len(random_linear_profile(4, rng)) == 4
+        assert len(random_exponential_profile(3, rng)) == 3
+        assert len(random_power_profile(5, rng)) == 5
+        assert len(random_mixed_profile(6, rng)) == 6
+
+    def test_determinism(self):
+        a = random_mixed_profile(4, np.random.default_rng(9))
+        b = random_mixed_profile(4, np.random.default_rng(9))
+        assert [type(u).__name__ for u in a] == [
+            type(u).__name__ for u in b]
+
+    def test_all_acceptable(self, rng):
+        for utility in random_mixed_profile(8, rng):
+            report = check_acceptable(utility, c_range=(0.05, 3.0),
+                                      n_grid=4)
+            assert report.is_acceptable, (utility, report.violations)
+
+
+class TestLemma5:
+    """The paper's Lemma 5: any interior point can be made a Nash
+    equilibrium of any acceptable allocation function."""
+
+    @pytest.mark.parametrize("discipline_fixture",
+                             ["fifo", "fair_share"])
+    def test_planted_point_is_nash(self, discipline_fixture, request,
+                                   rates3):
+        allocation = request.getfixturevalue(discipline_fixture)
+        profile = lemma5_profile(allocation, rates3)
+        assert is_nash(allocation, profile, rates3, tol=1e-6)
+
+    def test_anchor_matches_allocation(self, fair_share, rates3):
+        profile = lemma5_profile(fair_share, rates3)
+        congestion = fair_share.congestion(rates3)
+        for i, utility in enumerate(profile):
+            assert isinstance(utility, ExponentialUtility)
+            assert utility.r_ref == pytest.approx(rates3[i])
+            assert utility.c_ref == pytest.approx(congestion[i])
+            # FDC: M = -dC_i/dr_i at the anchor.
+            slope = fair_share.own_derivative(rates3, i)
+            assert utility.marginal_ratio(
+                utility.r_ref, utility.c_ref) == pytest.approx(-slope)
+
+    def test_rejects_unstable_target(self, fifo):
+        with pytest.raises(ValueError):
+            lemma5_profile(fifo, [0.6, 0.7])
+
+    def test_jitter_variant(self, fair_share, rates3, rng):
+        profile = lemma5_profile(fair_share, rates3, rng=rng)
+        assert is_nash(fair_share, profile, rates3, tol=1e-5)
+
+    def test_asymmetric_target(self, fair_share):
+        target = np.array([0.02, 0.44])
+        profile = lemma5_profile(fair_share, target)
+        assert is_nash(fair_share, profile, target, tol=1e-6)

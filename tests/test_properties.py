@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.costsharing.rules import (
+    average_cost_shares,
+    serial_cost_shares,
+    unanimity_bound,
+)
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.disciplines.proportional import ProportionalAllocation
+from repro.queueing.constraints import FeasibilitySet
+from repro.queueing.priority import preemptive_priority_queues
+
+FS = FairShareAllocation()
+FIFO = ProportionalAllocation()
+FEASIBILITY = FeasibilitySet()
+
+
+def rate_vectors(min_users=2, max_users=6, max_load=0.95):
+    """Strategy: positive rate vectors with total load < max_load."""
+
+    def scale(raw):
+        arr = np.asarray(raw, dtype=float)
+        total = arr.sum()
+        target = 0.05 + 0.9 * max_load * (total % 1.0 if total > 1 else total)
+        return arr / arr.sum() * min(target, max_load * 0.99)
+
+    return st.lists(st.floats(0.01, 1.0), min_size=min_users,
+                    max_size=max_users).map(scale)
+
+
+class TestAllocationInvariants:
+    @given(rates=rate_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation(self, rates):
+        total = rates.sum()
+        expected = total / (1.0 - total)
+        assert FS.congestion(rates).sum() == np.float64(expected).item() \
+            or abs(FS.congestion(rates).sum() - expected) < 1e-9
+        assert abs(FIFO.congestion(rates).sum() - expected) < 1e-9
+
+    @given(rates=rate_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_feasibility_of_both_disciplines(self, rates):
+        assert FEASIBILITY.is_feasible(rates, FS.congestion(rates),
+                                       tol=1e-7)
+        assert FEASIBILITY.is_feasible(rates, FIFO.congestion(rates),
+                                       tol=1e-7)
+
+    @given(rates=rate_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_fs_ordering_follows_rates(self, rates):
+        congestion = FS.congestion(rates)
+        order = np.argsort(rates, kind="stable")
+        sorted_c = congestion[order]
+        assert np.all(np.diff(sorted_c) >= -1e-12)
+
+    @given(rates=rate_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_fs_permutation_equivariance(self, rates):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(rates.size)
+        base = FS.congestion(rates)
+        permuted = FS.congestion(rates[perm])
+        assert np.allclose(permuted, base[perm], atol=1e-10)
+
+    @given(rates=rate_vectors(), scale=st.floats(1.01, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_fs_insularity_property(self, rates, scale):
+        """Scaling up the largest rate never changes smaller users'
+        congestion."""
+        congestion = FS.congestion(rates)
+        biggest = int(np.argmax(rates))
+        inflated = rates.copy()
+        inflated[biggest] *= scale
+        new_congestion = FS.congestion(inflated)
+        for i in range(rates.size):
+            if i != biggest and rates[i] < rates[biggest]:
+                assert abs(new_congestion[i] - congestion[i]) < 1e-10
+
+    @given(rates=rate_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_fs_protection_bound(self, rates):
+        congestion = FS.congestion(rates)
+        n = rates.size
+        for i in range(n):
+            bound = FS.protection_bound(float(rates[i]), n)
+            assert congestion[i] <= bound + 1e-9
+
+    @given(rates=rate_vectors(), bump=st.floats(1e-4, 0.02))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_own_rate(self, rates, bump):
+        assume(rates.sum() + bump < 0.99)
+        for allocation in (FS, FIFO):
+            base = allocation.congestion(rates)
+            higher = rates.copy()
+            higher[0] += bump
+            assert allocation.congestion(higher)[0] > base[0] - 1e-12
+
+
+class TestCostSharingInvariants:
+    @given(demands=st.lists(st.floats(0.01, 5.0), min_size=2,
+                            max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_balance(self, demands):
+        demands = np.asarray(demands)
+        cost = lambda x: x * x
+        assert abs(serial_cost_shares(demands, cost).sum()
+                   - cost(demands.sum())) < 1e-8
+        assert abs(average_cost_shares(demands, cost).sum()
+                   - cost(demands.sum())) < 1e-8
+
+    @given(demands=st.lists(st.floats(0.01, 5.0), min_size=2,
+                            max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_serial_unanimity_bound(self, demands):
+        demands = np.asarray(demands)
+        cost = lambda x: x * x
+        shares = serial_cost_shares(demands, cost)
+        n = demands.size
+        for demand, share in zip(demands, shares):
+            assert share <= unanimity_bound(float(demand), n, cost) + 1e-9
+
+    @given(demands=st.lists(st.floats(0.01, 5.0), min_size=2,
+                            max_size=5),
+           scale=st.floats(1.0, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_serial_share_monotone_in_own_demand(self, demands, scale):
+        demands = np.asarray(demands)
+        cost = lambda x: x * x
+        base = serial_cost_shares(demands, cost)
+        inflated = demands.copy()
+        inflated[0] *= scale
+        new = serial_cost_shares(inflated, cost)
+        assert new[0] >= base[0] - 1e-10
+
+
+class TestPriorityInvariants:
+    @given(rates=rate_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_preemptive_priority_totals(self, rates):
+        queues = preemptive_priority_queues(rates)
+        total = rates.sum()
+        assert abs(queues.sum() - total / (1.0 - total)) < 1e-9
+
+    @given(rates=rate_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_priority_dominates_fifo_for_top_class(self, rates):
+        queues = preemptive_priority_queues(rates)
+        proportional = FIFO.congestion(rates)
+        # The top class is served as if alone: never worse than its
+        # proportional share.
+        assert queues[0] <= proportional[0] + 1e-9

@@ -1,0 +1,103 @@
+"""Property-based tests for the extension layers.
+
+Covers the stalling pivot, the network composition, and experiment
+determinism — invariants that the example-based tests only spot-check.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.disciplines.stalling import PivotAllocation
+from repro.network.model import NetworkAllocation, Route
+
+PIVOT = PivotAllocation()
+
+
+def rate_vectors(min_users=2, max_users=5, max_load=0.9):
+    """Positive rate vectors with bounded total load."""
+
+    def scale(raw):
+        arr = np.asarray(raw, dtype=float)
+        total = arr.sum()
+        target = 0.05 + 0.85 * max_load * (
+            total % 1.0 if total > 1 else total)
+        return arr / arr.sum() * min(target, max_load * 0.99)
+
+    return st.lists(st.floats(0.01, 1.0), min_size=min_users,
+                    max_size=max_users).map(scale)
+
+
+class TestPivotProperties:
+    @given(rates=rate_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_overhead_nonnegative(self, rates):
+        assert PIVOT.stalling_overhead(rates) >= -1e-12
+
+    @given(rates=rate_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_own_externality_positive_and_ordered(self, rates):
+        congestion = PIVOT.congestion(rates)
+        assert np.all(congestion > 0)
+        # Bigger senders carry (weakly) bigger externalities.
+        order = np.argsort(rates)
+        assert np.all(np.diff(congestion[order]) >= -1e-12)
+
+    @given(rates=rate_vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_own_derivative_uniform(self, rates):
+        slopes = [PIVOT.own_derivative(rates, i)
+                  for i in range(rates.size)]
+        assert np.allclose(slopes, slopes[0])
+
+
+class TestNetworkProperties:
+    @given(rates=rate_vectors(min_users=3, max_users=3, max_load=0.8))
+    @settings(max_examples=40, deadline=None)
+    def test_crossing_topology_consistency(self, rates):
+        """Total congestion of the two-hop user equals the sum of her
+        single-switch allocations computed independently."""
+        fs0, fs1 = FairShareAllocation(), FairShareAllocation()
+        network = NetworkAllocation(
+            switches=[fs0, fs1],
+            routes=[Route([0]), Route([1]), Route([0, 1])])
+        totals = network.congestion(rates)
+        hop0 = fs0.congestion([rates[0], rates[2]])
+        hop1 = fs1.congestion([rates[1], rates[2]])
+        assert np.isclose(totals[0], hop0[0])
+        assert np.isclose(totals[1], hop1[0])
+        assert np.isclose(totals[2], hop0[1] + hop1[1])
+
+    @given(rates=rate_vectors(min_users=3, max_users=3, max_load=0.8),
+           scale=st.floats(1.05, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_route_insularity(self, rates, scale):
+        """Inflating the biggest shared-switch user never reduces, and
+        never affects smaller disjoint users' congestion at switches
+        they don't share."""
+        network = NetworkAllocation(
+            switches=[FairShareAllocation(), FairShareAllocation()],
+            routes=[Route([0]), Route([1]), Route([0, 1])])
+        base = network.congestion(rates)
+        inflated = np.asarray(rates, dtype=float).copy()
+        inflated[0] *= scale
+        after = network.congestion(inflated)
+        # User 1 shares no switch with user 0: untouched exactly.
+        assert np.isclose(after[1], base[1])
+        # User 2's congestion cannot decrease (MAC monotonicity).
+        assert after[2] >= base[2] - 1e-12
+
+
+class TestExperimentDeterminism:
+    def test_same_seed_same_summary(self):
+        """Experiments are reproducible: identical seeds give identical
+        headline numbers."""
+        from repro.experiments.registry import get_experiment
+
+        for experiment_id in ("poa_sweep", "t2_symmetric"):
+            runner = get_experiment(experiment_id)
+            first = runner(seed=3, fast=True)
+            second = runner(seed=3, fast=True)
+            assert first.summary == second.summary
+            assert first.passed == second.passed

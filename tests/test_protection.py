@@ -1,0 +1,81 @@
+"""Tests for protectiveness (Theorem 8)."""
+
+import math
+
+import pytest
+
+from repro.game.protection import (
+    protection_bound,
+    verify_protective,
+    worst_case_congestion,
+)
+from repro.queueing.service_curves import MG1Curve
+
+
+class TestProtectionBound:
+    def test_formula(self):
+        assert protection_bound(0.1, 4) == pytest.approx(
+            (0.4 / 0.6) / 4.0)
+
+    def test_infinite_beyond_capacity(self):
+        assert protection_bound(0.5, 3) == math.inf
+
+    def test_custom_curve(self):
+        bound = protection_bound(0.2, 2, curve=MG1Curve(cv=0.0))
+        assert bound == pytest.approx(MG1Curve(cv=0.0).value(0.4) / 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            protection_bound(-0.1, 2)
+        with pytest.raises(ValueError):
+            protection_bound(0.1, 0)
+
+
+class TestWorstCase:
+    def test_fs_protective(self, fair_share, rng):
+        report = worst_case_congestion(fair_share, 0, 0.1, 3, rng=rng,
+                                       n_samples=120)
+        assert report.protective
+        assert report.worst_congestion <= report.bound + 1e-9
+
+    def test_fs_bound_attained_at_symmetric_point(self, fair_share, rng):
+        """The bound is tight: symmetric opponents achieve it."""
+        report = worst_case_congestion(fair_share, 0, 0.15, 3, rng=rng,
+                                       n_samples=200)
+        assert report.worst_congestion == pytest.approx(report.bound,
+                                                        rel=1e-2)
+
+    def test_fifo_unbounded(self, fifo, rng):
+        report = worst_case_congestion(fifo, 0, 0.1, 3, rng=rng,
+                                       n_samples=60, refine=False)
+        assert not report.protective
+        assert report.worst_congestion == math.inf
+
+    def test_priority_ascending_protective_numerically(self, rng):
+        """Ascending priority is insular downward, so it also satisfies
+        the bound (it is outside AC, but the bound still holds)."""
+        from repro.disciplines.priority import PriorityAllocation
+
+        report = worst_case_congestion(PriorityAllocation(), 0, 0.1, 3,
+                                       rng=rng, n_samples=120)
+        assert report.protective
+
+    def test_priority_descending_not_protective(self, rng):
+        from repro.disciplines.priority import PriorityAllocation
+
+        alloc = PriorityAllocation(ascending=False)
+        report = worst_case_congestion(alloc, 0, 0.1, 3, rng=rng,
+                                       n_samples=60, refine=False)
+        assert not report.protective
+
+    def test_needs_opponents(self, fair_share):
+        with pytest.raises(ValueError):
+            worst_case_congestion(fair_share, 0, 0.1, 1)
+
+
+class TestVerifyProtective:
+    def test_fs(self, fair_share, rng):
+        assert verify_protective(fair_share, 3, rng=rng, n_samples=60)
+
+    def test_fifo(self, fifo, rng):
+        assert not verify_protective(fifo, 3, rng=rng, n_samples=40)

@@ -1,0 +1,87 @@
+"""The public API surface: imports, __all__, and the quickstart path.
+
+A downstream user's first contact is ``from repro import ...``; these
+tests pin that surface so refactors cannot silently break it.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestTopLevelSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_path(self):
+        """The README quickstart must run as written."""
+        switch = repro.FairShareAllocation()
+        users = [repro.LinearUtility(gamma=g) for g in (0.3, 0.5, 0.7)]
+        eq = repro.solve_nash(switch, users)
+        assert eq.converged
+        assert eq.rates.shape == (3,)
+
+    def test_discipline_names(self):
+        for name in ("fifo", "fair-share", "priority", "separable",
+                     "pivot"):
+            allocation = repro.make_discipline(name)
+            assert hasattr(allocation, "congestion")
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize("module", [
+        "repro.numerics",
+        "repro.queueing",
+        "repro.disciplines",
+        "repro.users",
+        "repro.game",
+        "repro.costsharing",
+        "repro.network",
+        "repro.sim",
+        "repro.experiments",
+        "repro.cli",
+    ])
+    def test_importable(self, module):
+        assert importlib.import_module(module) is not None
+
+    def test_subpackage_all_resolve(self):
+        for module_name in ("repro.queueing", "repro.disciplines",
+                            "repro.users", "repro.game", "repro.sim",
+                            "repro.network", "repro.costsharing"):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), (module_name, name)
+
+
+class TestNarrativeIntegration:
+    """The paper's storyline end to end through the public API."""
+
+    @pytest.mark.slow
+    def test_analytic_equilibrium_survives_packet_reality(self):
+        """Solve the FS Nash analytically, then run the real ladder at
+        those rates: the measured congestion must match what the users
+        bargained for, closing the theory-practice loop."""
+        from repro.sim.runner import SimulationConfig, simulate
+
+        switch = repro.FairShareAllocation()
+        users = [repro.PowerUtility(gamma=0.5, q=1.5),
+                 repro.PowerUtility(gamma=1.2, q=1.5)]
+        eq = repro.solve_nash(switch, users)
+        sim = simulate(SimulationConfig(
+            rates=eq.rates, policy="fair-share", horizon=60000.0,
+            warmup=3000.0, seed=21))
+        assert np.allclose(sim.mean_queues, eq.congestion, rtol=0.15)
+        # Measured utilities at the operating point match the analytic
+        # equilibrium utilities.
+        for i, user in enumerate(users):
+            measured = user.value(float(sim.throughputs[i]),
+                                  float(sim.mean_queues[i]))
+            assert measured == pytest.approx(float(eq.utilities[i]),
+                                             abs=0.02)

@@ -1,0 +1,80 @@
+"""Tests for the closed-loop selfish agents."""
+
+import numpy as np
+import pytest
+
+from repro.sim.agents import (
+    AgentConfig,
+    HillClimbingAgent,
+    run_selfish_loop,
+)
+from repro.users.families import ExponentialUtility, LinearUtility
+
+
+class TestHillClimbingAgent:
+    def test_keeps_improvements(self):
+        agent = HillClimbingAgent(LinearUtility(gamma=0.5),
+                                  AgentConfig(initial_rate=0.1,
+                                              step=0.05))
+        tried = agent.propose()
+        assert tried == pytest.approx(0.15)
+        agent.observe(tried, measured_congestion=0.01)
+        assert agent.rate == pytest.approx(0.15)
+
+    def test_reverses_on_failure(self):
+        agent = HillClimbingAgent(LinearUtility(gamma=0.5),
+                                  AgentConfig(initial_rate=0.1,
+                                              step=0.05))
+        # First observation sets the incumbent value.
+        agent.observe(0.1, measured_congestion=0.1)
+        tried = agent.propose()
+        agent.observe(tried, measured_congestion=50.0)  # terrible
+        assert agent.rate == pytest.approx(0.1)
+        # Direction flipped: next proposal goes down.
+        assert agent.propose() < 0.1
+
+    def test_clamping(self):
+        agent = HillClimbingAgent(
+            LinearUtility(gamma=0.5),
+            AgentConfig(initial_rate=0.94, step=0.1, max_rate=0.95))
+        assert agent.propose() <= 0.95
+
+    def test_step_decays(self):
+        config = AgentConfig(initial_rate=0.1, step=0.1, decay=0.5)
+        agent = HillClimbingAgent(LinearUtility(gamma=0.5), config)
+        agent.observe(0.1, 0.1)
+        agent.observe(0.15, 0.2)
+        assert agent._step == pytest.approx(0.1 * 0.5 * 0.5)
+
+
+class TestSelfishLoop:
+    def test_shapes_and_config_validation(self):
+        profile = [LinearUtility(gamma=0.4), LinearUtility(gamma=0.6)]
+        result = run_selfish_loop(profile, lambda rates: "fifo",
+                                  n_episodes=3, episode_length=500.0,
+                                  warmup=50.0, seed=1)
+        assert result.rate_history.shape == (4, 2)
+        assert result.congestion_history.shape == (3, 2)
+        with pytest.raises(ValueError):
+            run_selfish_loop(profile, lambda rates: "fifo",
+                             n_episodes=2, episode_length=500.0,
+                             agent_configs=[AgentConfig()])
+
+    @pytest.mark.slow
+    def test_fs_loop_approaches_nash(self):
+        from repro.disciplines.fair_share import FairShareAllocation
+        from repro.game.nash import solve_nash
+
+        profile = [ExponentialUtility(alpha=2.5, beta=6.0, gamma=1.0,
+                                      nu=6.0, r_ref=0.2, c_ref=0.5),
+                   ExponentialUtility(alpha=1.6, beta=6.0, gamma=1.0,
+                                      nu=6.0, r_ref=0.15, c_ref=0.4)]
+        nash = solve_nash(FairShareAllocation(), profile)
+        configs = [AgentConfig(initial_rate=0.1, step=0.04, decay=0.97)
+                   for _ in profile]
+        result = run_selfish_loop(profile, lambda rates: "fair-share",
+                                  n_episodes=40, episode_length=2500.0,
+                                  warmup=250.0, agent_configs=configs,
+                                  seed=2)
+        gap = np.max(np.abs(result.final_rates - nash.rates))
+        assert gap < 0.08

@@ -1,0 +1,103 @@
+"""Tests for the queue tracker and batch means."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.measurements import QueueTracker
+
+
+class TestQueueTracker:
+    def test_time_weighted_average(self):
+        tracker = QueueTracker(1)
+        tracker.advance(0.0)
+        tracker.on_arrival(0)        # count 1 from t=0
+        tracker.advance(2.0)
+        tracker.on_arrival(0)        # count 2 from t=2
+        tracker.advance(3.0)
+        tracker.on_departure(0)      # count 1 from t=3
+        tracker.advance(5.0)
+        # Area = 1*2 + 2*1 + 1*2 = 6 over 5 time units.
+        assert tracker.mean_queues()[0] == pytest.approx(6.0 / 5.0)
+
+    def test_warmup_excluded(self):
+        tracker = QueueTracker(1, warmup=1.0)
+        tracker.on_arrival(0)
+        tracker.advance(2.0)
+        # Only the window [1, 2] counts: area 1, time 1.
+        assert tracker.mean_queues()[0] == pytest.approx(1.0)
+        assert tracker.measured_time == pytest.approx(1.0)
+
+    def test_per_user_separation(self):
+        tracker = QueueTracker(2)
+        tracker.on_arrival(0)
+        tracker.advance(1.0)
+        tracker.on_arrival(1)
+        tracker.advance(2.0)
+        means = tracker.mean_queues()
+        assert means[0] == pytest.approx(1.0)     # present whole 2s
+        assert means[1] == pytest.approx(0.5)     # present 1 of 2s
+
+    def test_time_cannot_go_backwards(self):
+        tracker = QueueTracker(1)
+        tracker.advance(1.0)
+        with pytest.raises(ValueError):
+            tracker.advance(0.5)
+
+    def test_departure_without_arrival(self):
+        tracker = QueueTracker(1)
+        with pytest.raises(ValueError):
+            tracker.on_departure(0)
+
+    def test_throughputs(self):
+        tracker = QueueTracker(1)
+        for k in range(5):
+            tracker.on_arrival(0)
+            tracker.advance(k + 1.0)
+            tracker.on_departure(0)
+        tracker.advance(10.0)
+        assert tracker.throughputs()[0] == pytest.approx(0.5)
+
+    def test_empty_measurement_window(self):
+        tracker = QueueTracker(2, warmup=5.0)
+        tracker.advance(1.0)
+        assert np.all(np.isnan(tracker.mean_queues()))
+
+
+class TestBatchMeans:
+    def test_batches_formed(self):
+        tracker = QueueTracker(1)
+        tracker.configure_batches(horizon=10.0, n_batches=5)
+        tracker.on_arrival(0)
+        tracker.advance(10.0)
+        batch = tracker.batch_means()
+        assert batch.n_batches == 5
+        assert batch.means[0] == pytest.approx(1.0)
+        assert batch.half_widths[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_batches_configured(self):
+        tracker = QueueTracker(1)
+        tracker.on_arrival(0)
+        tracker.advance(4.0)
+        batch = tracker.batch_means()
+        assert batch.n_batches == 0
+        assert math.isnan(batch.half_widths[0])
+
+    def test_contains(self):
+        tracker = QueueTracker(1)
+        tracker.configure_batches(horizon=8.0, n_batches=4)
+        tracker.on_arrival(0)
+        tracker.advance(8.0)
+        batch = tracker.batch_means()
+        assert batch.contains([1.0])
+
+    def test_varying_signal_gives_positive_halfwidth(self):
+        tracker = QueueTracker(1)
+        tracker.configure_batches(horizon=8.0, n_batches=4)
+        tracker.on_arrival(0)
+        tracker.advance(4.0)
+        tracker.on_arrival(0)
+        tracker.advance(8.0)
+        batch = tracker.batch_means()
+        assert batch.half_widths[0] > 0.0

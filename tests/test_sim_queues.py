@@ -1,0 +1,195 @@
+"""Unit tests for queue policies (no event loop)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.packet import Packet
+from repro.sim.queues import (
+    AdaptiveFairShareQueue,
+    FIFOQueue,
+    FairShareLadderQueue,
+    HOLPriorityQueue,
+    LIFOPreemptiveQueue,
+    ProcessorSharingQueue,
+    RoundRobinQueue,
+    make_policy,
+)
+
+
+def packet(user, t=0.0):
+    return Packet(user=user, arrival_time=t)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestFIFO:
+    def test_order(self, rng):
+        queue = FIFOQueue()
+        first, second = packet(0), packet(1)
+        queue.push(first)
+        queue.push(second)
+        assert queue.serving() is first
+        assert queue.complete(rng) is first
+        assert queue.complete(rng) is second
+
+    def test_empty_completion_raises(self, rng):
+        with pytest.raises(SimulationError):
+            FIFOQueue().complete(rng)
+
+    def test_len(self):
+        queue = FIFOQueue()
+        assert len(queue) == 0
+        queue.push(packet(0))
+        assert len(queue) == 1
+
+
+class TestLIFO:
+    def test_newest_preempts(self, rng):
+        queue = LIFOPreemptiveQueue()
+        first, second = packet(0), packet(1)
+        queue.push(first)
+        assert queue.serving() is first
+        queue.push(second)
+        assert queue.serving() is second
+        assert queue.complete(rng) is second
+        assert queue.complete(rng) is first
+
+
+class TestProcessorSharing:
+    def test_uniform_completion(self, rng):
+        queue = ProcessorSharingQueue()
+        packets = [packet(i) for i in range(3)]
+        for p in packets:
+            queue.push(p)
+        done = queue.complete(rng)
+        assert done in packets
+        assert len(queue) == 2
+
+    def test_completion_statistics(self):
+        # Each of two packets should finish first about half the time.
+        wins = 0
+        for seed in range(200):
+            queue = ProcessorSharingQueue()
+            a, b = packet(0), packet(1)
+            queue.push(a)
+            queue.push(b)
+            if queue.complete(np.random.default_rng(seed)) is a:
+                wins += 1
+        assert 60 < wins < 140
+
+
+class TestFairShareLadder:
+    def test_class_probabilities(self):
+        queue = FairShareLadderQueue([0.1, 0.2, 0.3])
+        # Smallest user: always class 0.
+        assert np.allclose(queue._class_probs[0], [1.0])
+        # Largest user: deltas (0.1, 0.1, 0.1)/0.3.
+        assert np.allclose(queue._class_probs[2],
+                           [1 / 3, 1 / 3, 1 / 3])
+
+    def test_middle_user(self):
+        queue = FairShareLadderQueue([0.1, 0.2, 0.3])
+        assert np.allclose(queue._class_probs[1], [0.5, 0.5])
+
+    def test_push_assigns_class_within_ladder(self, rng):
+        queue = FairShareLadderQueue([0.1, 0.2, 0.3])
+        for _ in range(50):
+            p = packet(1)
+            queue.push(p, rng=rng)
+            assert p.priority in (0, 1)
+
+    def test_priority_service_order(self, rng):
+        queue = FairShareLadderQueue([0.1, 0.5])
+        low = packet(1)
+        queue.push(low, rng=rng)
+        # Force the next packet into class 0 by using user 0.
+        high = packet(0)
+        queue.push(high, rng=rng)
+        if low.priority == 1:
+            assert queue.serving() is high
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(SimulationError):
+            FairShareLadderQueue([0.0, 0.2])
+
+
+class TestAdaptiveFairShare:
+    def test_estimates_converge(self, rng):
+        queue = AdaptiveFairShareQueue(2, ewma=0.05, rebuild_every=50)
+        clock = 0.0
+        # User 0 at rate 1, user 1 at rate 4 (interarrivals 1 and 0.25).
+        for k in range(2000):
+            clock += 0.25
+            user = 1 if k % 4 != 3 else 0
+            if k % 4 == 3:
+                queue.push(Packet(user=0, arrival_time=clock), rng=rng)
+            else:
+                queue.push(Packet(user=1, arrival_time=clock), rng=rng)
+            queue.complete(rng)
+        estimates = queue.rate_estimates
+        assert estimates[1] > 2.0 * estimates[0]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AdaptiveFairShareQueue(2, ewma=0.0)
+
+
+class TestHOL:
+    def test_nonpreemptive(self, rng):
+        queue = HOLPriorityQueue(2)
+        low = packet(1)
+        queue.push(low)
+        assert queue.serving() is low
+        high = packet(0)
+        queue.push(high)
+        # Still serving the low-priority packet (no preemption).
+        assert queue.serving() is low
+        assert queue.complete(rng) is low
+        assert queue.serving() is high
+
+    def test_priority_at_selection(self, rng):
+        queue = HOLPriorityQueue(2)
+        in_service = packet(1)
+        queue.push(in_service)
+        queued_low = packet(1)
+        queued_high = packet(0)
+        queue.push(queued_low)
+        queue.push(queued_high)
+        queue.complete(rng)
+        assert queue.serving() is queued_high
+
+
+class TestRoundRobin:
+    def test_cycles_between_users(self, rng):
+        queue = RoundRobinQueue(2)
+        a1, a2 = packet(0), packet(0)
+        b1 = packet(1)
+        queue.push(a1)
+        queue.push(a2)
+        queue.push(b1)
+        assert queue.complete(rng) is a1
+        assert queue.complete(rng) is b1
+        assert queue.complete(rng) is a2
+
+
+class TestMakePolicy:
+    def test_names(self):
+        assert isinstance(make_policy("fifo"), FIFOQueue)
+        assert isinstance(make_policy("ps"), ProcessorSharingQueue)
+        assert isinstance(make_policy("fair-share", rates=[0.1, 0.2]),
+                          FairShareLadderQueue)
+        assert isinstance(make_policy("rr", n_users=2), RoundRobinQueue)
+
+    def test_missing_arguments(self):
+        with pytest.raises(SimulationError):
+            make_policy("fair-share")
+        with pytest.raises(SimulationError):
+            make_policy("hol")
+
+    def test_unknown(self):
+        with pytest.raises(SimulationError):
+            make_policy("wfq")

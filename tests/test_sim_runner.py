@@ -1,0 +1,144 @@
+"""Integration tests: the event loop against queueing theory.
+
+These use moderate horizons; statistical assertions carry generous
+tolerances so they are stable across platforms while still catching
+real biases (the jump-chain resampling, class thinning, warmup
+handling).
+"""
+
+import numpy as np
+import pytest
+
+from repro.disciplines.fair_share import FairShareAllocation
+from repro.exceptions import SimulationError
+from repro.queueing.mm1 import mm1_mean_queue, proportional_split
+from repro.queueing.priority import nonpreemptive_priority_queues
+from repro.sim.runner import (
+    SimulationConfig,
+    replicate,
+    simulate,
+    simulate_allocation,
+)
+
+RATES = (0.1, 0.2, 0.3)
+HORIZON = 40000.0
+WARMUP = 2000.0
+
+
+def run(policy, seed=0, rates=RATES):
+    return simulate(SimulationConfig(rates=rates, policy=policy,
+                                     horizon=HORIZON, warmup=WARMUP,
+                                     seed=seed))
+
+
+class TestValidationAgainstTheory:
+    def test_fifo_total_queue(self):
+        result = run("fifo")
+        assert result.total_mean_queue == pytest.approx(
+            mm1_mean_queue(sum(RATES)), rel=0.08)
+
+    def test_fifo_proportional_split(self):
+        result = run("fifo", seed=1)
+        expected = proportional_split(RATES)
+        assert np.allclose(result.mean_queues, expected, rtol=0.12)
+
+    def test_lifo_matches_proportional_mean(self):
+        result = run("lifo", seed=2)
+        expected = proportional_split(RATES)
+        assert np.allclose(result.mean_queues, expected, rtol=0.12)
+
+    def test_ps_matches_proportional_mean(self):
+        result = run("ps", seed=3)
+        expected = proportional_split(RATES)
+        assert np.allclose(result.mean_queues, expected, rtol=0.12)
+
+    def test_ladder_realizes_fair_share(self):
+        result = run("fair-share", seed=4)
+        expected = FairShareAllocation().congestion(np.array(RATES))
+        assert np.allclose(result.mean_queues, expected, rtol=0.15)
+
+    def test_hol_matches_cobham(self):
+        result = run("hol", seed=5)
+        expected = nonpreemptive_priority_queues(RATES)
+        assert np.allclose(result.mean_queues, expected, rtol=0.15)
+
+    def test_throughputs_match_offered_load(self):
+        result = run("fifo", seed=6)
+        assert np.allclose(result.throughputs, RATES, rtol=0.1)
+
+
+class TestMechanics:
+    def test_reproducible_given_seed(self):
+        a = run("fifo", seed=11)
+        b = run("fifo", seed=11)
+        assert np.array_equal(a.mean_queues, b.mean_queues)
+        assert a.arrivals == b.arrivals
+
+    def test_different_seeds_differ(self):
+        a = run("fifo", seed=11)
+        b = run("fifo", seed=12)
+        assert not np.array_equal(a.mean_queues, b.mean_queues)
+
+    def test_conservation(self):
+        result = run("fifo", seed=13)
+        assert 0 <= result.arrivals - result.departures <= 200
+
+    def test_batch_ci_reported(self):
+        result = run("fifo", seed=14)
+        assert result.batch.n_batches >= 10
+        assert np.all(result.batch.half_widths > 0)
+
+    def test_policy_instance_accepted(self):
+        from repro.sim.queues import FIFOQueue
+
+        result = simulate(SimulationConfig(
+            rates=[0.2, 0.2], policy=FIFOQueue(), horizon=2000.0,
+            warmup=100.0))
+        assert result.policy_name == "fifo"
+
+    def test_simulate_allocation_wrapper(self):
+        queues = simulate_allocation([0.2, 0.2], "fifo", horizon=2000.0,
+                                     warmup=100.0, seed=3)
+        assert queues.shape == (2,)
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            simulate(SimulationConfig(rates=[], policy="fifo"))
+        with pytest.raises(SimulationError):
+            simulate(SimulationConfig(rates=[0.0, 0.1], policy="fifo"))
+        with pytest.raises(SimulationError):
+            simulate(SimulationConfig(rates=[0.1], policy="fifo",
+                                      horizon=10.0, warmup=20.0))
+        with pytest.raises(SimulationError):
+            simulate(SimulationConfig(rates=[0.1], policy="fifo",
+                                      service_rate=0.0))
+
+    def test_unstable_system_still_terminates(self):
+        result = simulate(SimulationConfig(
+            rates=[0.8, 0.8], policy="fifo", horizon=500.0,
+            warmup=50.0, seed=1))
+        # Overloaded: queue grows roughly linearly, no crash.
+        assert result.total_mean_queue > 10.0
+
+    def test_service_rate_scaling(self):
+        # Same load at double speed: same mean queue.
+        result = simulate(SimulationConfig(
+            rates=[0.6], policy="fifo", horizon=20000.0, warmup=1000.0,
+            service_rate=2.0, seed=7))
+        assert result.total_mean_queue == pytest.approx(
+            mm1_mean_queue(0.6, 2.0), rel=0.1)
+
+
+class TestReplicate:
+    def test_pooling(self):
+        summary = replicate(SimulationConfig(
+            rates=[0.2, 0.3], policy="fifo", horizon=5000.0,
+            warmup=250.0, seed=0), n_replications=3)
+        assert len(summary.runs) == 3
+        assert summary.mean_queues.shape == (2,)
+        assert np.all(summary.half_widths > 0)
+
+    def test_replication_count_validated(self):
+        with pytest.raises(SimulationError):
+            replicate(SimulationConfig(rates=[0.1], policy="fifo"),
+                      n_replications=0)

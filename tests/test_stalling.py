@@ -1,0 +1,83 @@
+"""Tests for the stalling pivot mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.disciplines.base import AllocationFunction
+from repro.disciplines.stalling import PivotAllocation
+from repro.game.nash import solve_nash
+from repro.game.pareto import ConstraintAdapter, pareto_fdc_residuals
+from repro.users.families import PowerUtility
+
+
+class TestPivotAllocation:
+    def setup_method(self):
+        self.pivot = PivotAllocation()
+
+    def test_congestion_is_own_externality(self, rates3):
+        congestion = self.pivot.congestion(rates3)
+        g = lambda x: x / (1.0 - x)
+        total = rates3.sum()
+        for i in range(3):
+            assert congestion[i] == pytest.approx(
+                g(total) - g(total - rates3[i]))
+
+    def test_own_derivative_is_social_marginal(self, rates3):
+        total = rates3.sum()
+        marginal = 1.0 / (1.0 - total) ** 2
+        for i in range(3):
+            assert self.pivot.own_derivative(rates3, i) == pytest.approx(
+                marginal)
+
+    def test_derivatives_match_numeric(self, rates3):
+        numeric = AllocationFunction.jacobian(self.pivot, rates3)
+        assert np.allclose(self.pivot.jacobian(rates3), numeric,
+                           atol=1e-6)
+        for i in range(3):
+            assert self.pivot.own_second_derivative(
+                rates3, i) == pytest.approx(
+                    AllocationFunction.own_second_derivative(
+                        self.pivot, rates3, i), rel=1e-3)
+
+    def test_stalling_overhead_nonnegative(self, rates3, rng):
+        assert self.pivot.stalling_overhead(rates3) > 0.0
+        for _ in range(20):
+            n = int(rng.integers(2, 6))
+            rates = rng.dirichlet(np.ones(n)) * rng.uniform(0.1, 0.9)
+            assert self.pivot.stalling_overhead(rates) >= -1e-12
+
+    def test_single_user_no_overhead(self):
+        assert self.pivot.stalling_overhead([0.4]) == pytest.approx(0.0)
+
+    def test_feasible_as_stalling(self, rates3):
+        assert self.pivot.is_feasible_at(rates3)
+
+    def test_symmetry(self, rates3, rng):
+        assert self.pivot.check_symmetry(rates3, rng=rng)
+
+    def test_overload(self):
+        assert np.all(np.isinf(self.pivot.congestion([0.6, 0.6])))
+        assert self.pivot.stalling_overhead([0.6, 0.6]) == math.inf
+
+
+class TestPivotGame:
+    def test_nash_satisfies_pareto_fdc(self):
+        """The headline: Nash FDC == Pareto FDC under the pivot."""
+        pivot = PivotAllocation()
+        profile = [PowerUtility(gamma=0.5, q=1.5),
+                   PowerUtility(gamma=1.5, q=1.5)]
+        nash = solve_nash(pivot, profile)
+        assert nash.is_equilibrium(1e-6)
+        adapter = ConstraintAdapter.for_allocation(pivot)
+        residuals = pareto_fdc_residuals(profile, nash.rates,
+                                         nash.congestion, adapter)
+        assert np.max(np.abs(residuals)) < 1e-4
+
+    def test_symmetric_profile(self):
+        pivot = PivotAllocation()
+        profile = [PowerUtility(gamma=0.6, q=1.5)] * 3
+        nash = solve_nash(pivot, profile)
+        assert nash.converged
+        assert np.allclose(nash.rates, nash.rates[0], atol=1e-5)
