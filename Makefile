@@ -1,11 +1,34 @@
 # Convenience targets for the greedwork reproduction.
 
 PYTHON ?= python
+STRICT_PKGS = -p repro.queueing -p repro.costsharing -p repro.disciplines
 
-.PHONY: install test test-fast bench experiments report examples clean
+.PHONY: install test test-fast bench experiments report examples clean \
+        lint lint-ruff lint-mypy check
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
+
+lint: lint-ruff lint-mypy check
+
+# ruff/mypy are optional locally (install via `pip install -e '.[dev]'`);
+# CI always has them.  `greedwork check` is stdlib-only and always runs.
+lint-ruff:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+
+lint-mypy:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --strict $(STRICT_PKGS); \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+
+check:
+	PYTHONPATH=src $(PYTHON) -m repro check src
 
 test:
 	$(PYTHON) -m pytest tests/

@@ -14,10 +14,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 import numpy as np
+
+from repro.numerics.rng import default_rng
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -80,6 +83,21 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="full fidelity (slow)")
     report_parser.add_argument("--only", nargs="+", default=None,
                                help="subset of experiment ids")
+
+    check_parser = sub.add_parser(
+        "check",
+        help="run the repo-native static-analysis suite")
+    check_parser.add_argument("paths", nargs="*", default=None,
+                              help="files/directories (default: src)")
+    check_parser.add_argument("--format", choices=("text", "json"),
+                              default="text", dest="output_format")
+    check_parser.add_argument("--select", default=None,
+                              help="comma-separated rule ids to run "
+                                   "(default: all)")
+    check_parser.add_argument("--list-rules", action="store_true",
+                              help="list rule ids and exit")
+    check_parser.add_argument("--verbose", action="store_true",
+                              help="also show suppressed findings")
     return parser
 
 
@@ -159,7 +177,7 @@ def _cmd_protect(rate: float, users: int, discipline: str, samples: int,
     allocation = make_discipline(discipline)
     report = worst_case_congestion(
         allocation, 0, rate, users,
-        rng=np_local.random.default_rng(seed), n_samples=samples)
+        rng=default_rng(seed), n_samples=samples)
     table = Table(
         title=f"Protection of a rate-{rate:g} user among {users} "
               f"({allocation.name})",
@@ -193,6 +211,40 @@ def _cmd_tandem(rates: List[float], policies: List[str], horizon: float,
     return 0
 
 
+def _cmd_check(paths: Optional[List[str]], output_format: str,
+               select: Optional[str], list_rules: bool,
+               verbose: bool) -> int:
+    from repro.staticcheck import all_rules, get_rule, render_json, \
+        render_text, run_checks
+
+    if list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name:20s} {rule.description}")
+        return 0
+    rules = None
+    if select:
+        try:
+            rules = [get_rule(rule_id.strip())
+                     for rule_id in select.split(",") if rule_id.strip()]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    if not paths:
+        paths = ["src"] if os.path.isdir("src") else ["."]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        for p in missing:
+            print(f"error: no such file or directory: {p}",
+                  file=sys.stderr)
+        return 2
+    result = run_checks(paths, rules=rules)
+    if output_format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=verbose))
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -212,6 +264,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "tandem":
         return _cmd_tandem(args.rates, args.policies, args.horizon,
                            args.seed)
+    if args.command == "check":
+        return _cmd_check(args.paths, args.output_format, args.select,
+                          args.list_rules, args.verbose)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

@@ -85,7 +85,7 @@ def solve_cost_game(benefits: Sequence[BenefitFunction],
     def mapping(q: np.ndarray) -> np.ndarray:
         out = q.copy()
         for i in range(n):
-            def payoff(x: float, i=i) -> float:
+            def payoff(x: float, i: int = i) -> float:
                 probe = out.copy()
                 probe[i] = x
                 share = share_of(probe, cost)[i]

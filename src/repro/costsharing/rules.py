@@ -22,6 +22,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.numerics.tolerances import is_zero
+
 CostFunction = Callable[[float], float]
 
 
@@ -39,7 +41,7 @@ def average_cost_shares(demands: Sequence[float],
     """Average-cost pricing: proportional split of the total cost."""
     q = _validate(demands)
     total = float(q.sum())
-    if total == 0.0:
+    if is_zero(total):
         return np.zeros_like(q)
     return (cost(total) / total) * q
 

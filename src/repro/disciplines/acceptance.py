@@ -18,12 +18,13 @@ weighted signalling families fail symmetry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.disciplines.base import AllocationFunction
 from repro.disciplines.mac import sample_domain
+from repro.numerics.rng import default_rng
 
 
 @dataclass
@@ -47,7 +48,7 @@ class ACReport:
 
 def _one_sided_derivatives(allocation: AllocationFunction,
                            rates: np.ndarray, i: int, j: int,
-                           h: float = 1e-6) -> tuple:
+                           h: float = 1e-6) -> Tuple[float, float]:
     """Forward and backward difference of ``C_i`` along ``r_j``."""
     up = rates.copy()
     down = rates.copy()
@@ -71,7 +72,7 @@ def check_ac(allocation: AllocationFunction, n_users: int,
     places where C^1 typically breaks (strict priority) while Fair
     Share stays smooth.
     """
-    generator = rng if rng is not None else np.random.default_rng(13)
+    generator = default_rng(rng if rng is not None else 13)
     points = list(sample_domain(n_users, n_points, rng=generator,
                                 max_load=0.85))
     if include_ties and n_users >= 2:

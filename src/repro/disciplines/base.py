@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.numerics.diff import gradient as numeric_gradient
 from repro.numerics.diff import partial_derivative, second_partial
+from repro.numerics.rng import default_rng
 from repro.queueing.constraints import FeasibilitySet
 from repro.queueing.service_curves import MM1Curve, ServiceCurve
 
@@ -114,14 +115,14 @@ class AllocationFunction(ABC):
         ``C(pi(r)) == pi(C(r))``.
         """
         r = np.asarray(rates, dtype=float)
-        generator = rng if rng is not None else np.random.default_rng(0)
+        generator = default_rng(rng if rng is not None else 0)
         perm = generator.permutation(r.size)
         base = self.congestion(r)
         permuted = self.congestion(r[perm])
         return bool(np.allclose(permuted, base[perm], atol=tol, rtol=0.0,
                                 equal_nan=True))
 
-    def subsystem(self, fixed: dict) -> "Subsystem":
+    def subsystem(self, fixed: Mapping[int, float]) -> "Subsystem":
         """Freeze some users' rates, yielding an induced allocation.
 
         Parameters
@@ -148,20 +149,22 @@ class Subsystem:
     evaluation/derivative interface for the free users.
     """
 
-    def __init__(self, parent: AllocationFunction, fixed: dict) -> None:
+    def __init__(self, parent: AllocationFunction,
+                 fixed: Mapping[int, float]) -> None:
         if not fixed:
             raise ValueError("subsystem requires at least one frozen user")
         self.parent = parent
-        self.fixed = {int(k): float(v) for k, v in fixed.items()}
+        self.fixed: Dict[int, float] = {int(k): float(v)
+                                        for k, v in fixed.items()}
         self._fixed_idx = sorted(self.fixed)
         self.name = f"{parent.name}|fixed{self._fixed_idx}"
 
     @property
-    def curve(self):
+    def curve(self) -> ServiceCurve:
         """The parent discipline's service curve."""
         return self.parent.curve
 
-    def free_indices(self, n_total: int) -> list:
+    def free_indices(self, n_total: int) -> List[int]:
         """Original indices of the free (optimizing) users."""
         return [i for i in range(n_total) if i not in self.fixed]
 

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.disciplines.base import AllocationFunction
+from repro.numerics.rng import default_rng
 
 
 @dataclass
@@ -51,7 +52,7 @@ def sample_domain(n_users: int, n_points: int,
     Draws Dirichlet directions scaled by a uniform total load, giving
     good coverage of both balanced and skewed rate vectors.
     """
-    generator = rng if rng is not None else np.random.default_rng(0)
+    generator = default_rng(rng if rng is not None else 0)
     direction = generator.dirichlet(np.ones(n_users), size=n_points)
     load = generator.uniform(0.05, max_load, size=(n_points, 1))
     return direction * load
@@ -63,7 +64,7 @@ def check_mac(allocation: AllocationFunction, n_users: int,
               derivative_tol: float = 1e-7,
               zero_tol: float = 1e-7) -> MACReport:
     """Numerically check Definition-2 conditions on sampled points."""
-    generator = rng if rng is not None else np.random.default_rng(7)
+    generator = default_rng(rng if rng is not None else 7)
     points = sample_domain(n_users, n_points, rng=generator)
     violations: List[str] = []
     for rates in points:

@@ -12,12 +12,14 @@ weights still leaves Nash equilibria inefficient.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.disciplines.base import AllocationFunction
 from repro.exceptions import DisciplineError
+from repro.numerics.tolerances import is_zero
+from repro.queueing.service_curves import ServiceCurve
 
 
 class WeightedProportionalAllocation(AllocationFunction):
@@ -34,7 +36,8 @@ class WeightedProportionalAllocation(AllocationFunction):
 
     name = "weighted-proportional"
 
-    def __init__(self, weights: Sequence[float], curve=None) -> None:
+    def __init__(self, weights: Sequence[float],
+                 curve: Optional[ServiceCurve] = None) -> None:
         super().__init__(curve)
         w = np.asarray(weights, dtype=float)
         if w.ndim != 1 or w.size == 0:
@@ -60,6 +63,6 @@ class WeightedProportionalAllocation(AllocationFunction):
             return np.full(r.shape, math.inf)
         weighted = self.weights * r
         denom = float(weighted.sum())
-        if denom == 0.0:
+        if is_zero(denom):
             return np.zeros_like(r)
         return (self.curve.value(total) / denom) * weighted

@@ -19,18 +19,20 @@ the descending variant.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.disciplines.base import AllocationFunction
 from repro.exceptions import DisciplineError
+from repro.queueing.service_curves import ServiceCurve
 
 
 class PriorityAllocation(AllocationFunction):
     """Per-user preemptive priority ordered by rate."""
 
-    def __init__(self, curve=None, ascending: bool = True) -> None:
+    def __init__(self, curve: Optional[ServiceCurve] = None,
+                 ascending: bool = True) -> None:
         super().__init__(curve)
         self.ascending = bool(ascending)
         self.name = ("priority-ascending" if self.ascending

@@ -21,6 +21,7 @@ from repro.costsharing.rules import (
     unanimity_bound,
 )
 from repro.experiments.base import ExperimentReport, Table
+from repro.numerics.rng import default_rng
 
 EXPERIMENT_ID = "ablation_costshare"
 CLAIM = ("Serial cost sharing keeps the Fair Share guarantees "
@@ -35,7 +36,7 @@ def quadratic_cost(total: float) -> float:
 
 def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     """Insularity, unanimity bound, and equilibrium comparison."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
 
     # Insularity + unanimity bound on random demand vectors.
     structural = Table(

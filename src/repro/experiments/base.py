@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Union
 
+from repro.numerics.tolerances import is_zero
+
 Cell = Union[str, float, int, bool]
 
 
@@ -37,7 +39,9 @@ class Table:
                 return "nan"
             if cell in (float("inf"), float("-inf")):
                 return "inf" if cell > 0 else "-inf"
-            if cell == 0.0 or 1e-3 <= abs(cell) < 1e5:
+            # atol=0: exactly-zero cells print fixed, tiny nonzero
+            # values keep scientific notation.
+            if is_zero(cell, atol=0.0) or 1e-3 <= abs(cell) < 1e5:
                 return f"{cell:.4f}"
             return f"{cell:.3e}"
         return str(cell)

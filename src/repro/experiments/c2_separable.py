@@ -25,6 +25,7 @@ from repro.game.pareto import (
     pareto_fdc_residuals,
     pareto_improvement,
 )
+from repro.numerics.rng import default_rng
 from repro.users.families import LinearUtility
 from repro.users.profiles import lemma5_profile
 
@@ -36,7 +37,7 @@ CLAIM = ("With the separable constraint f = sum r_i^2 and C_i = r_i^2, "
 
 def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     """Verify the separable escape hatch and the signalling non-escape."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     separable = SeparableAllocation()
     adapter = ConstraintAdapter.for_allocation(separable)
     n_profiles = 3 if fast else 8

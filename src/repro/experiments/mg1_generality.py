@@ -23,6 +23,7 @@ from repro.game.envy import search_unilateral_envy
 from repro.game.nash import solve_nash
 from repro.game.pareto import ConstraintAdapter, pareto_fdc_residuals
 from repro.game.protection import protection_bound, worst_case_congestion
+from repro.numerics.rng import default_rng
 from repro.queueing.service_curves import MG1Curve
 from repro.users.families import PowerUtility
 from repro.users.profiles import random_mixed_profile
@@ -39,7 +40,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
               ("M/G/1 cv=2", MG1Curve(cv=2.0))]
     if fast:
         curves = curves[:1]
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     table = Table(
         title="Fair Share properties across service curves",
         headers=["curve", "sym. Pareto FDC residual",

@@ -28,6 +28,7 @@ from repro.game.nash import find_all_nash, solve_nash
 from repro.game.protection import worst_case_congestion
 from repro.network.model import NetworkAllocation, Route
 from repro.network.tandem import TandemConfig, simulate_tandem
+from repro.numerics.rng import default_rng
 from repro.users.families import PowerUtility
 
 EXPERIMENT_ID = "network_extension"
@@ -54,7 +55,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     fifo_net = crossing_network(ProportionalAllocation)
     n_starts = 5 if fast else 10
     fs_eqs = find_all_nash(fs_net, profile, n_starts=n_starts,
-                           rng=np.random.default_rng(seed),
+                           rng=default_rng(seed),
                            gain_tol=1e-6, distinct_tol=1e-3)
     eq_table = Table(
         title="Crossing network (A->S0, B->S1, C->S0+S1)",
@@ -72,7 +73,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     # 2. Protection of the route user (index 2) under FS everywhere.
     bound = fs_net.protection_bound(0.1, 2)
     report = worst_case_congestion(fs_net, 2, 0.1, 3,
-                                   rng=np.random.default_rng(seed + 1),
+                                   rng=default_rng(seed + 1),
                                    n_samples=60 if fast else 200,
                                    bound=bound)
     protect_table = Table(

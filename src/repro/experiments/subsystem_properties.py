@@ -26,6 +26,7 @@ from repro.experiments.base import ExperimentReport, Table
 from repro.game.dynamics import is_nilpotent, relaxation_matrix
 from repro.game.envy import unilateral_envy
 from repro.game.nash import find_all_nash
+from repro.numerics.rng import default_rng
 from repro.users.profiles import lemma5_profile, random_mixed_profile
 
 EXPERIMENT_ID = "subsystem_properties"
@@ -35,7 +36,7 @@ CLAIM = ("Fair Share's envy-freeness, uniqueness, nilpotency, and "
 
 def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     """Randomized subsystem verification."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     fs = FairShareAllocation()
     fifo = ProportionalAllocation()
     n_cases = 3 if fast else 8

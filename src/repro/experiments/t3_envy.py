@@ -15,6 +15,7 @@ from repro.disciplines.proportional import ProportionalAllocation
 from repro.experiments.base import ExperimentReport, Table
 from repro.game.envy import max_envy, search_unilateral_envy, unilateral_envy
 from repro.game.nash import solve_nash
+from repro.numerics.rng import default_rng
 from repro.users.families import LinearUtility
 from repro.users.profiles import random_mixed_profile
 
@@ -25,7 +26,7 @@ CLAIM = ("Best-responding users never envy under Fair Share; under FIFO "
 
 def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     """Adversarial envy search under both disciplines."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     fs = FairShareAllocation()
     fifo = ProportionalAllocation()
     n_profiles = 3 if fast else 8
@@ -71,7 +72,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
         title="Envy at Nash equilibrium (max over ordered pairs)",
         headers=["profile", "FIFO max envy at Nash",
                  "FS max envy at Nash"])
-    rng2 = np.random.default_rng(seed + 1)
+    rng2 = default_rng(seed + 1)
     for p in range(2 if fast else 4):
         n_users = int(rng2.integers(2, 4))
         profile = random_mixed_profile(n_users, rng2)

@@ -19,6 +19,7 @@ from repro.disciplines.proportional import ProportionalAllocation
 from repro.experiments.base import ExperimentReport, Table
 from repro.game.nash import find_all_nash, is_nash
 from repro.game.witnesses import fifo_multiplicity_witness
+from repro.numerics.rng import default_rng
 from repro.users.profiles import random_mixed_profile
 
 EXPERIMENT_ID = "t4_uniqueness"
@@ -41,10 +42,10 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
 
     n_starts = 10 if fast else 24
     fifo_eqs = find_all_nash(fifo, profile, n_starts=n_starts,
-                             rng=np.random.default_rng(seed),
+                             rng=default_rng(seed),
                              gain_tol=1e-8, distinct_tol=5e-3)
     fs_eqs = find_all_nash(fs, profile, n_starts=n_starts,
-                           rng=np.random.default_rng(seed + 1),
+                           rng=default_rng(seed + 1),
                            gain_tol=1e-8, distinct_tol=5e-3)
 
     witness_table = Table(
@@ -65,7 +66,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
                          float(eq.max_gain))
 
     # Uniqueness sweep for Fair Share over random profiles.
-    rng = np.random.default_rng(seed + 2)
+    rng = default_rng(seed + 2)
     n_profiles = 3 if fast else 10
     fs_always_unique = True
     for _ in range(n_profiles):

@@ -24,6 +24,7 @@ from repro.game.dynamics import (
     run_newton_dynamics,
     spectral_radius,
 )
+from repro.numerics.rng import default_rng
 from repro.users.families import LinearUtility
 from repro.users.profiles import lemma5_profile
 
@@ -37,7 +38,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     """Nilpotency sweep + eigenvalue table + Newton trajectories."""
     fs = FairShareAllocation()
     fifo = ProportionalAllocation()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
 
     # Nilpotency of FS relaxation matrices at random interior points.
     n_points = 4 if fast else 12

@@ -11,12 +11,11 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.disciplines.fair_share import FairShareAllocation
 from repro.disciplines.proportional import ProportionalAllocation
 from repro.experiments.base import ExperimentReport, Table
 from repro.game.protection import protection_bound, worst_case_congestion
+from repro.numerics.rng import default_rng
 
 EXPERIMENT_ID = "t8_protection"
 CLAIM = ("max over opponents of C_i never exceeds g(N r_i)/N under Fair "
@@ -27,7 +26,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     """Adversarial congestion maximization under both disciplines."""
     fs = FairShareAllocation()
     fifo = ProportionalAllocation()
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     n_samples = 80 if fast else 300
 
     table = Table(

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.game.best_response import best_response
+from repro.numerics.rng import default_rng
 from repro.users.utility import Utility
 
 
@@ -109,7 +110,7 @@ def search_unilateral_envy(allocation, profile: Sequence[Utility],
     For Fair Share the returned envy should never be positive; for FIFO
     it usually is.
     """
-    generator = rng if rng is not None else np.random.default_rng(11)
+    generator = default_rng(rng if rng is not None else 11)
     n = len(profile)
     worst: Optional[UnilateralEnvyOutcome] = None
     for _ in range(n_trials):

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.numerics.rng import default_rng
 from repro.users.utility import Utility
 
 
@@ -162,7 +163,7 @@ def learning_automata(allocation, profile: Sequence[Utility],
     Rewards are normalized per user with a running min/max so that the
     ordinal utilities become [0, 1] reinforcement signals.
     """
-    generator = rng if rng is not None else np.random.default_rng(17)
+    generator = default_rng(rng if rng is not None else 17)
     n = len(profile)
     if len(grids) != n:
         raise ValueError(f"{len(grids)} grids for {n} users")
@@ -231,7 +232,7 @@ def stochastic_better_reply(allocation, profile: Sequence[Utility],
     paper's TV-contrast analogy.  Returns the rate trajectory
     (``n_steps + 1`` rows).
     """
-    generator = rng if rng is not None else np.random.default_rng(3)
+    generator = default_rng(rng if rng is not None else 3)
     r = np.asarray(r0, dtype=float).copy()
     n = r.size
     trail = np.empty((n_steps + 1, n))

@@ -29,6 +29,7 @@ from repro.game.best_response import (
     utility_improvement,
 )
 from repro.numerics.iterate import damped_fixed_point
+from repro.numerics.rng import default_rng
 from repro.users.utility import Utility
 
 
@@ -171,7 +172,7 @@ def find_all_nash(allocation, profile: Sequence[Utility],
     points closer than ``distinct_tol`` in sup norm.  Returns the
     distinct equilibria found (possibly empty if nothing certified).
     """
-    generator = rng if rng is not None else np.random.default_rng(0)
+    generator = default_rng(rng if rng is not None else 0)
     n = len(profile)
     capacity = getattr(allocation.curve, "capacity", math.inf)
     max_total = 0.95 * capacity if math.isfinite(capacity) else 2.0

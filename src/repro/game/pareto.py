@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy import optimize as sp_optimize
 
+from repro.numerics.rng import default_rng
 from repro.queueing.service_curves import ServiceCurve
 from repro.users.utility import Utility
 
@@ -245,7 +246,7 @@ def pareto_improvement(profile: Sequence[Utility],
                 - base_u[i])),
         })
     bounds = ([(1e-5, rate_cap)] * n) + ([(1e-7, None)] * n)
-    rng = np.random.default_rng(0)
+    rng = default_rng(0)
     best: Optional[np.ndarray] = None
     best_total = 0.0
     for attempt in range(4):

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 from scipy import optimize as sp_optimize
 
+from repro.numerics.rng import default_rng
 from repro.queueing.service_curves import MM1Curve, ServiceCurve
 
 
@@ -81,7 +82,7 @@ def worst_case_congestion(allocation, i: int, own_rate: float,
     """
     if n_users < 2:
         raise ValueError("protection needs at least one opponent")
-    generator = rng if rng is not None else np.random.default_rng(23)
+    generator = default_rng(rng if rng is not None else 23)
     if bound is None:
         bound = protection_bound(own_rate, n_users,
                                  curve=allocation.curve)
@@ -124,7 +125,7 @@ def verify_protective(allocation, n_users: int,
     By symmetry checking one user index suffices for symmetric
     allocation functions.
     """
-    generator = rng if rng is not None else np.random.default_rng(29)
+    generator = default_rng(rng if rng is not None else 29)
     if rates_to_check is None:
         rates_to_check = np.linspace(0.02, 0.9 / n_users, 6)
     for own_rate in np.asarray(rates_to_check, dtype=float):

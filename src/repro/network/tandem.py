@@ -23,6 +23,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.numerics.rng import default_rng
 from repro.sim.measurements import QueueTracker
 from repro.sim.packet import Packet
 from repro.sim.queues import QueuePolicy, make_policy
@@ -107,7 +108,7 @@ def simulate_tandem(config: TandemConfig) -> TandemResult:
         raise SimulationError("horizon must exceed warmup")
     n = rates.size
     hops = [_resolve(config.policies[k], rates, n) for k in range(2)]
-    rng = np.random.default_rng(config.seed)
+    rng = default_rng(config.seed)
     trackers = [QueueTracker(n, warmup=config.warmup) for _ in range(2)]
     for tracker in trackers:
         tracker.configure_batches(config.horizon,

@@ -23,6 +23,14 @@ from repro.numerics.iterate import (
     FixedPointResult,
     damped_fixed_point,
 )
+from repro.numerics.rng import DEFAULT_SEED, default_rng
+from repro.numerics.tolerances import (
+    ABS_TOL,
+    REL_TOL,
+    ZERO_ATOL,
+    is_zero,
+    isclose,
+)
 
 __all__ = [
     "gradient",
@@ -35,4 +43,11 @@ __all__ = [
     "multistart_maximize",
     "FixedPointResult",
     "damped_fixed_point",
+    "DEFAULT_SEED",
+    "default_rng",
+    "ABS_TOL",
+    "REL_TOL",
+    "ZERO_ATOL",
+    "is_zero",
+    "isclose",
 ]

@@ -11,6 +11,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.numerics.tolerances import is_zero
+
 
 def mm1_utilization(arrival_rate: float, service_rate: float = 1.0) -> float:
     """Server utilization ``rho = lambda / mu``."""
@@ -65,6 +67,6 @@ def proportional_split(rates: Sequence[float],
     if total >= service_rate:
         return np.full(r.shape, math.inf)
     rho = total / service_rate
-    if total == 0.0:
+    if is_zero(total):
         return np.zeros_like(r)
     return (rho / (1.0 - rho)) * (r / total)

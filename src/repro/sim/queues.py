@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.numerics.rng import default_rng
 from repro.sim.packet import Packet
 
 
@@ -186,7 +187,7 @@ class PreemptivePriorityQueue(QueuePolicy):
 
     def push(self, packet: Packet, rng: Optional[np.random.Generator] = None
              ) -> None:
-        generator = rng if rng is not None else np.random.default_rng(0)
+        generator = default_rng(rng if rng is not None else 0)
         klass = self._classifier(packet, generator)
         if not 0 <= klass < len(self._classes):
             raise SimulationError(

@@ -25,6 +25,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.numerics.rng import default_rng
 from repro.sim.arrivals import interarrival_sampler
 from repro.sim.measurements import BatchMeans, QueueTracker
 from repro.sim.packet import Packet
@@ -137,7 +138,7 @@ def simulate(config: SimulationConfig) -> SimulationResult:
         raise SimulationError(
             f"horizon {config.horizon} must exceed warmup {config.warmup}")
     policy = _resolve_policy(config)
-    rng = np.random.default_rng(config.seed)
+    rng = default_rng(config.seed)
     n = rates.size
     tracker = QueueTracker(n, warmup=config.warmup)
     tracker.configure_batches(config.horizon, n_batches=config.n_batches)

@@ -1,0 +1,56 @@
+"""`greedwork check`: the repo-native static-analysis suite.
+
+The paper's guarantees (efficiency, uniqueness, protection) hold only
+when the allocation function obeys structural contracts; analogously,
+the reproduction's guarantees (reproducible experiments, a layered
+architecture, a uniform discipline interface) hold only when the *code*
+obeys contracts that ordinary linters do not know about.  This package
+enforces them mechanically:
+
+``GW001``  layer-DAG enforcement — imports must flow down the
+           architecture (`numerics/queueing` → `costsharing/
+           disciplines/users` → `game/sim/network` →
+           `analysis/experiments` → `cli`).
+``GW002``  discipline-contract conformance — everything registered in
+           ``repro.disciplines.registry`` must statically implement
+           the :class:`~repro.disciplines.base.AllocationFunction`
+           surface and be constructible by its registered factory.
+``GW003``  RNG discipline — no stdlib ``random``, no legacy
+           ``np.random.*`` global state, no raw
+           ``np.random.default_rng``; randomness enters through
+           ``Generator`` parameters or :func:`repro.numerics.default_rng`.
+``GW004``  float equality — ``==``/``!=`` against float expressions
+           must go through :mod:`repro.numerics.tolerances`.
+``GW005``  hygiene — mutable default arguments and shadowed builtins.
+
+Findings are suppressible per line with ``# greedwork: ignore[GW00x]``
+(comma-separate several ids; a bare ``ignore`` or ``ignore[*]``
+silences every rule for that line).  Run it as ``greedwork check`` or
+programmatically via :func:`run_checks`.
+"""
+
+from repro.staticcheck.core import (
+    CheckResult,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.runner import collect_files, run_checks
+
+__all__ = [
+    "CheckResult",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "collect_files",
+    "run_checks",
+]

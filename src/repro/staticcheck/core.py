@@ -1,0 +1,186 @@
+"""Shared infrastructure: findings, file contexts, suppression, registry.
+
+A *rule* inspects one :class:`FileContext` (path, source, parsed AST,
+module name) and yields :class:`Finding` objects.  The runner parses
+``# greedwork: ignore[...]`` pragmas and drops findings they cover, so
+rules never need to reason about suppression themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Type
+
+#: Sentinel rule id meaning "every rule" in a suppression pragma.
+ALL_RULES = "*"
+
+_PRAGMA = re.compile(
+    r"#\s*greedwork:\s*ignore(?:\[(?P<ids>[^\]]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        """Stable report ordering: path, then location, then rule."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """GCC-style one-line rendering (``path:line:col: RULE msg``)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} {self.message}")
+
+
+class FileContext:
+    """Everything a rule may want to know about one source file."""
+
+    def __init__(self, path: Path, source: str,
+                 project_root: Optional[Path] = None) -> None:
+        self.path = path
+        self.project_root = project_root
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.module = module_name_for(path)
+        self.display_path = display_path_for(path, project_root)
+        self._suppressions = _parse_suppressions(self.lines)
+
+    def suppressed_ids(self, line: int) -> FrozenSet[str]:
+        """Rule ids suppressed on a 1-based source line.
+
+        A pragma suppresses the line it sits on; a pragma on an
+        otherwise-blank line also covers the line directly below it,
+        so long statements can carry the comment above them.
+        """
+        return self._suppressions.get(line, frozenset())
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether a pragma on the finding's line covers its rule."""
+        ids = self.suppressed_ids(finding.line)
+        return ALL_RULES in ids or finding.rule_id in ids
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name for files living under a ``repro`` package.
+
+    Uses the *last* path component named ``repro`` so that temporary
+    project trees (``/tmp/.../src/repro/...``) resolve the same way as
+    the real one.  Returns ``None`` for files outside any ``repro``
+    package (rules that reason about the architecture skip those).
+    """
+    parts = path.resolve().with_suffix("").parts
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+    dotted = list(parts[idx:])
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+def display_path_for(path: Path, project_root: Optional[Path]) -> str:
+    """Path as shown in reports: project-relative when possible."""
+    if project_root is not None:
+        try:
+            return path.resolve().relative_to(
+                project_root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return str(path)
+
+
+def _parse_suppressions(lines: List[str]) -> Dict[int, FrozenSet[str]]:
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        raw = match.group("ids")
+        if raw is None:
+            ids = frozenset({ALL_RULES})
+        else:
+            ids = frozenset(
+                token.strip() for token in raw.split(",") if token.strip())
+            if not ids:
+                ids = frozenset({ALL_RULES})
+        out[lineno] = out.get(lineno, frozenset()) | ids
+        # A standalone pragma (comment-only line) covers the next line.
+        if text[:match.start()].strip() == "":
+            out[lineno + 1] = out.get(lineno + 1, frozenset()) | ids
+    return out
+
+
+class Rule:
+    """Base class for checks; subclasses set the class attributes."""
+
+    rule_id: str = "GW000"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for one file (suppression handled upstream)."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node."""
+        return Finding(rule_id=self.rule_id, path=ctx.display_path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one registered rule by id."""
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[rule_id]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known rules: {known}") from None
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily to avoid a cycle (rule modules import this one).
+    import repro.staticcheck.rules  # noqa: F401
+
+
+@dataclass
+class CheckResult:
+    """Outcome of running the suite over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings

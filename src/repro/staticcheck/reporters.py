@@ -1,0 +1,47 @@
+"""Render check results as human-readable text or machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.staticcheck.core import CheckResult
+
+
+def render_text(result: CheckResult, verbose: bool = False) -> str:
+    """GCC-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines: List[str] = [f.render() for f in
+                        sorted(result.findings, key=lambda f: f.sort_key())]
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append("suppressed:")
+        lines.extend("  " + f.render() for f in
+                     sorted(result.suppressed,
+                            key=lambda f: f.sort_key()))
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} "
+        f"({len(result.suppressed)} suppressed) in "
+        f"{result.files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Stable JSON document for tooling (CI annotations, dashboards)."""
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "findings": [
+            {"rule": f.rule_id, "path": f.path, "line": f.line,
+             "col": f.col, "message": f.message}
+            for f in sorted(result.findings,
+                            key=lambda f: f.sort_key())
+        ],
+        "suppressed": [
+            {"rule": f.rule_id, "path": f.path, "line": f.line,
+             "col": f.col, "message": f.message}
+            for f in sorted(result.suppressed,
+                            key=lambda f: f.sort_key())
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,15 @@
+"""Built-in rules; importing this module registers all of them."""
+
+from repro.staticcheck.rules.layers import LayerDAGRule
+from repro.staticcheck.rules.contracts import DisciplineContractRule
+from repro.staticcheck.rules.rng import RNGDisciplineRule
+from repro.staticcheck.rules.floats import FloatEqualityRule
+from repro.staticcheck.rules.hygiene import HygieneRule
+
+__all__ = [
+    "LayerDAGRule",
+    "DisciplineContractRule",
+    "RNGDisciplineRule",
+    "FloatEqualityRule",
+    "HygieneRule",
+]

@@ -1,0 +1,136 @@
+"""GW005 — mutable-default and shadowed-builtin hygiene.
+
+Two classic Python footguns that have each produced real heisenbugs in
+numerical experiment code:
+
+* **Mutable default arguments** — a ``def f(history=[])`` shares one
+  list across every call (and across experiment *seeds*, silently
+  correlating runs that must be independent).
+* **Shadowed builtins** — binding ``sum``, ``max``, ``type``, ... as a
+  parameter, variable, or function name changes the meaning of later
+  code in the same scope and defeats readers' expectations.
+
+Names consisting of a single underscore or conventional loop throwaways
+are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable, Iterator, Tuple
+
+from repro.staticcheck.core import FileContext, Finding, Rule, register_rule
+
+#: Builtins whose shadowing is flagged.  Dunders, exceptions, and a few
+#: names that are conventional identifiers in scientific code are left
+#: out to keep the signal high.
+_EXEMPT = frozenset({
+    "_", "__doc__", "__name__", "__file__",
+    # conventional/short science identifiers we tolerate:
+    "bin", "chr", "ord",
+})
+SHADOWABLE_BUILTINS = frozenset(
+    name for name in dir(builtins)
+    if not name.startswith("_")
+    and name not in _EXEMPT
+    and name[0].islower()          # skip exception/class names
+)
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray",
+                            "defaultdict", "deque", "Counter",
+                            "OrderedDict"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register_rule
+class HygieneRule(Rule):
+    """Flag mutable defaults and shadowed builtins (GW005)."""
+
+    rule_id = "GW005"
+    name = "hygiene"
+    description = ("no mutable default arguments; no parameters, "
+                   "assignments, or definitions shadowing builtins")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                yield from self._check_defaults(ctx, node)
+                yield from self._check_params(ctx, node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if node.name in SHADOWABLE_BUILTINS:
+                    yield self.finding(
+                        ctx, node,
+                        f"definition {node.name!r} shadows a builtin")
+            elif isinstance(node, ast.Assign):
+                for target_name, anchor in self._names_bound(node):
+                    if target_name in SHADOWABLE_BUILTINS:
+                        yield self.finding(
+                            ctx, anchor,
+                            f"assignment to {target_name!r} shadows a "
+                            f"builtin")
+            elif isinstance(node, ast.For):
+                for target_name, anchor in \
+                        self._target_names(node.target):
+                    if target_name in SHADOWABLE_BUILTINS:
+                        yield self.finding(
+                            ctx, anchor,
+                            f"loop variable {target_name!r} shadows a "
+                            f"builtin")
+
+    def _check_defaults(self, ctx: FileContext,
+                        node) -> Iterable[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        label = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield self.finding(
+                    ctx, default,
+                    f"mutable default argument in {label!r}; use "
+                    f"None and construct inside the function (or a "
+                    f"dataclass field(default_factory=...))")
+
+    def _check_params(self, ctx: FileContext, node) -> Iterable[Finding]:
+        label = getattr(node, "name", "<lambda>")
+        args = node.args
+        every = (args.posonlyargs + args.args + args.kwonlyargs
+                 + ([args.vararg] if args.vararg else [])
+                 + ([args.kwarg] if args.kwarg else []))
+        for arg in every:
+            if arg.arg in SHADOWABLE_BUILTINS:
+                yield self.finding(
+                    ctx, arg,
+                    f"parameter {arg.arg!r} of {label!r} shadows a "
+                    f"builtin")
+
+    @staticmethod
+    def _names_bound(node: ast.Assign
+                     ) -> Iterator[Tuple[str, ast.AST]]:
+        for target in node.targets:
+            yield from HygieneRule._target_names(target)
+
+    @staticmethod
+    def _target_names(target: ast.expr
+                      ) -> Iterator[Tuple[str, ast.AST]]:
+        if isinstance(target, ast.Name):
+            yield target.id, target
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from HygieneRule._target_names(element)
+        elif isinstance(target, ast.Starred):
+            yield from HygieneRule._target_names(target.value)

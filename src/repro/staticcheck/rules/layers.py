@@ -1,0 +1,147 @@
+"""GW001 — layer-DAG enforcement.
+
+The architecture is a DAG of layers::
+
+    0  exceptions
+    1  numerics, queueing
+    2  costsharing, disciplines, users
+    3  game, sim, network
+    4  analysis, experiments
+    5  staticcheck
+    6  cli, __main__, and the root ``repro`` facade
+
+Imports must point strictly downward.  Within a layer, only the
+explicitly declared edges in :data:`INTRA_LAYER_EDGES` are legal
+(sub-orderings that exist inside a band, e.g. ``users`` may build on
+``disciplines`` but not vice versa).  Everything else — an upward
+import, an undeclared cross-import inside a band — is a back-edge that
+would eventually make the package graph cyclic and is rejected.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.staticcheck.core import FileContext, Finding, Rule, register_rule
+
+#: Name of the root facade pseudo-package (``repro/__init__.py``).
+ROOT_FACADE = "<root>"
+
+LAYERS: Dict[str, int] = {
+    "exceptions": 0,
+    "numerics": 1,
+    "queueing": 1,
+    "costsharing": 2,
+    "disciplines": 2,
+    "users": 2,
+    "game": 3,
+    "sim": 3,
+    "network": 3,
+    "analysis": 4,
+    "experiments": 4,
+    "staticcheck": 5,
+    "cli": 6,
+    "__main__": 6,
+    ROOT_FACADE: 6,
+}
+
+#: Declared same-layer dependencies (importer, imported).
+INTRA_LAYER_EDGES: FrozenSet[Tuple[str, str]] = frozenset({
+    ("queueing", "numerics"),
+    ("costsharing", "disciplines"),
+    ("users", "disciplines"),
+    ("network", "sim"),
+    ("experiments", "analysis"),
+    ("__main__", "cli"),        # entry point delegates to the CLI
+})
+
+
+def package_of(module: str) -> Optional[str]:
+    """The layer-relevant package of a dotted ``repro`` module name.
+
+    ``repro.queueing.mm1`` → ``queueing``; top-level modules map to
+    themselves (``repro.cli`` → ``cli``); the bare package ``repro``
+    maps to :data:`ROOT_FACADE`.
+    """
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return ROOT_FACADE
+    return parts[1]
+
+
+@register_rule
+class LayerDAGRule(Rule):
+    """Flag imports that point upward or across layers (GW001)."""
+
+    rule_id = "GW001"
+    name = "layer-dag"
+    description = ("imports must respect the layer DAG "
+                   "(numerics/queueing -> costsharing/disciplines/users "
+                   "-> game/sim/network -> analysis/experiments -> cli)")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module is None or not ctx.module.startswith("repro"):
+            return
+        src_pkg = package_of(ctx.module)
+        if src_pkg is None:
+            return
+        for node, target in self._repro_imports(ctx):
+            dst_pkg = package_of(target)
+            if dst_pkg is None or dst_pkg == src_pkg:
+                continue
+            if self._edge_ok(src_pkg, dst_pkg):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"layer back-edge: '{src_pkg}' (layer "
+                f"{LAYERS.get(src_pkg, '?')}) must not import "
+                f"'{dst_pkg}' (layer {LAYERS.get(dst_pkg, '?')}) "
+                f"via {target}")
+
+    @staticmethod
+    def _edge_ok(src_pkg: str, dst_pkg: str) -> bool:
+        src_layer = LAYERS.get(src_pkg)
+        dst_layer = LAYERS.get(dst_pkg)
+        if src_layer is None or dst_layer is None:
+            # Unknown package: refuse rather than silently allow, so a
+            # new subpackage must be placed in the DAG deliberately.
+            return False
+        if dst_layer < src_layer:
+            return True
+        if dst_layer == src_layer:
+            return (src_pkg, dst_pkg) in INTRA_LAYER_EDGES
+        return False
+
+    def _repro_imports(
+            self, ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "repro":
+                        yield node, alias.name
+            elif isinstance(node, ast.ImportFrom):
+                target = self._resolve_from(ctx, node)
+                if target is not None and target.split(".")[0] == "repro":
+                    yield node, target
+
+    @staticmethod
+    def _resolve_from(ctx: FileContext,
+                      node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        if ctx.module is None:
+            return None
+        base = ctx.module.split(".")
+        # For a plain module, level 1 is its own package; for an
+        # __init__ the module name *is* the package, so one fewer
+        # component is dropped.
+        drop = node.level - 1 if ctx.path.stem == "__init__" else node.level
+        base = base[:len(base) - drop] if drop else base
+        if not base:
+            return None
+        if node.module:
+            return ".".join(base + node.module.split("."))
+        return ".".join(base)

@@ -1,0 +1,87 @@
+"""Collect files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.staticcheck.core import (
+    CheckResult,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    display_path_for,
+)
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache",
+                        "build", "dist", ".venv", "venv"})
+
+
+def collect_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def run_checks(paths: Sequence[Union[str, Path]],
+               rules: Optional[Sequence[Rule]] = None,
+               project_root: Optional[Union[str, Path]] = None,
+               ) -> CheckResult:
+    """Run the suite over ``paths`` and return a :class:`CheckResult`.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories (recursed) to analyse.
+    rules:
+        Rule instances to apply; defaults to every registered rule.
+    project_root:
+        Base for report-relative paths; defaults to the current
+        working directory.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    root = Path(project_root) if project_root is not None else Path.cwd()
+    result = CheckResult()
+    for path in collect_files(paths):
+        result.files_checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.findings.append(Finding(
+                rule_id="GW000", path=display_path_for(path, root),
+                line=1, col=1, message=f"cannot read file: {exc}"))
+            continue
+        try:
+            ctx = FileContext(path, source, project_root=root)
+        except SyntaxError as exc:
+            result.findings.append(Finding(
+                rule_id="GW000", path=display_path_for(path, root),
+                line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}"))
+            continue
+        for rule in active:
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding):
+                    result.suppressed.append(finding)
+                else:
+                    result.findings.append(finding)
+    result.findings.sort(key=lambda f: f.sort_key())
+    result.suppressed.sort(key=lambda f: f.sort_key())
+    return result

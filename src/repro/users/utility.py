@@ -23,6 +23,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.exceptions import UtilityDomainError
+from repro.numerics.tolerances import is_zero
 
 _H = 1e-6
 
@@ -63,7 +64,7 @@ class Utility(ABC):
         (``M = -f'``).
         """
         denominator = self.du_dc(r, c)
-        if denominator == 0.0:
+        if is_zero(denominator):
             raise UtilityDomainError(
                 f"dU/dc vanished at (r={r}, c={c}); utility is not in AU")
         return self.du_dr(r, c) / denominator

@@ -1,0 +1,598 @@
+"""The static-analysis suite: per-rule fixtures and the repo self-check.
+
+Each rule gets three fixtures: code that must pass, code that must fail
+(with the right rule id and location), and the same failing code made
+clean by a ``# greedwork: ignore[...]`` pragma.  A final test runs the
+full suite over the real ``src/`` tree and asserts it is clean — the
+same gate CI applies via ``greedwork check``.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.staticcheck import all_rules, get_rule, run_checks
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def write_module(root: Path, relpath: str, source: str) -> Path:
+    """Write a dedented module (and parents) under ``root``."""
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def findings_for(path: Path, rule_id: str, root=None):
+    result = run_checks([path], rules=[get_rule(rule_id)],
+                        project_root=root)
+    return result
+
+
+class TestFramework:
+    def test_all_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == ["GW001", "GW002", "GW003", "GW004", "GW005"]
+
+    def test_unknown_rule_id(self):
+        with pytest.raises(KeyError):
+            get_rule("GW999")
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = write_module(tmp_path, "broken.py", "def f(:\n")
+        result = run_checks([bad])
+        assert len(result.findings) == 1
+        assert result.findings[0].rule_id == "GW000"
+
+    def test_suppression_comma_list_and_star(self, tmp_path):
+        source = """\
+            import numpy as np
+            rng = np.random.default_rng(3)  # greedwork: ignore[GW003, GW004]
+            x = np.random.default_rng(4)  # greedwork: ignore[*]
+            y = np.random.default_rng(5)  # greedwork: ignore
+        """
+        path = write_module(tmp_path, "mod.py", source)
+        result = findings_for(path, "GW003")
+        assert result.findings == []
+        assert len(result.suppressed) == 3
+
+    def test_standalone_pragma_covers_next_line(self, tmp_path):
+        source = """\
+            import numpy as np
+            # greedwork: ignore[GW003]
+            rng = np.random.default_rng(3)
+        """
+        path = write_module(tmp_path, "mod.py", source)
+        result = findings_for(path, "GW003")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        source = """\
+            import numpy as np
+            rng = np.random.default_rng(3)  # greedwork: ignore[GW004]
+        """
+        path = write_module(tmp_path, "mod.py", source)
+        result = findings_for(path, "GW003")
+        assert len(result.findings) == 1
+
+
+class TestLayerDAG:
+    """GW001."""
+
+    def test_downward_import_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/thing.py", """\
+            from repro.numerics.diff import gradient
+            from repro.disciplines.base import AllocationFunction
+            from repro.users.utility import Utility
+        """)
+        assert findings_for(path, "GW001").findings == []
+
+    def test_upward_import_fails_with_location(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/bad.py", """\
+            import math
+
+            from repro.experiments.base import Table
+        """)
+        result = findings_for(path, "GW001", root=tmp_path)
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule_id == "GW001"
+        assert finding.line == 3
+        assert finding.path.endswith("src/repro/queueing/bad.py")
+        assert "experiments" in finding.message
+
+    def test_undeclared_same_layer_edge_fails(self, tmp_path):
+        # sim -> network is not a declared intra-layer edge
+        # (network -> sim is).
+        path = write_module(tmp_path, "src/repro/sim/bad.py", """\
+            from repro.network.model import Network
+        """)
+        result = findings_for(path, "GW001")
+        assert len(result.findings) == 1
+
+    def test_declared_same_layer_edge_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/network/ok.py", """\
+            from repro.sim.packet import Packet
+        """)
+        assert findings_for(path, "GW001").findings == []
+
+    def test_relative_import_resolved(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/bad2.py", """\
+            from ..experiments import base
+        """)
+        result = findings_for(path, "GW001")
+        assert len(result.findings) == 1
+        assert "experiments" in result.findings[0].message
+
+    def test_unknown_package_is_rejected(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/bad3.py", """\
+            from repro.shinynewpkg.core import thing
+        """)
+        result = findings_for(path, "GW001")
+        assert len(result.findings) == 1
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/hmm.py", """\
+            from repro.experiments.base import Table  # greedwork: ignore[GW001]
+        """)
+        result = findings_for(path, "GW001")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+GOOD_DISCIPLINE = """\
+    import numpy as np
+
+    from repro.disciplines.base import AllocationFunction
+
+
+    class NiceAllocation(AllocationFunction):
+        name = "nice"
+
+        def __init__(self, curve=None, bias: float = 0.0) -> None:
+            super().__init__(curve)
+            self.bias = bias
+
+        def congestion(self, rates):
+            return np.asarray(rates, dtype=float)
+"""
+
+BASE_STUB = """\
+    from abc import ABC, abstractmethod
+
+
+    class AllocationFunction(ABC):
+        name: str = "allocation"
+
+        @abstractmethod
+        def congestion(self, rates):
+            ...
+"""
+
+
+class TestDisciplineContract:
+    """GW002."""
+
+    def _tree(self, tmp_path, registry_src, discipline_src=GOOD_DISCIPLINE):
+        write_module(tmp_path, "src/repro/disciplines/base.py", BASE_STUB)
+        write_module(tmp_path, "src/repro/disciplines/nice.py",
+                     discipline_src)
+        return write_module(tmp_path, "src/repro/disciplines/registry.py",
+                            registry_src)
+
+    def test_conforming_registry_passes(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            from repro.disciplines.nice import NiceAllocation
+
+            _FACTORIES = {
+                "nice": NiceAllocation,
+                "biased": lambda: NiceAllocation(bias=0.5),
+            }
+        """)
+        assert findings_for(registry, "GW002").findings == []
+
+    def test_unresolvable_name_fails(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            _FACTORIES = {"ghost": GhostAllocation}
+        """)
+        result = findings_for(registry, "GW002")
+        assert len(result.findings) == 1
+        assert "cannot resolve" in result.findings[0].message
+
+    def test_missing_congestion_fails(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            from repro.disciplines.nice import NiceAllocation
+
+            _FACTORIES = {"nice": NiceAllocation}
+        """, discipline_src="""\
+            from repro.disciplines.base import AllocationFunction
+
+
+            class NiceAllocation(AllocationFunction):
+                name = "nice"
+        """)
+        result = findings_for(registry, "GW002")
+        assert len(result.findings) == 1
+        assert "congestion" in result.findings[0].message
+
+    def test_wrong_congestion_signature_fails(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            from repro.disciplines.nice import NiceAllocation
+
+            _FACTORIES = {"nice": NiceAllocation}
+        """, discipline_src="""\
+            from repro.disciplines.base import AllocationFunction
+
+
+            class NiceAllocation(AllocationFunction):
+                name = "nice"
+
+                def congestion(self, rates, extra):
+                    return rates
+        """)
+        result = findings_for(registry, "GW002")
+        assert len(result.findings) == 1
+        assert "exactly one required parameter" in \
+            result.findings[0].message
+
+    def test_not_subclassing_base_fails(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            from repro.disciplines.nice import NiceAllocation
+
+            _FACTORIES = {"nice": NiceAllocation}
+        """, discipline_src="""\
+            class NiceAllocation:
+                name = "nice"
+
+                def congestion(self, rates):
+                    return rates
+        """)
+        result = findings_for(registry, "GW002")
+        assert any("subclass" in f.message for f in result.findings)
+
+    def test_required_init_param_fails(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            from repro.disciplines.nice import NiceAllocation
+
+            _FACTORIES = {"nice": NiceAllocation}
+        """, discipline_src="""\
+            from repro.disciplines.base import AllocationFunction
+
+
+            class NiceAllocation(AllocationFunction):
+                name = "nice"
+
+                def __init__(self, gamma):
+                    self.gamma = gamma
+
+                def congestion(self, rates):
+                    return rates
+        """)
+        result = findings_for(registry, "GW002")
+        assert len(result.findings) == 1
+        assert "zero-argument" in result.findings[0].message
+
+    def test_lambda_with_unknown_kwarg_fails(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            from repro.disciplines.nice import NiceAllocation
+
+            _FACTORIES = {
+                "odd": lambda: NiceAllocation(nonexistent=1),
+            }
+        """)
+        result = findings_for(registry, "GW002")
+        assert len(result.findings) == 1
+        assert "no parameter 'nonexistent'" in result.findings[0].message
+
+    def test_instance_name_attribute_accepted(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            from repro.disciplines.nice import NiceAllocation
+
+            _FACTORIES = {"nice": NiceAllocation}
+        """, discipline_src="""\
+            from repro.disciplines.base import AllocationFunction
+
+
+            class NiceAllocation(AllocationFunction):
+                def __init__(self, flip: bool = True) -> None:
+                    self.name = "nice-up" if flip else "nice-down"
+
+                def congestion(self, rates):
+                    return rates
+        """)
+        assert findings_for(registry, "GW002").findings == []
+
+    def test_suppressible(self, tmp_path):
+        registry = self._tree(tmp_path, """\
+            _FACTORIES = {
+                "ghost": GhostAllocation,  # greedwork: ignore[GW002]
+            }
+        """)
+        result = findings_for(registry, "GW002")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_real_registry_conforms(self):
+        registry = REPO_SRC / "repro" / "disciplines" / "registry.py"
+        result = findings_for(registry, "GW002")
+        assert result.findings == []
+
+
+class TestRNGDiscipline:
+    """GW003."""
+
+    def test_generator_parameter_passes(self, tmp_path):
+        path = write_module(tmp_path, "ok.py", """\
+            import numpy as np
+
+            from repro.numerics.rng import default_rng
+
+
+            def sample(n, rng=None):
+                generator = default_rng(rng if rng is not None else 7)
+                return generator.uniform(size=n)
+        """)
+        assert findings_for(path, "GW003").findings == []
+
+    def test_stdlib_random_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad.py", """\
+            import random
+        """)
+        result = findings_for(path, "GW003")
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 1
+        assert "stdlib" in result.findings[0].message
+
+    def test_from_random_import_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad2.py", """\
+            from random import shuffle
+        """)
+        assert len(findings_for(path, "GW003").findings) == 1
+
+    def test_legacy_global_state_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad3.py", """\
+            import numpy as np
+
+            np.random.seed(42)
+            x = np.random.uniform(0, 1, 10)
+        """)
+        result = findings_for(path, "GW003")
+        assert [f.line for f in result.findings] == [3, 4]
+        assert all(f.rule_id == "GW003" for f in result.findings)
+
+    def test_raw_default_rng_fails_even_with_variable_seed(self, tmp_path):
+        path = write_module(tmp_path, "bad4.py", """\
+            import numpy as np
+
+
+            def run(seed):
+                return np.random.default_rng(seed)
+        """)
+        result = findings_for(path, "GW003")
+        assert len(result.findings) == 1
+        assert "repro.numerics.default_rng" in result.findings[0].message
+
+    def test_aliased_numpy_detected(self, tmp_path):
+        path = write_module(tmp_path, "bad5.py", """\
+            import numpy as xyz
+
+            rng = xyz.random.default_rng(0)
+        """)
+        assert len(findings_for(path, "GW003").findings) == 1
+
+    def test_bare_default_rng_import_detected(self, tmp_path):
+        path = write_module(tmp_path, "bad6.py", """\
+            from numpy.random import default_rng
+
+            rng = default_rng(0)
+        """)
+        assert len(findings_for(path, "GW003").findings) == 1
+
+    def test_generator_annotation_not_flagged(self, tmp_path):
+        path = write_module(tmp_path, "ok2.py", """\
+            from typing import Optional
+
+            import numpy as np
+
+
+            def sample(rng: Optional[np.random.Generator] = None):
+                return rng
+        """)
+        assert findings_for(path, "GW003").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "meh.py", """\
+            import numpy as np
+
+            rng = np.random.default_rng(0)  # greedwork: ignore[GW003]
+        """)
+        result = findings_for(path, "GW003")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestFloatEquality:
+    """GW004."""
+
+    def test_isclose_passes(self, tmp_path):
+        path = write_module(tmp_path, "ok.py", """\
+            import math
+
+            from repro.numerics.tolerances import is_zero, isclose
+
+
+            def near(a, b):
+                return isclose(a, b) and not is_zero(a)
+        """)
+        assert findings_for(path, "GW004").findings == []
+
+    def test_float_literal_equality_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad.py", """\
+            def f(total):
+                if total == 0.0:
+                    return None
+                return total != 1.0
+        """)
+        result = findings_for(path, "GW004")
+        assert [f.line for f in result.findings] == [2, 4]
+        assert all(f.rule_id == "GW004" for f in result.findings)
+
+    def test_arithmetic_over_float_literal_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad2.py", """\
+            def f(rho, x):
+                return x == 1.0 - rho
+        """)
+        assert len(findings_for(path, "GW004").findings) == 1
+
+    def test_float_call_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad3.py", """\
+            def f(x, y):
+                return float(x) == y
+        """)
+        assert len(findings_for(path, "GW004").findings) == 1
+
+    def test_infinity_comparison_allowed(self, tmp_path):
+        path = write_module(tmp_path, "ok2.py", """\
+            import math
+
+
+            def f(x):
+                return x == math.inf or x == float("inf")
+        """)
+        assert findings_for(path, "GW004").findings == []
+
+    def test_integer_equality_allowed(self, tmp_path):
+        path = write_module(tmp_path, "ok3.py", """\
+            def f(n):
+                return n == 0 or n != 10
+        """)
+        assert findings_for(path, "GW004").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "meh.py", """\
+            def f(total):
+                return total == 0.0  # greedwork: ignore[GW004]
+        """)
+        result = findings_for(path, "GW004")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestHygiene:
+    """GW005."""
+
+    def test_clean_function_passes(self, tmp_path):
+        path = write_module(tmp_path, "ok.py", """\
+            def accumulate(values, history=None):
+                history = history if history is not None else []
+                history.extend(values)
+                return history
+        """)
+        assert findings_for(path, "GW005").findings == []
+
+    def test_mutable_default_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad.py", """\
+            def accumulate(values, history=[], table={}):
+                return history
+        """)
+        result = findings_for(path, "GW005")
+        assert len(result.findings) == 2
+        assert all(f.rule_id == "GW005" for f in result.findings)
+        assert all(f.line == 1 for f in result.findings)
+
+    def test_mutable_call_default_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad2.py", """\
+            def f(cache=dict()):
+                return cache
+        """)
+        assert len(findings_for(path, "GW005").findings) == 1
+
+    def test_shadowed_builtin_param_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad3.py", """\
+            def f(list, type):
+                return list, type
+        """)
+        assert len(findings_for(path, "GW005").findings) == 2
+
+    def test_shadowed_builtin_assignment_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad4.py", """\
+            sum = 3
+        """)
+        result = findings_for(path, "GW005")
+        assert len(result.findings) == 1
+        assert "'sum'" in result.findings[0].message
+
+    def test_shadowed_builtin_loop_var_fails(self, tmp_path):
+        path = write_module(tmp_path, "bad5.py", """\
+            for id in range(4):
+                print(id)
+        """)
+        assert len(findings_for(path, "GW005").findings) == 1
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "meh.py", """\
+            def f(cache={}):  # greedwork: ignore[GW005]
+                return cache
+        """)
+        result = findings_for(path, "GW005")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestCLI:
+    def test_check_clean_tree_exit_zero(self, capsys):
+        code = cli_main(["check", str(REPO_SRC)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 findings" in out
+
+    def test_check_dirty_tree_exit_nonzero(self, tmp_path, capsys):
+        write_module(tmp_path, "bad.py", """\
+            import random
+        """)
+        code = cli_main(["check", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "GW003" in out
+
+    def test_check_json_format(self, tmp_path, capsys):
+        write_module(tmp_path, "bad.py", """\
+            def f(total):
+                return total == 0.0
+        """)
+        code = cli_main(["check", str(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "GW004"
+        assert payload["findings"][0]["line"] == 2
+
+    def test_check_select_subset(self, tmp_path, capsys):
+        write_module(tmp_path, "bad.py", """\
+            import random
+        """)
+        code = cli_main(["check", str(tmp_path), "--select", "GW004"])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        code = cli_main(["check", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in ("GW001", "GW002", "GW003", "GW004", "GW005"):
+            assert rule_id in out
+
+
+class TestRepoIsClean:
+    """The gate CI applies: the shipped tree has zero findings."""
+
+    def test_full_suite_over_src(self):
+        result = run_checks([REPO_SRC], project_root=REPO_SRC.parent)
+        messages = [f.render() for f in result.findings]
+        assert messages == []
+        assert result.files_checked > 90
