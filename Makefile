@@ -4,7 +4,7 @@ PYTHON ?= python
 STRICT_PKGS = -p repro.queueing -p repro.costsharing -p repro.disciplines
 
 .PHONY: install test test-fast bench experiments report examples clean \
-        lint lint-ruff lint-mypy check
+        lint lint-ruff lint-mypy check check-sarif
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -28,7 +28,12 @@ lint-mypy:
 	fi
 
 check:
-	PYTHONPATH=src $(PYTHON) -m repro check src
+	PYTHONPATH=src $(PYTHON) -m repro check src tests --stats
+
+check-sarif:
+	PYTHONPATH=src $(PYTHON) -m repro check src tests \
+		--format sarif -o greedwork.sarif
+	@echo "wrote greedwork.sarif"
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -49,5 +54,6 @@ examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
 
 clean:
-	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks \
+		.greedwork_cache greedwork.sarif
 	find . -name __pycache__ -type d -exec rm -rf {} +

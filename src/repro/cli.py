@@ -89,11 +89,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the repo-native static-analysis suite")
     check_parser.add_argument("paths", nargs="*", default=None,
                               help="files/directories (default: src)")
-    check_parser.add_argument("--format", choices=("text", "json"),
+    check_parser.add_argument("--format",
+                              choices=("text", "json", "sarif"),
                               default="text", dest="output_format")
+    check_parser.add_argument("-o", "--output", default=None,
+                              help="write the report to a file "
+                                   "instead of stdout")
     check_parser.add_argument("--select", default=None,
-                              help="comma-separated rule ids to run "
-                                   "(default: all)")
+                              help="comma-separated rule ids or "
+                                   "family prefixes to run (e.g. "
+                                   "GW001,GW2)")
+    check_parser.add_argument("--ignore", default=None,
+                              help="comma-separated rule ids or "
+                                   "family prefixes to skip")
+    check_parser.add_argument("-j", "--jobs", type=int, default=1,
+                              help="worker processes for per-file "
+                                   "rules (0 = one per CPU)")
+    check_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the incremental result "
+                                   "cache")
+    check_parser.add_argument("--cache-dir", default=None,
+                              help="cache location (default: "
+                                   "<cwd>/.greedwork_cache)")
+    check_parser.add_argument("--baseline", default=None,
+                              help="accepted-findings baseline file; "
+                                   "matching findings do not fail "
+                                   "the run")
+    check_parser.add_argument("--update-baseline", action="store_true",
+                              help="write current findings to the "
+                                   "baseline file and exit 0")
+    check_parser.add_argument("--stats", action="store_true",
+                              help="print run statistics (files, "
+                                   "cache hits, duration) to stderr")
     check_parser.add_argument("--list-rules", action="store_true",
                               help="list rule ids and exit")
     check_parser.add_argument("--verbose", action="store_true",
@@ -211,24 +238,41 @@ def _cmd_tandem(rates: List[float], policies: List[str], horizon: float,
     return 0
 
 
-def _cmd_check(paths: Optional[List[str]], output_format: str,
-               select: Optional[str], list_rules: bool,
-               verbose: bool) -> int:
-    from repro.staticcheck import all_rules, get_rule, render_json, \
-        render_text, run_checks
+def _cmd_check(args: "argparse.Namespace") -> int:
+    from repro.staticcheck import (
+        CheckUsageError,
+        all_rules,
+        render_json,
+        render_sarif,
+        render_stats,
+        render_text,
+        run_checks,
+        select_rules,
+        write_baseline,
+    )
+    from repro.staticcheck.baseline import DEFAULT_BASELINE_NAME
 
-    if list_rules:
+    if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.rule_id}  {rule.name:20s} {rule.description}")
+            scope = "project" if rule.scope == "project" else "file   "
+            print(f"{rule.rule_id}  [{scope}] {rule.name:24s} "
+                  f"{rule.description}")
         return 0
-    rules = None
-    if select:
-        try:
-            rules = [get_rule(rule_id.strip())
-                     for rule_id in select.split(",") if rule_id.strip()]
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
+
+    def split(raw: Optional[str]) -> Optional[List[str]]:
+        if not raw:
+            return None
+        return [token for token in
+                (t.strip() for t in raw.split(",")) if token]
+
+    try:
+        rules = select_rules(all_rules(), select=split(args.select),
+                             ignore=split(args.ignore))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    paths = args.paths
     if not paths:
         paths = ["src"] if os.path.isdir("src") else ["."]
     missing = [p for p in paths if not os.path.exists(p)]
@@ -237,11 +281,45 @@ def _cmd_check(paths: Optional[List[str]], output_format: str,
             print(f"error: no such file or directory: {p}",
                   file=sys.stderr)
         return 2
-    result = run_checks(paths, rules=rules)
-    if output_format == "json":
-        print(render_json(result))
+
+    baseline_path = args.baseline
+    if args.update_baseline and baseline_path is None:
+        baseline_path = DEFAULT_BASELINE_NAME
+    try:
+        result = run_checks(
+            paths, rules=rules,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            baseline=None if args.update_baseline else (
+                baseline_path if baseline_path is not None
+                and os.path.exists(baseline_path) else None))
+    except CheckUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        write_baseline(baseline_path, result.findings)
+        print(f"baseline written: {baseline_path} "
+              f"({len(result.findings)} accepted finding(s))")
+        return 0
+
+    if args.output_format == "json":
+        report = render_json(result)
+    elif args.output_format == "sarif":
+        report = render_sarif(result, rules=rules)
     else:
-        print(render_text(result, verbose=verbose))
+        report = render_text(result, verbose=args.verbose)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    else:
+        print(report)
+    if args.stats:
+        print(render_stats(result), file=sys.stderr)
     return 0 if result.ok else 1
 
 
@@ -265,8 +343,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_tandem(args.rates, args.policies, args.horizon,
                            args.seed)
     if args.command == "check":
-        return _cmd_check(args.paths, args.output_format, args.select,
-                          args.list_rules, args.verbose)
+        return _cmd_check(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

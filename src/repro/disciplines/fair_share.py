@@ -109,11 +109,18 @@ class FairShareAllocation(AllocationFunction):
         return out
 
     def _curve_values(self, loads: np.ndarray) -> np.ndarray:
-        """``g`` applied to a stable load vector, vectorized for M/M/1."""
+        """``g`` applied to a load vector, vectorized for M/M/1.
+
+        Overloaded entries (``load >= 1``) map to ``inf`` rather than
+        crossing the pole of ``x / (1 - x)``.
+        """
         from repro.queueing.service_curves import MM1Curve
 
         if type(self.curve) is MM1Curve:
-            return loads / (1.0 - loads)
+            stable = loads < 1.0
+            out = np.full(loads.shape, math.inf)
+            out[stable] = loads[stable] / (1.0 - loads[stable])
+            return out
         return np.array([self.curve.value(float(x)) for x in loads])
 
     # -- analytic derivatives ----------------------------------------------

@@ -29,7 +29,7 @@ CLAIM = ("Serial cost sharing keeps the Fair Share guarantees "
          "convex technology; average-cost pricing loses them")
 
 
-def quadratic_cost(total: float) -> float:
+def _quadratic_cost(total: float) -> float:
     """A simple strictly convex technology."""
     return total * total
 
@@ -51,9 +51,9 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     for _ in range(n_cases):
         n = int(rng.integers(2, 5))
         demands = np.sort(rng.uniform(0.2, 3.0, size=n))
-        serial = serial_cost_shares(demands, quadratic_cost)
-        average = average_cost_shares(demands, quadratic_cost)
-        bound = unanimity_bound(float(demands[0]), n, quadratic_cost)
+        serial = serial_cost_shares(demands, _quadratic_cost)
+        average = average_cost_shares(demands, _quadratic_cost)
+        bound = unanimity_bound(float(demands[0]), n, _quadratic_cost)
         s_ok = bool(serial[0] <= bound + 1e-12)
         a_ok = bool(average[0] <= bound + 1e-12)
         structural.add_row(str(np.round(demands, 3)), float(serial[0]),
@@ -66,14 +66,14 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
         # smallest demander's serial share.
         inflated = demands.copy()
         inflated[-1] *= 3.0
-        serial_after = serial_cost_shares(inflated, quadratic_cost)
+        serial_after = serial_cost_shares(inflated, _quadratic_cost)
         if abs(float(serial_after[0] - serial[0])) > 1e-12:
             insular_ok = False
 
     # Equilibria of the demand game under both rules.
     benefits = [lambda q: 3.0 * np.sqrt(q), lambda q: 2.0 * np.sqrt(q)]
-    serial_eq = solve_cost_game(benefits, quadratic_cost, rule="serial")
-    average_eq = solve_cost_game(benefits, quadratic_cost, rule="average")
+    serial_eq = solve_cost_game(benefits, _quadratic_cost, rule="serial")
+    average_eq = solve_cost_game(benefits, _quadratic_cost, rule="average")
     game_table = Table(
         title="Demand-game equilibria (benefit_i = k_i sqrt(q))",
         headers=["rule", "demands", "payoffs", "converged",

@@ -47,6 +47,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
                  "worst unilateral envy", "protection holds",
                  "jacobian lower-triangular"])
     all_ok = True
+    jac_rates = np.array([0.1, 0.2, 0.3])
     for label, curve in curves:
         fs = FairShareAllocation(curve=curve)
         # Theorem 2 half: symmetric Nash satisfies the Pareto FDC.
@@ -65,8 +66,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
             fs, 0, 0.1, 3, rng=rng, n_samples=60 if fast else 150)
         protected = report.worst_congestion <= bound + 1e-9
         # Insularity: lower triangular derivative matrix.
-        rates = np.array([0.1, 0.2, 0.3])
-        jac = fs.jacobian(rates)
+        jac = fs.jacobian(jac_rates)
         triangular = bool(np.allclose(np.triu(jac, k=1), 0.0,
                                       atol=1e-10))
         table.add_row(label, residual, float(worst_envy), protected,

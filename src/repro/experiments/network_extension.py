@@ -37,7 +37,7 @@ CLAIM = ("On a network of Fair Share switches, selfish users still "
          "approximation is exact for FIFO tandems and mild for ladders")
 
 
-def crossing_network(discipline_factory) -> NetworkAllocation:
+def _crossing_network(discipline_factory) -> NetworkAllocation:
     """Two switches; users A->[0], B->[1], C->[0, 1]."""
     return NetworkAllocation(
         switches=[discipline_factory(), discipline_factory()],
@@ -51,8 +51,8 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
                PowerUtility(gamma=0.6, q=1.5)]
 
     # 1. Robust equilibration on the crossing topology.
-    fs_net = crossing_network(FairShareAllocation)
-    fifo_net = crossing_network(ProportionalAllocation)
+    fs_net = _crossing_network(FairShareAllocation)
+    fifo_net = _crossing_network(ProportionalAllocation)
     n_starts = 5 if fast else 10
     fs_eqs = find_all_nash(fs_net, profile, n_starts=n_starts,
                            rng=default_rng(seed),

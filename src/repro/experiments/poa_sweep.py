@@ -72,14 +72,15 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     fifo_decays = True
     pivot_pays_overhead = True
     for gamma in gammas:
-        best = welfare(optimal_total(gamma), gamma)
+        s_star = optimal_total(gamma)
+        best = welfare(s_star, gamma)
+        eff_fs = welfare(s_star, gamma) / best
         previous_fifo = 1.0
         for n in ns:
             s_fifo = n * fifo_symmetric_linear_nash(n, gamma)
             eff_fifo = welfare(s_fifo, gamma) / best
-            eff_fs = welfare(optimal_total(gamma), gamma) / best
             eff_pivot = pivot_welfare(n, gamma) / best
-            table.add_row(gamma, n, optimal_total(gamma), float(s_fifo),
+            table.add_row(gamma, n, s_star, float(s_fifo),
                           float(eff_fifo), float(eff_fs),
                           float(eff_pivot))
             if abs(eff_fs - 1.0) > 1e-12:

@@ -65,9 +65,10 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
                  "improvement found", "total utility gain",
                  "min per-user gain"])
     all_inefficient = True
+    cases = _cases(fast)
     for allocation in disciplines:
         adapter = ConstraintAdapter.for_allocation(allocation)
-        for label, build_profile in _cases(fast):
+        for label, build_profile in cases:
             profile = build_profile(allocation)
             nash = solve_nash(allocation, profile)
             residuals = pareto_fdc_residuals(

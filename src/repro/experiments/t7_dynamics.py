@@ -118,7 +118,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     for n_users in (2, 3, 5):
         loads = []
         magnitudes = []
-        for gamma in gamma_sweep:
+        for gamma in gamma_sweep.tolist():
             rate = fifo_symmetric_linear_nash(n_users, float(gamma))
             loads.append(n_users * rate)
             magnitudes.append(abs(fifo_linear_eigenvalue(

@@ -79,8 +79,8 @@ def coalition_gain(allocation, profile: Sequence[Utility],
     for m in members:
         lo = max(base[m] * (1.0 - span), 1e-6)
         hi = base[m] * (1.0 + span) + 0.02
-        grid = np.unique(np.append(np.linspace(lo, hi, grid_points),
-                                   base[m]))
+        grid = np.unique(np.concatenate(
+            (np.linspace(lo, hi, grid_points), [base[m]])))
         grids.append(grid)
     best_gain = 0.0
     best_joint = base[list(members)].copy()

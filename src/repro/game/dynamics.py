@@ -249,5 +249,8 @@ def fifo_linear_eigenvalue(n_users: int, gamma: float) -> float:
     """
     r = fifo_symmetric_linear_nash(n_users, gamma)
     total = n_users * r
+    if total >= 1.0:
+        raise ValueError(
+            f"symmetric Nash load {total} must stay below capacity 1")
     a = (1.0 - total + 2.0 * r) / (2.0 * (1.0 - total + r))
     return -a * (n_users - 1)

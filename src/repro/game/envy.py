@@ -33,11 +33,12 @@ def envy_matrix(profile: Sequence[Utility], rates: Sequence[float],
     out = np.zeros((n, n))
     for i, utility in enumerate(profile):
         own = utility.value(float(r[i]), float(c[i]))
+        own_is_inf = np.isinf(own)
         for j in range(n):
             if j == i:
                 continue
             other = utility.value(float(r[j]), float(c[j]))
-            if np.isinf(own) and np.isinf(other):
+            if own_is_inf and np.isinf(other):
                 out[i, j] = 0.0
             else:
                 out[i, j] = other - own
@@ -85,12 +86,13 @@ def unilateral_envy(allocation, profile: Sequence[Utility],
     congestion = allocation.congestion(r)
     utility = profile[i]
     own = utility.value(float(r[i]), float(congestion[i]))
+    own_is_inf = np.isinf(own)
     worst = -np.inf
     for j in range(r.size):
         if j == i:
             continue
         other = utility.value(float(r[j]), float(congestion[j]))
-        if np.isinf(own) and np.isinf(other):
+        if own_is_inf and np.isinf(other):
             gap = 0.0
         else:
             gap = other - own
@@ -112,9 +114,10 @@ def search_unilateral_envy(allocation, profile: Sequence[Utility],
     """
     generator = default_rng(rng if rng is not None else 11)
     n = len(profile)
+    alpha = np.ones(n)
     worst: Optional[UnilateralEnvyOutcome] = None
     for _ in range(n_trials):
-        direction = generator.dirichlet(np.ones(n))
+        direction = generator.dirichlet(alpha)
         load = generator.uniform(0.1, load_high)
         rates = direction * load
         for i in range(n):

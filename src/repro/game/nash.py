@@ -177,8 +177,9 @@ def find_all_nash(allocation, profile: Sequence[Utility],
     capacity = getattr(allocation.curve, "capacity", math.inf)
     max_total = 0.95 * capacity if math.isfinite(capacity) else 2.0
     found: List[NashResult] = []
+    alpha = np.ones(n)
     for trial in range(n_starts):
-        direction = generator.dirichlet(np.ones(n))
+        direction = generator.dirichlet(alpha)
         load = generator.uniform(0.05, max_total)
         start = direction * load
         result = solve_nash(allocation, profile, r0=start,

@@ -249,10 +249,11 @@ def pareto_improvement(profile: Sequence[Utility],
     rng = default_rng(0)
     best: Optional[np.ndarray] = None
     best_total = 0.0
+    x0_base = np.concatenate([base_r, base_c])
     for attempt in range(4):
-        x0 = np.concatenate([base_r, base_c])
+        x0 = x0_base
         if attempt > 0:
-            x0 *= rng.uniform(0.9, 1.1, size=x0.size)
+            x0 = x0_base * rng.uniform(0.9, 1.1, size=x0_base.size)
             x0[:n] = np.clip(x0[:n], 1e-5, rate_cap)
         result = sp_optimize.minimize(
             objective, x0, method="SLSQP", bounds=bounds,

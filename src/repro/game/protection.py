@@ -128,7 +128,7 @@ def verify_protective(allocation, n_users: int,
     generator = default_rng(rng if rng is not None else 29)
     if rates_to_check is None:
         rates_to_check = np.linspace(0.02, 0.9 / n_users, 6)
-    for own_rate in np.asarray(rates_to_check, dtype=float):
+    for own_rate in np.asarray(rates_to_check, dtype=float).tolist():
         report = worst_case_congestion(allocation, 0, float(own_rate),
                                        n_users, rng=generator,
                                        n_samples=n_samples)

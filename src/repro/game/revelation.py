@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import MechanismError
 from repro.game.nash import solve_nash
 from repro.users.utility import Utility
 
@@ -87,6 +88,14 @@ def misreport_gain(allocation, true_profile: Sequence[Utility], i: int,
         What the other users report (defaults to their truths, but the
         revelation property quantifies over all reports).
     """
+    if not 0 <= i < len(true_profile):
+        raise MechanismError(
+            f"user index {i} out of range for {len(true_profile)} users")
+    if reported_others is not None and \
+            len(reported_others) != len(true_profile):
+        raise MechanismError(
+            f"expected {len(true_profile)} reports, got "
+            f"{len(reported_others)}")
     others = (list(true_profile) if reported_others is None
               else list(reported_others))
     truth_reports = list(others)

@@ -39,15 +39,12 @@ def preemptive_priority_queues(class_rates: Sequence[float]) -> np.ndarray:
     """
     rates = _validate(class_rates)
     sigma = np.cumsum(rates)
-    queues = np.empty_like(rates)
-    prev_g = 0.0
-    for k, s in enumerate(sigma):
-        if s >= 1.0:
-            queues[k:] = math.inf
-            return queues
-        g = s / (1.0 - s)
-        queues[k] = g - prev_g
-        prev_g = g
+    stable = sigma < 1.0
+    # sigma is nondecreasing, so the stable prefix is contiguous.
+    n_stable = int(stable.sum())
+    g = sigma[:n_stable] / (1.0 - sigma[:n_stable])
+    queues = np.full_like(rates, math.inf)
+    queues[:n_stable] = np.diff(g, prepend=0.0)
     return queues
 
 
@@ -65,19 +62,13 @@ def nonpreemptive_priority_queues(class_rates: Sequence[float]) -> np.ndarray:
     class with ``sigma_k >= 1`` diverges).
     """
     rates = _validate(class_rates)
-    rho = float(rates.sum())
     sigma = np.cumsum(rates)
-    queues = np.empty_like(rates)
-    if rho >= 1.0:
-        queues[:] = math.inf
-        return queues
-    w0 = rho  # sum lambda_j * E[S^2] / 2 with E[S^2] = 2
-    prev_sigma = 0.0
-    for k, s in enumerate(sigma):
-        wait = w0 / ((1.0 - prev_sigma) * (1.0 - s))
-        queues[k] = rates[k] * (wait + 1.0)
-        prev_sigma = s
-    return queues
+    if sigma[-1] >= 1.0:   # total load rho = sigma_N
+        return np.full_like(rates, math.inf)
+    w0 = float(sigma[-1])  # sum lambda_j * E[S^2] / 2 with E[S^2] = 2
+    prev_sigma = np.concatenate(([0.0], sigma[:-1]))
+    wait = w0 / ((1.0 - prev_sigma) * (1.0 - sigma))
+    return rates * (wait + 1.0)
 
 
 def fair_share_class_rates(user_rates: Sequence[float]) -> np.ndarray:

@@ -60,6 +60,10 @@ def interarrival_sampler(process: str, rate: float,
         return sample_deterministic
     if key == "hyperexponential":
         c2 = PROCESS_CV["hyperexponential"] ** 2
+        if c2 < 1.0:
+            raise SimulationError(
+                f"hyperexponential balanced-means fit needs CV^2 >= 1, "
+                f"got {c2}")
         p = 0.5 * (1.0 + math.sqrt((c2 - 1.0) / (c2 + 1.0)))
         rate_fast = 2.0 * p * rate
         rate_slow = 2.0 * (1.0 - p) * rate

@@ -313,7 +313,10 @@ class AdaptiveFairShareQueue(PreemptivePriorityQueue):
         order = np.argsort(rates, kind="stable")
         sorted_r = rates[order]
         deltas = np.diff(np.concatenate(([0.0], sorted_r)))
-        for k, user in enumerate(order):
+        # Ragged per-user weight vectors (user k mixes over k+1
+        # classes), so the loop cannot vectorize; .tolist() marks the
+        # scalar iteration as deliberate.
+        for k, user in enumerate(order.tolist()):
             weights = deltas[: k + 1].copy()
             total = weights.sum()
             self._class_probs[int(user)] = (

@@ -40,9 +40,35 @@ class Finding:
         return (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.rule_id} {self.message}")
 
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used by baseline files.
+
+        Deliberately omits the line/column so that unrelated edits
+        moving a known finding do not un-baseline it.
+        """
+        return f"{self.rule_id}::{self.path}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for the cache and JSON reporters."""
+        return {"rule": self.rule_id, "path": self.path,
+                "line": self.line, "col": self.col,
+                "message": self.message}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(rule_id=str(payload["rule"]), path=str(payload["path"]),
+                   line=int(payload["line"]), col=int(payload["col"]),
+                   message=str(payload["message"]))
+
 
 class FileContext:
-    """Everything a rule may want to know about one source file."""
+    """Everything a rule may want to know about one source file.
+
+    A file that does not parse still yields a usable context:
+    ``tree`` is ``None`` and ``parse_error`` carries the
+    ``SyntaxError``, so one broken file can be reported as a ``GW000``
+    finding without aborting the rest of the run.
+    """
 
     def __init__(self, path: Path, source: str,
                  project_root: Optional[Path] = None) -> None:
@@ -50,7 +76,12 @@ class FileContext:
         self.project_root = project_root
         self.source = source
         self.lines = source.splitlines()
-        self.tree = ast.parse(source, filename=str(path))
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
         self.module = module_name_for(path)
         self.display_path = display_path_for(path, project_root)
         self._suppressions = _parse_suppressions(self.lines)
@@ -114,9 +145,17 @@ def _parse_suppressions(lines: List[str]) -> Dict[int, FrozenSet[str]]:
             if not ids:
                 ids = frozenset({ALL_RULES})
         out[lineno] = out.get(lineno, frozenset()) | ids
-        # A standalone pragma (comment-only line) covers the next line.
+        # A standalone pragma (comment-only line) covers the next
+        # *statement* line: skip over blank and comment-only lines so
+        # the pragma may sit above a decorated or documented target.
         if text[:match.start()].strip() == "":
-            out[lineno + 1] = out.get(lineno + 1, frozenset()) | ids
+            target = lineno + 1
+            while target <= len(lines):
+                stripped = lines[target - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                target += 1
+            out[target] = out.get(target, frozenset()) | ids
     return out
 
 
@@ -126,6 +165,10 @@ class Rule:
     rule_id: str = "GW000"
     name: str = "unnamed"
     description: str = ""
+    #: ``"file"`` rules see one :class:`FileContext` at a time and may
+    #: run in parallel worker processes; ``"project"`` rules see the
+    #: whole :class:`~repro.staticcheck.project.ProjectContext`.
+    scope: str = "file"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         """Yield findings for one file (suppression handled upstream)."""
@@ -138,6 +181,28 @@ class Rule:
                        line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0) + 1,
                        message=message)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program checks.
+
+    A project rule receives the full
+    :class:`~repro.staticcheck.project.ProjectContext` — symbol table,
+    import graph, call graph — and may relate facts across files.  Its
+    findings still anchor to one location, so per-line suppression
+    pragmas apply exactly as they do for file rules.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Project rules do not run per file."""
+        return ()
+
+    def check_project(self, project: "ProjectContext"
+                      ) -> Iterable[Finding]:
+        """Yield findings for the whole program."""
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
@@ -173,13 +238,57 @@ def _load_builtin_rules() -> None:
     import repro.staticcheck.rules  # noqa: F401
 
 
+def select_rules(rules: Iterable[Rule],
+                 select: Optional[Iterable[str]] = None,
+                 ignore: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Filter rules by id or family prefix.
+
+    A selector matches a rule when the rule id starts with it, so
+    ``GW1`` (or ``GW1xx``) selects the whole perf family while
+    ``GW101`` selects one rule.  ``ignore`` wins over ``select``.
+    Unknown selectors raise ``KeyError`` so typos fail loudly.
+    """
+    def normalize(tokens: Optional[Iterable[str]]) -> List[str]:
+        out = []
+        for token in tokens or ():
+            token = token.strip().rstrip("x")
+            if token:
+                out.append(token)
+        return out
+
+    rules = list(rules)
+    chosen = normalize(select)
+    dropped = normalize(ignore)
+    for selector in chosen + dropped:
+        if not any(rule.rule_id.startswith(selector) for rule in rules):
+            known = ", ".join(sorted(r.rule_id for r in rules))
+            raise KeyError(f"unknown rule selector {selector!r}; "
+                           f"known rules: {known}")
+    out = []
+    for rule in rules:
+        if chosen and not any(rule.rule_id.startswith(s) for s in chosen):
+            continue
+        if any(rule.rule_id.startswith(s) for s in dropped):
+            continue
+        out.append(rule)
+    return out
+
+
 @dataclass
 class CheckResult:
     """Outcome of running the suite over a set of files."""
 
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
+    #: Findings present in the accepted baseline file (known debt).
+    baselined: List[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: Files whose per-file rules actually ran this invocation.
+    files_analyzed: int = 0
+    #: Files served entirely from the incremental cache.
+    files_from_cache: int = 0
+    #: Wall-clock duration of the run, in seconds.
+    duration_s: float = 0.0
 
     @property
     def ok(self) -> bool:

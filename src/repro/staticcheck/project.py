@@ -1,0 +1,407 @@
+"""Whole-program context for project-scoped rules.
+
+:class:`ProjectContext` parses every file once and derives three
+cross-file structures that per-file rules cannot see:
+
+* a **symbol table** — every top-level function, class, and constant
+  of every ``repro`` module, with its AST node and decorator/base
+  names (:class:`Symbol`);
+* an **import graph** — which ``repro`` modules each module imports,
+  with relative imports resolved, plus the local alias table mapping
+  bound names back to their defining module; and
+* an approximate **call graph** — for each top-level function and
+  method, the set of callee names it invokes, resolved through the
+  alias table to dotted ``module:name`` targets where possible.
+
+The context distinguishes *analyzed* files (those the user asked to
+check, for which findings may be reported) from *reference-only* files
+(extra roots such as ``examples/`` and ``benchmarks/`` scanned so that
+usage-based rules see the whole program).  Files that fail to parse
+contribute nothing here; the runner reports them as ``GW000``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.core import FileContext
+
+#: Directories under the project root that are scanned for *references*
+#: even when the user only asked to check a subset of the tree.
+REFERENCE_ROOTS: Tuple[str, ...] = ("src", "tests", "examples",
+                                    "benchmarks")
+
+#: Container methods that mutate their receiver in place; used by the
+#: stateful-discipline rule to spot writes through module-level names.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "sort", "reverse",
+    "appendleft", "extendleft",
+})
+
+
+@dataclass
+class Symbol:
+    """One top-level definition in a module."""
+
+    module: str
+    name: str
+    kind: str                       # "function" | "class" | "constant"
+    lineno: int
+    col: int
+    node: ast.AST
+    decorators: List[str] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+
+class ModuleInfo:
+    """Per-file slice of the project: symbols, imports, uses."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.module = ctx.module
+        #: Top-level functions/classes/constants by name.
+        self.symbols: Dict[str, Symbol] = {}
+        #: Every name bound at module level (defs, assigns, imports).
+        self.module_level_names: Set[str] = set()
+        #: Local alias -> dotted target: ``"pkg.mod"`` for module
+        #: imports, ``"pkg.mod:attr"`` for from-imports.
+        self.aliases: Dict[str, str] = {}
+        #: Dotted repro modules this module imports (graph edges).
+        self.imported_modules: Set[str] = set()
+        #: Modules star-imported (their whole namespace is "used").
+        self.star_imports: Set[str] = set()
+        #: Identifiers this module refers to: name loads, attribute
+        #: accesses, import leaves, and identifier-shaped strings
+        #: outside docstring position (`__all__`, getattr, registries).
+        self.used_names: Set[str] = set()
+        if ctx.tree is not None:
+            self._index(ctx.tree)
+
+    # -- indexing -----------------------------------------------------------
+
+    def _index(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            self._index_toplevel(node)
+        docstrings = _docstring_nodes(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                self.used_names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                self.used_names.add(node.attr)
+            elif isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str) \
+                    and node not in docstrings \
+                    and node.value.isidentifier():
+                self.used_names.add(node.value)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._index_import(node)
+
+    def _index_toplevel(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._add_symbol(node.name, "function", node,
+                             decorators=node.decorator_list)
+        elif isinstance(node, ast.ClassDef):
+            self._add_symbol(node.name, "class", node,
+                             decorators=node.decorator_list,
+                             bases=node.bases)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                for name, anchor in _target_names(target):
+                    self.module_level_names.add(name)
+                    if name not in self.symbols:
+                        self.symbols[name] = Symbol(
+                            module=self.module or "", name=name,
+                            kind="constant", lineno=anchor.lineno,
+                            col=anchor.col_offset, node=anchor)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound != "*":
+                    self.module_level_names.add(bound)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING / fallback-import blocks: index one level in.
+            for sub in ast.iter_child_nodes(node):
+                if isinstance(sub, ast.stmt):
+                    self._index_toplevel(sub)
+
+    def _add_symbol(self, name: str, kind: str, node: ast.AST,
+                    decorators: Sequence[ast.expr] = (),
+                    bases: Sequence[ast.expr] = ()) -> None:
+        self.module_level_names.add(name)
+        self.symbols[name] = Symbol(
+            module=self.module or "", name=name, kind=kind,
+            lineno=node.lineno, col=node.col_offset, node=node,
+            decorators=[_dotted(d) for d in decorators],
+            bases=[_dotted(b) for b in bases])
+
+    def _index_import(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                self.aliases[bound] = target
+                if alias.name.split(".")[0] == "repro":
+                    self.imported_modules.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = resolve_import_base(self.ctx, node)
+            if base is None:
+                return
+            for alias in node.names:
+                if alias.name == "*":
+                    self.star_imports.add(base)
+                    continue
+                bound = alias.asname or alias.name
+                self.aliases[bound] = f"{base}:{alias.name}"
+                self.used_names.add(alias.name)
+            if base.split(".")[0] == "repro":
+                self.imported_modules.add(base)
+
+    # -- queries ------------------------------------------------------------
+
+    def resolve(self, name: str) -> Optional[str]:
+        """Dotted ``module`` or ``module:attr`` target of a local name."""
+        return self.aliases.get(name)
+
+    def resolve_dotted(self, dotted: str) -> Optional[str]:
+        """Resolve ``a.b.c`` through the alias table.
+
+        ``curve.value`` with ``curve`` unknown returns ``None``;
+        ``mm1.mean_queue`` with ``mm1 -> repro.queueing.mm1`` returns
+        ``"repro.queueing.mm1:mean_queue"``.
+        """
+        head, _, rest = dotted.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return None
+        if not rest:
+            return target
+        if ":" in target:
+            return f"{target}.{rest}"
+        leaf, _, attr = rest.partition(".")
+        resolved = f"{target}:{leaf}"
+        return f"{resolved}.{attr}" if attr else resolved
+
+
+def resolve_import_base(ctx: FileContext,
+                        node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted module a ``from ... import`` pulls from."""
+    if node.level == 0:
+        return node.module
+    if ctx.module is None:
+        return None
+    base = ctx.module.split(".")
+    drop = node.level - 1 if ctx.path.stem == "__init__" else node.level
+    base = base[:len(base) - drop] if drop else base
+    if not base:
+        return None
+    if node.module:
+        return ".".join(base + node.module.split("."))
+    return ".".join(base)
+
+
+class ProjectContext:
+    """The whole program, parsed once, with cross-file indexes."""
+
+    def __init__(self, analyzed: Sequence[FileContext],
+                 reference_only: Sequence[FileContext] = (),
+                 project_root: Optional[Path] = None) -> None:
+        self.project_root = project_root
+        self.analyzed = list(analyzed)
+        self.reference_only = list(reference_only)
+        #: ModuleInfo for every parsed file, analyzed first.
+        self.infos: List[ModuleInfo] = [
+            ModuleInfo(ctx) for ctx in self.analyzed + self.reference_only
+            if ctx.tree is not None]
+        #: Dotted repro module name -> its ModuleInfo.
+        self.modules: Dict[str, ModuleInfo] = {
+            info.module: info for info in self.infos
+            if info.module is not None}
+        self._analyzed_paths = {ctx.display_path for ctx in self.analyzed}
+        self._call_graph: Optional[Dict[str, Set[str]]] = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, analyzed: Sequence[FileContext],
+              project_root: Optional[Path] = None,
+              reference_roots: Sequence[str] = REFERENCE_ROOTS
+              ) -> "ProjectContext":
+        """Build from analyzed contexts plus reference-root scans.
+
+        Files under ``reference_roots`` (relative to ``project_root``)
+        that are not already analyzed are parsed as reference-only, so
+        usage-based rules see consumers the user did not ask to check.
+        """
+        have = {ctx.path.resolve() for ctx in analyzed}
+        extras: List[FileContext] = []
+        if project_root is not None:
+            for root_name in reference_roots:
+                root = Path(project_root) / root_name
+                if not root.is_dir():
+                    continue
+                for path in sorted(root.rglob("*.py")):
+                    resolved = path.resolve()
+                    if resolved in have:
+                        continue
+                    have.add(resolved)
+                    try:
+                        source = path.read_text(encoding="utf-8")
+                    except (OSError, UnicodeDecodeError):
+                        continue
+                    extras.append(FileContext(
+                        path, source, project_root=Path(project_root)))
+        return cls(analyzed, extras, project_root=project_root)
+
+    # -- queries ------------------------------------------------------------
+
+    def is_analyzed(self, display_path: str) -> bool:
+        """Whether findings may be reported against this file."""
+        return display_path in self._analyzed_paths
+
+    @property
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """Module -> set of imported repro modules."""
+        return {info.module: set(info.imported_modules)
+                for info in self.infos if info.module is not None}
+
+    @property
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """Approximate caller -> callee map.
+
+        Keys are ``module:qualname``; values contain resolved
+        ``module:name`` targets where the alias table allows it and
+        bare dotted names otherwise.  Built lazily and cached.
+        """
+        if self._call_graph is None:
+            self._call_graph = self._build_call_graph()
+        return self._call_graph
+
+    def _build_call_graph(self) -> Dict[str, Set[str]]:
+        graph: Dict[str, Set[str]] = {}
+        for info in self.infos:
+            if info.module is None or info.ctx.tree is None:
+                continue
+            for scope_name, func in _iter_functions(info.ctx.tree):
+                callees: Set[str] = set()
+                for node in ast.walk(func):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    dotted = _dotted(node.func)
+                    if not dotted:
+                        continue
+                    resolved = info.resolve_dotted(dotted)
+                    if resolved is None and dotted in info.symbols:
+                        resolved = f"{info.module}:{dotted}"
+                    callees.add(resolved or dotted)
+                graph[f"{info.module}:{scope_name}"] = callees
+        return graph
+
+    def subclasses_of(self, module: str, class_name: str) -> List[Symbol]:
+        """Transitive subclasses of ``module:class_name`` project-wide."""
+        wanted = {f"{module}:{class_name}"}
+        out: List[Symbol] = []
+        changed = True
+        seen: Set[str] = set()
+        while changed:
+            changed = False
+            for info in self.infos:
+                if info.module is None:
+                    continue
+                for symbol in info.symbols.values():
+                    if symbol.kind != "class":
+                        continue
+                    key = f"{info.module}:{symbol.name}"
+                    if key in seen:
+                        continue
+                    for base in symbol.bases:
+                        target = info.resolve_dotted(base) or \
+                            (f"{info.module}:{base}"
+                             if base in info.symbols else base)
+                        if target in wanted or base in {
+                                w.split(":")[-1] for w in wanted}:
+                            wanted.add(key)
+                            seen.add(key)
+                            out.append(symbol)
+                            changed = True
+                            break
+        return out
+
+    def name_used_outside(self, module: str, name: str) -> bool:
+        """Whether any *other* parsed file refers to ``name``.
+
+        Name-based on purpose: over-approximating use keeps the dead-
+        code rule quiet unless a symbol is referenced nowhere at all.
+        """
+        home = self.modules.get(module)
+        home_path = home.ctx.display_path if home is not None else None
+        for info in self.infos:
+            if info.ctx.display_path == home_path:
+                continue
+            if name in info.used_names:
+                return True
+            if module is not None and module in info.star_imports:
+                # A star-importer may use anything it pulled in.
+                return True
+        return False
+
+
+def _docstring_nodes(tree: ast.Module) -> Set[ast.AST]:
+    """Constant nodes sitting in docstring position."""
+    out: Set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.FunctionDef,
+                             ast.AsyncFunctionDef, ast.ClassDef)):
+            body = getattr(node, "body", [])
+            if body and isinstance(body[0], ast.Expr) \
+                    and isinstance(body[0].value, ast.Constant) \
+                    and isinstance(body[0].value.value, str):
+                out.add(body[0].value)
+    return out
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    if isinstance(node, ast.Call):
+        return _dotted(node.func)
+    return ""
+
+
+def _target_names(target: ast.expr) -> Iterable[Tuple[str, ast.expr]]:
+    if isinstance(target, ast.Name):
+        yield target.id, target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _iter_functions(tree: ast.Module
+                    ) -> Iterable[Tuple[str, ast.AST]]:
+    """(qualname, node) for top-level functions and class methods."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{sub.name}", sub

@@ -5,6 +5,20 @@ from repro.staticcheck.rules.contracts import DisciplineContractRule
 from repro.staticcheck.rules.rng import RNGDisciplineRule
 from repro.staticcheck.rules.floats import FloatEqualityRule
 from repro.staticcheck.rules.hygiene import HygieneRule
+from repro.staticcheck.rules.perf import (
+    ArrayGrowthRule,
+    DevectorizedLoopRule,
+    LoopInvariantCallRule,
+    QuadraticMembershipRule,
+)
+from repro.staticcheck.rules.numerical import (
+    UnguardedDomainCallRule,
+    UnguardedPoleDivisionRule,
+)
+from repro.staticcheck.rules.wholeprogram import (
+    DeadPublicAPIRule,
+    StatefulDisciplineRule,
+)
 
 __all__ = [
     "LayerDAGRule",
@@ -12,4 +26,12 @@ __all__ = [
     "RNGDisciplineRule",
     "FloatEqualityRule",
     "HygieneRule",
+    "DevectorizedLoopRule",
+    "LoopInvariantCallRule",
+    "QuadraticMembershipRule",
+    "ArrayGrowthRule",
+    "UnguardedPoleDivisionRule",
+    "UnguardedDomainCallRule",
+    "DeadPublicAPIRule",
+    "StatefulDisciplineRule",
 ]

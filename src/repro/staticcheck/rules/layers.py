@@ -24,6 +24,7 @@ import ast
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.staticcheck.core import FileContext, Finding, Rule, register_rule
+from repro.staticcheck.project import resolve_import_base
 
 #: Name of the root facade pseudo-package (``repro/__init__.py``).
 ROOT_FACADE = "<root>"
@@ -123,25 +124,6 @@ class LayerDAGRule(Rule):
                     if alias.name.split(".")[0] == "repro":
                         yield node, alias.name
             elif isinstance(node, ast.ImportFrom):
-                target = self._resolve_from(ctx, node)
+                target = resolve_import_base(ctx, node)
                 if target is not None and target.split(".")[0] == "repro":
                     yield node, target
-
-    @staticmethod
-    def _resolve_from(ctx: FileContext,
-                      node: ast.ImportFrom) -> Optional[str]:
-        if node.level == 0:
-            return node.module
-        if ctx.module is None:
-            return None
-        base = ctx.module.split(".")
-        # For a plain module, level 1 is its own package; for an
-        # __init__ the module name *is* the package, so one fewer
-        # component is dropped.
-        drop = node.level - 1 if ctx.path.stem == "__init__" else node.level
-        base = base[:len(base) - drop] if drop else base
-        if not base:
-            return None
-        if node.module:
-            return ".".join(base + node.module.split("."))
-        return ".".join(base)

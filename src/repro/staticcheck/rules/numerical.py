@@ -1,0 +1,321 @@
+"""GW2xx — numerical-safety dataflow near the g(x) = x/(1-x) pole.
+
+Every allocation in the paper is pinned to the M/M/1 feasibility
+constraint ``sum c_i = g(sum r_i)`` with ``g(x) = x/(1-x)``: the curve
+has a pole at ``x -> 1``, and the heavy-traffic regime the ROADMAP
+targets lives exactly there.  An unguarded ``1/(1 - rho)`` is
+therefore not a style nit — it is an ``inf``/``nan`` factory that
+corrupts whole experiment sweeps.
+
+``GW201``  division whose denominator contains ``1 - x`` (directly,
+           through a local alias like ``u = 1.0 - load``, or raised
+           to a power) with no *dominating guard* on ``x`` along the
+           path from function entry to the division;
+``GW202``  ``log``/``sqrt`` of an expression containing a subtraction
+           (possibly negative near saturation) with no dominating
+           guard and no ``abs``/``clip``/``maximum`` wrapper.
+
+A *dominating guard* is, approximately (source order stands in for
+true dominance):
+
+* an earlier ``if`` mentioning a dependency of the denominator whose
+  body terminates (``if rho >= 1.0: return math.inf``);
+* an enclosing ``if``/ternary/``while``/comprehension-``if`` whose
+  condition mentions a dependency (``x/(1-x) if x < 1.0 else inf``);
+* an ``assert`` mentioning a dependency; or
+* an earlier call whose name matches the guard idiom
+  (``require_domain``, ``admits``, ``assert_feasible``,
+  ``validate...``, ``check...``) taking a dependency as argument.
+
+Dependencies follow local assignments one level deep, so a guard on
+``total`` covers a division by ``1 - rho`` after
+``rho = total / service_rate``.  Both rules apply only to ``repro``
+modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.staticcheck.core import FileContext, Finding, Rule, register_rule
+
+#: Callee-name pattern recognized as a feasibility/domain guard.
+GUARD_CALL_RE = re.compile(
+    r"(require|validate|assert|admits|feasib|stable|check|clip)",
+    re.IGNORECASE)
+
+#: Wrappers that make a possibly-negative argument safe for log/sqrt.
+SAFE_WRAPPERS = frozenset({"abs", "fabs", "maximum", "clip", "hypot"})
+
+_LOG_SQRT = frozenset({"log", "log2", "log10", "sqrt"})
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+    return out
+
+
+def _scope_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+    """Statements of ``scope`` in source order, skipping nested defs."""
+    stack: List[ast.stmt] = list(reversed(
+        scope.body if hasattr(scope, "body") else []))
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield stmt
+        children = [child for child in ast.iter_child_nodes(stmt)
+                    if isinstance(child, ast.stmt)]
+        stack.extend(reversed(children))
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _parent_map(scope: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(scope):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+class _GuardIndex:
+    """Guards of one scope, queryable by (line, dependency names)."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        #: (effective line, names the guard constrains)
+        self.guards: List[Tuple[int, Set[str]]] = []
+        #: name -> names appearing in its most recent assignment
+        self.deps: Dict[str, Set[str]] = {}
+        #: name -> subtrahend names when bound to a ``1 - x`` expr
+        self.pole_aliases: Dict[str, Set[str]] = {}
+        self._parents = _parent_map(scope)
+        for stmt in _scope_statements(scope):
+            self._index_statement(stmt)
+
+    def _index_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            names = _names_in(stmt.value)
+            subtrahend = _pole_subtrahend(stmt.value)
+            if isinstance(stmt.value, ast.Compare):
+                # ``stable = loads < 1.0``: binding a comparison is the
+                # vectorized guard idiom (the mask selects the safe
+                # elements downstream), so it dominates later uses.
+                self.guards.append((stmt.lineno, names))
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.deps[target.id] = names
+                    if subtrahend is not None:
+                        self.pole_aliases[target.id] = subtrahend
+        elif isinstance(stmt, ast.If):
+            if _terminates(stmt.body):
+                self.guards.append((stmt.body[-1].lineno,
+                                    _names_in(stmt.test)))
+        elif isinstance(stmt, ast.Assert):
+            self.guards.append((stmt.lineno, _names_in(stmt.test)))
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                callee = _callee_name(node)
+                if callee and GUARD_CALL_RE.search(callee):
+                    arg_names: Set[str] = set()
+                    for arg in list(node.args) + \
+                            [kw.value for kw in node.keywords]:
+                        arg_names |= _names_in(arg)
+                    if arg_names:
+                        self.guards.append((node.lineno, arg_names))
+
+    def expand_deps(self, names: Set[str]) -> Set[str]:
+        """Names plus what they were assigned from (two levels)."""
+        out = set(names)
+        for _ in range(2):
+            extra: Set[str] = set()
+            for name in out:
+                extra |= self.deps.get(name, set())
+            if extra <= out:
+                break
+            out |= extra
+        return out
+
+    def is_guarded(self, node: ast.AST, dep_names: Set[str]) -> bool:
+        deps = self.expand_deps(dep_names)
+        # 1. an earlier terminating guard / assert / guard call
+        for line, guard_names in self.guards:
+            if node.lineno > line and guard_names & deps:
+                return True
+        # 2. an enclosing conditional mentioning a dependency
+        current: Optional[ast.AST] = node
+        while current is not None:
+            parent = self._parents.get(id(current))
+            if isinstance(parent, (ast.If, ast.While)) \
+                    and _names_in(parent.test) & deps:
+                return True
+            if isinstance(parent, ast.IfExp) \
+                    and _names_in(parent.test) & deps:
+                return True
+            if isinstance(parent, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                for generator in parent.generators:
+                    for cond in generator.ifs:
+                        if _names_in(cond) & deps:
+                            return True
+            current = parent
+        return False
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _pole_subtrahend(node: ast.expr) -> Optional[Set[str]]:
+    """Names of ``x`` when ``node`` contains ``1 - x``; else ``None``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Sub) \
+                and isinstance(sub.left, ast.Constant) \
+                and sub.left.value in (1, 1.0):
+            names = _names_in(sub.right)
+            if names:
+                return names
+    return None
+
+
+@register_rule
+class UnguardedPoleDivisionRule(Rule):
+    """Flag division by ``1 - x`` with no dominating guard (GW201)."""
+
+    rule_id = "GW201"
+    name = "unguarded-pole-division"
+    description = ("division by a `1 - x` denominator needs a "
+                   "dominating feasibility guard (x < 1 check, "
+                   "assert, or require_domain/admits call) on every "
+                   "path to it")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None or ctx.module is None \
+                or not ctx.module.startswith("repro"):
+            return
+        for scope in _scopes(ctx.tree):
+            index = _GuardIndex(scope)
+            for node in self._scope_walk(scope):
+                if not (isinstance(node, ast.BinOp)
+                        and isinstance(node.op, (ast.Div, ast.FloorDiv,
+                                                 ast.Mod))):
+                    continue
+                dep_names = self._pole_denominator(node.right, index)
+                if dep_names is None:
+                    continue
+                if index.is_guarded(node, dep_names):
+                    continue
+                pretty = ", ".join(sorted(dep_names)) or "?"
+                yield self.finding(
+                    ctx, node,
+                    f"division by `1 - x` (x depends on: {pretty}) "
+                    f"with no dominating feasibility guard; check "
+                    f"the load against capacity first (cf. "
+                    f"g(x)=x/(1-x) diverging at x->1)")
+
+    @staticmethod
+    def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+        """Every node of ``scope`` exactly once, skipping nested defs."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _pole_denominator(denominator: ast.expr,
+                          index: _GuardIndex) -> Optional[Set[str]]:
+        subtrahend = _pole_subtrahend(denominator)
+        if subtrahend is not None:
+            return subtrahend
+        for sub in ast.walk(denominator):
+            if isinstance(sub, ast.Name) and \
+                    sub.id in index.pole_aliases:
+                return index.pole_aliases[sub.id] | {sub.id}
+        return None
+
+
+@register_rule
+class UnguardedDomainCallRule(Rule):
+    """Flag log/sqrt of possibly-negative expressions (GW202)."""
+
+    rule_id = "GW202"
+    name = "unguarded-domain-call"
+    description = ("log/sqrt of an expression containing a "
+                   "subtraction needs a dominating nonnegativity "
+                   "guard or an abs/clip/maximum wrapper")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None or ctx.module is None \
+                or not ctx.module.startswith("repro"):
+            return
+        for scope in _scopes(ctx.tree):
+            index = _GuardIndex(scope)
+            for node in UnguardedPoleDivisionRule._scope_walk(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = self._log_sqrt_callee(node)
+                if fn is None or not node.args:
+                    continue
+                argument = node.args[0]
+                risky = self._risky_names(argument, index)
+                if risky is None:
+                    continue
+                if index.is_guarded(node, risky):
+                    continue
+                pretty = ", ".join(sorted(risky)) or "?"
+                yield self.finding(
+                    ctx, node,
+                    f"{fn}() of a subtraction (depends on: {pretty}) "
+                    f"may go negative near saturation; guard the "
+                    f"sign, or wrap in abs/clip if that is the "
+                    f"intended semantics")
+
+    @staticmethod
+    def _log_sqrt_callee(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _LOG_SQRT \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id in ("math", "np", "numpy"):
+            return f"{func.value.id}.{func.attr}"
+        return None
+
+    def _risky_names(self, argument: ast.expr,
+                     index: _GuardIndex) -> Optional[Set[str]]:
+        for sub in ast.walk(argument):
+            if isinstance(sub, ast.Call):
+                callee = _callee_name(sub)
+                if callee in SAFE_WRAPPERS:
+                    return None
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Sub):
+                names = _names_in(sub)
+                if names:
+                    return names
+        for name in _names_in(argument):
+            if name in index.pole_aliases:
+                return index.pole_aliases[name] | {name}
+        return None

@@ -36,9 +36,10 @@ def random_exponential_profile(n_users: int, rng: np.random.Generator,
                                curvature_low: float = 1.0,
                                curvature_high: float = 30.0) -> List[Utility]:
     """Lemma-5 family utilities with random anchors and curvatures."""
+    log_alpha = (np.log(0.5), np.log(8.0))
     profile: List[Utility] = []
     for _ in range(n_users):
-        alpha = float(np.exp(rng.uniform(np.log(0.5), np.log(8.0))))
+        alpha = float(np.exp(rng.uniform(*log_alpha)))
         gamma = 1.0
         beta = float(rng.uniform(curvature_low, curvature_high))
         nu = float(rng.uniform(curvature_low, curvature_high))
@@ -58,9 +59,10 @@ def random_power_profile(n_users: int,
     equilibria exist under every discipline (marginal congestion pain
     vanishes at c = 0 and grows thereafter).
     """
+    log_gamma = (np.log(0.3), np.log(4.0))
     profile: List[Utility] = []
     for _ in range(n_users):
-        gamma = float(np.exp(rng.uniform(np.log(0.3), np.log(4.0))))
+        gamma = float(np.exp(rng.uniform(*log_gamma)))
         p = float(rng.uniform(0.6, 1.0))
         q = float(rng.uniform(1.0, 2.0))
         profile.append(PowerUtility(gamma=gamma, p=p, q=q))
@@ -75,18 +77,19 @@ def random_mixed_profile(n_users: int,
     *heterogeneous* populations (e.g. Theorem 2 makes symmetric rates
     necessary for Nash/Pareto coincidence).
     """
+    log_gamma = (np.log(0.3), np.log(4.0))
     profile: List[Utility] = []
     for _ in range(n_users):
         kind = rng.integers(0, 4)
         if kind == 0:
-            gamma = float(np.exp(rng.uniform(np.log(0.3), np.log(4.0))))
+            gamma = float(np.exp(rng.uniform(*log_gamma)))
             profile.append(LinearUtility(gamma=gamma))
         elif kind == 1:
             profile.extend(random_exponential_profile(1, rng))
         elif kind == 2:
             profile.extend(random_power_profile(1, rng))
         else:
-            gamma = float(np.exp(rng.uniform(np.log(0.3), np.log(4.0))))
+            gamma = float(np.exp(rng.uniform(*log_gamma)))
             b = float(rng.uniform(-0.4, 0.0))   # concave variant
             profile.append(QuadraticUtility(gamma=gamma, b=b))
     return profile
@@ -122,6 +125,9 @@ def lemma5_profile(allocation: AllocationFunction,
             f"target rates {r} are outside the stable region of "
             f"{allocation.name}")
     profile: List[Utility] = []
+    # greedwork: ignore[GW101] -- own_derivative is a scalar per-user
+    # API and profiles are a handful of users; vectorizing would need
+    # a full Jacobian for no measurable gain.
     for i in range(r.size):
         slope = allocation.own_derivative(r, i)
         gamma = 1.0

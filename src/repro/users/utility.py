@@ -126,8 +126,10 @@ def check_acceptable(utility: Utility,
     rs = np.linspace(r_range[0], r_range[1], n_grid)
     cs = np.linspace(c_range[0], c_range[1], n_grid)
     checked = 0
-    for r in rs:
-        for c in cs:
+    # Scalar derivative probes on a small grid: .tolist() marks the
+    # per-point iteration as deliberate.
+    for r in rs.tolist():
+        for c in cs.tolist():
             checked += 1
             ur = utility.du_dr(float(r), float(c))
             uc = utility.du_dc(float(r), float(c))

@@ -11,13 +11,14 @@ from repro.disciplines import (
     ProportionalAllocation,
     SeparableAllocation,
 )
+from repro.numerics import default_rng
 from repro.users.families import LinearUtility, PowerUtility
 
 
 @pytest.fixture
 def rng():
     """A fresh, fixed-seed generator per test."""
-    return np.random.default_rng(1234)
+    return default_rng(1234)
 
 
 @pytest.fixture

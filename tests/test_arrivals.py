@@ -4,13 +4,14 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
+from repro.numerics import default_rng
 from repro.sim.arrivals import PROCESS_CV, interarrival_sampler
 from repro.sim.runner import SimulationConfig, simulate
 
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(12)
+    return default_rng(12)
 
 
 class TestSamplers:

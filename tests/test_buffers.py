@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
+from repro.numerics import default_rng
 from repro.sim.buffers import FiniteBufferPolicy
 from repro.sim.packet import Packet
 from repro.sim.queues import FairShareLadderQueue, FIFOQueue
@@ -16,7 +17,7 @@ def packet(user, t=0.0):
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(6)
+    return default_rng(6)
 
 
 class TestFiniteBufferMechanics:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.game.coalitions import (
+    CoalitionOutcome,
     coalition_gain,
     search_profitable_coalitions,
 )
@@ -24,6 +25,7 @@ class TestCoalitionGain:
         nash = solve_nash(fair_share, power_profile3)
         outcome = coalition_gain(fair_share, power_profile3,
                                  nash.rates, [0], grid_points=7)
+        assert isinstance(outcome, CoalitionOutcome)
         assert outcome.gain <= 1e-6
 
     def test_fs_pairs_resilient(self, fair_share, power_profile3):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.game.envy import (
+    UnilateralEnvyOutcome,
     envy_matrix,
     max_envy,
     search_unilateral_envy,
@@ -50,6 +51,7 @@ class TestUnilateralEnvy:
         for opponent_rate in (0.1, 0.3, 0.5, 0.8):
             outcome = unilateral_envy(fair_share, profile,
                                       np.array([0.0, opponent_rate]), 0)
+            assert isinstance(outcome, UnilateralEnvyOutcome)
             assert outcome.envy <= 1e-8, opponent_rate
 
     def test_fifo_envies_bigger_sender(self, fifo):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
+from repro.numerics import default_rng
 from repro.sim.fair_queueing import StartTimeFairQueue
 from repro.sim.packet import Packet
 from repro.sim.queues import make_policy
@@ -16,7 +17,7 @@ def packet(user, size=1.0, t=0.0):
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(3)
+    return default_rng(3)
 
 
 class TestSFQMechanics:

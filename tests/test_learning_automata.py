@@ -6,6 +6,7 @@ import pytest
 from repro.disciplines.fair_share import FairShareAllocation
 from repro.game.learning import learning_automata
 from repro.game.nash import solve_nash
+from repro.numerics import default_rng
 from repro.users.families import DelayBasedUtility, LinearUtility, \
     PowerUtility
 
@@ -47,7 +48,7 @@ class TestLearningAutomata:
         spacing = grids[0][1] - grids[0][0]
         result = learning_automata(fs, profile, grids, n_steps=12000,
                                    learning_rate=0.02,
-                                   rng=np.random.default_rng(7))
+                                   rng=default_rng(7))
         gaps = np.abs(result.modal_rates - nash.rates)
         assert np.all(gaps <= 1.5 * spacing)
 

@@ -51,6 +51,7 @@ class TestSafetyWrapping:
     def test_inf_objective(self):
         result = multistart_maximize(
             lambda x: -math.inf if x < 0.9 else 1.0, 0.0, 1.0)
+        # greedwork: ignore[GW004] -- exact value is the contract under test
         assert result.value == 1.0
 
 
@@ -77,6 +78,7 @@ class TestMultistart:
 
 class TestArgmaxOnGrid:
     def test_basic(self):
+        # greedwork: ignore[GW004] -- exact value is the contract under test
         assert argmax_on_grid(lambda x: -(x - 2.0) ** 2,
                               [0.0, 1.0, 2.0, 3.0]) == 2.0
 
@@ -85,4 +87,5 @@ class TestArgmaxOnGrid:
             argmax_on_grid(lambda x: x, [])
 
     def test_tie_goes_to_first(self):
+        # greedwork: ignore[GW004] -- exact value is the contract under test
         assert argmax_on_grid(lambda x: 0.0, [5.0, 6.0]) == 5.0

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.game.nash import is_nash
+from repro.numerics import default_rng
 from repro.users.families import ExponentialUtility
 from repro.users.profiles import (
     lemma5_profile,
@@ -23,8 +24,8 @@ class TestRandomProfiles:
         assert len(random_mixed_profile(6, rng)) == 6
 
     def test_determinism(self):
-        a = random_mixed_profile(4, np.random.default_rng(9))
-        b = random_mixed_profile(4, np.random.default_rng(9))
+        a = random_mixed_profile(4, default_rng(9))
+        b = random_mixed_profile(4, default_rng(9))
         assert [type(u).__name__ for u in a] == [
             type(u).__name__ for u in b]
 

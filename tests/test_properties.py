@@ -11,6 +11,7 @@ from repro.costsharing.rules import (
 )
 from repro.disciplines.fair_share import FairShareAllocation
 from repro.disciplines.proportional import ProportionalAllocation
+from repro.numerics import default_rng
 from repro.queueing.constraints import FeasibilitySet
 from repro.queueing.priority import preemptive_priority_queues
 
@@ -61,7 +62,7 @@ class TestAllocationInvariants:
     @given(rates=rate_vectors())
     @settings(max_examples=40, deadline=None)
     def test_fs_permutation_equivariance(self, rates):
-        rng = np.random.default_rng(0)
+        rng = default_rng(0)
         perm = rng.permutation(rates.size)
         base = FS.congestion(rates)
         permuted = FS.congestion(rates[perm])

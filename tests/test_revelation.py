@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.game.revelation import (
+    MisreportOutcome,
     misreport_gain,
     nash_mechanism,
     scaled_reports,
@@ -52,6 +53,7 @@ class TestMisreportGain:
                           np.concatenate([np.logspace(-0.5, 0.5, 7),
                                           np.linspace(1.02, 1.3, 7)]))
         outcome = misreport_gain(fair_share, truthful_profile, 0, lies)
+        assert isinstance(outcome, MisreportOutcome)
         assert outcome.gain <= 1e-5
         assert outcome.best_report_index == -1
 
@@ -77,6 +79,7 @@ class TestMisreportGain:
     def test_gain_measured_with_true_utility(self, fair_share,
                                              truthful_profile):
         outcome = misreport_gain(fair_share, truthful_profile, 0, [])
+        # greedwork: ignore[GW004] -- exact value is the contract under test
         assert outcome.gain == 0.0
         assert outcome.best_misreport_utility == pytest.approx(
             outcome.truthful_utility)

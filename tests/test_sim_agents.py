@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sim.agents import (
+    SelfishLoopResult,
     AgentConfig,
     HillClimbingAgent,
     run_selfish_loop,
@@ -53,6 +54,7 @@ class TestSelfishLoop:
         result = run_selfish_loop(profile, lambda rates: "fifo",
                                   n_episodes=3, episode_length=500.0,
                                   warmup=50.0, seed=1)
+        assert isinstance(result, SelfishLoopResult)
         assert result.rate_history.shape == (4, 2)
         assert result.congestion_history.shape == (3, 2)
         with pytest.raises(ValueError):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
+from repro.numerics import default_rng
 from repro.sim.packet import Packet
 from repro.sim.queues import (
     AdaptiveFairShareQueue,
@@ -23,7 +24,7 @@ def packet(user, t=0.0):
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(5)
+    return default_rng(5)
 
 
 class TestFIFO:
@@ -77,7 +78,7 @@ class TestProcessorSharing:
             a, b = packet(0), packet(1)
             queue.push(a)
             queue.push(b)
-            if queue.complete(np.random.default_rng(seed)) is a:
+            if queue.complete(default_rng(seed)) is a:
                 wins += 1
         assert 60 < wins < 140
 

@@ -14,6 +14,7 @@ from repro.exceptions import SimulationError
 from repro.queueing.mm1 import mm1_mean_queue, proportional_split
 from repro.queueing.priority import nonpreemptive_priority_queues
 from repro.sim.runner import (
+    ReplicationSummary,
     SimulationConfig,
     replicate,
     simulate,
@@ -134,6 +135,7 @@ class TestReplicate:
         summary = replicate(SimulationConfig(
             rates=[0.2, 0.3], policy="fifo", horizon=5000.0,
             warmup=250.0, seed=0), n_replications=3)
+        assert isinstance(summary, ReplicationSummary)
         assert len(summary.runs) == 3
         assert summary.mean_queues.shape == (2,)
         assert np.all(summary.half_widths > 0)

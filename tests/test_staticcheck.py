@@ -14,9 +14,33 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main as cli_main
-from repro.staticcheck import all_rules, get_rule, run_checks
+from repro.staticcheck import (
+    CheckUsageError,
+    FileContext,
+    all_rules,
+    collect_files,
+    get_rule,
+    load_baseline,
+    render_sarif,
+    run_checks,
+    select_rules,
+    write_baseline,
+)
+from repro.staticcheck.core import module_name_for
+from repro.staticcheck.rules.layers import package_of
 
-REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src"
+REPO_TESTS = REPO_ROOT / "tests"
+SARIF_SUBSET_SCHEMA = (Path(__file__).resolve().parent / "data"
+                       / "sarif-2.1.0-subset.json")
+
+ALL_RULE_IDS = [
+    "GW001", "GW002", "GW003", "GW004", "GW005",
+    "GW101", "GW102", "GW103", "GW104",
+    "GW201", "GW202",
+    "GW301", "GW302",
+]
 
 
 def write_module(root: Path, relpath: str, source: str) -> Path:
@@ -36,7 +60,7 @@ def findings_for(path: Path, rule_id: str, root=None):
 class TestFramework:
     def test_all_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["GW001", "GW002", "GW003", "GW004", "GW005"]
+        assert ids == ALL_RULE_IDS
 
     def test_unknown_rule_id(self):
         with pytest.raises(KeyError):
@@ -79,6 +103,79 @@ class TestFramework:
         path = write_module(tmp_path, "mod.py", source)
         result = findings_for(path, "GW003")
         assert len(result.findings) == 1
+
+    def test_standalone_pragma_skips_blank_and_comment_lines(self, tmp_path):
+        source = """\
+            import numpy as np
+
+            # greedwork: ignore[GW003] -- module-level demo generator
+            # (reused by every helper below, seeded for reproducibility)
+
+            rng = np.random.default_rng(3)
+        """
+        path = write_module(tmp_path, "mod.py", source)
+        result = findings_for(path, "GW003")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_unparseable_file_context_is_usable(self, tmp_path):
+        path = tmp_path / "broken.py"
+        source = "def f(:\n    pass\n"
+        path.write_text(source)
+        ctx = FileContext(path, source)
+        assert ctx.tree is None
+        assert isinstance(ctx.parse_error, SyntaxError)
+        assert ctx.suppressed_ids(1) == frozenset()
+
+    def test_broken_file_does_not_abort_the_run(self, tmp_path):
+        write_module(tmp_path, "broken.py", "def f(:\n")
+        write_module(tmp_path, "bad.py", "import random\n")
+        result = run_checks([tmp_path])
+        assert sorted(f.rule_id for f in result.findings) == \
+            ["GW000", "GW003"]
+        assert result.files_checked == 2
+
+    def test_collect_files_missing_path_errors(self, tmp_path):
+        with pytest.raises(CheckUsageError, match="no such file"):
+            collect_files([tmp_path / "nope.py"])
+
+    def test_collect_files_rejects_non_python(self, tmp_path):
+        notes = tmp_path / "notes.txt"
+        notes.write_text("hello\n")
+        with pytest.raises(CheckUsageError,
+                           match="unsupported file type"):
+            collect_files([notes])
+
+    def test_select_rules_by_family_prefix(self):
+        rules = select_rules(all_rules(), select=["GW1"])
+        assert [r.rule_id for r in rules] == \
+            ["GW101", "GW102", "GW103", "GW104"]
+
+    def test_select_rules_normalizes_family_suffix(self):
+        rules = select_rules(all_rules(), select=["GW2xx"])
+        assert [r.rule_id for r in rules] == ["GW201", "GW202"]
+
+    def test_select_rules_ignore_wins(self):
+        rules = select_rules(all_rules(), select=["GW1"],
+                             ignore=["GW103"])
+        assert [r.rule_id for r in rules] == ["GW101", "GW102", "GW104"]
+
+    def test_select_rules_unknown_selector_raises(self):
+        with pytest.raises(KeyError):
+            select_rules(all_rules(), select=["GW9"])
+
+    def test_module_name_for_maps_repro_paths(self):
+        assert module_name_for(
+            Path("/tmp/tree/src/repro/game/nash.py")) == "repro.game.nash"
+        assert module_name_for(
+            Path("/tmp/tree/src/repro/game/__init__.py")) == "repro.game"
+        assert module_name_for(Path("/tmp/elsewhere/mod.py")) is None
+
+    def test_package_of_layers(self):
+        assert package_of("repro.queueing.mm1") == "queueing"
+        assert package_of("repro.cli") == "cli"
+        assert package_of("repro") == "<root>"
+        assert package_of("numpy.linalg") is None
 
 
 class TestLayerDAG:
@@ -544,6 +641,857 @@ class TestHygiene:
         assert len(result.suppressed) == 1
 
 
+class TestDevectorizedLoop:
+    """GW101 — fixtures live under ``src/repro/`` (the rule is gated
+    on repro modules; tests and examples may stay scalar)."""
+
+    def test_vectorized_code_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/ok.py", """\
+            import numpy as np
+
+
+            def total_queue(rates):
+                loads = np.asarray(rates, dtype=float)
+                return float(np.sum(loads / (1.0 + loads)))
+        """)
+        assert findings_for(path, "GW101").findings == []
+
+    def test_direct_iteration_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad.py", """\
+            import numpy as np
+
+
+            def total(rates):
+                out = 0.0
+                for r in np.asarray(rates, dtype=float):
+                    out += r
+                return out
+        """)
+        result = findings_for(path, "GW101")
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 6
+        assert "numpy array" in result.findings[0].message
+
+    def test_range_len_indexing_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad2.py", """\
+            import numpy as np
+
+
+            def diffs(n):
+                arr = np.linspace(0.0, 1.0, n)
+                out = []
+                for i in range(len(arr) - 1):
+                    out.append(arr[i + 1] - arr[i])
+                return out
+        """)
+        assert len(findings_for(path, "GW101").findings) == 1
+
+    def test_enumerate_over_array_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad3.py", """\
+            import numpy as np
+
+
+            def label(rates):
+                arr = np.asarray(rates)
+                for i, r in enumerate(arr):
+                    yield i, r
+        """)
+        assert len(findings_for(path, "GW101").findings) == 1
+
+    def test_tolist_is_the_deliberate_scalar_marker(self, tmp_path):
+        # .tolist() converts to Python scalars: the documented idiom
+        # for loops that must stay scalar (ragged per-item work).
+        path = write_module(tmp_path, "src/repro/sim/ok2.py", """\
+            import numpy as np
+
+
+            def rows(rates):
+                for r in np.asarray(rates, dtype=float).tolist():
+                    yield f"{r:.3f}"
+        """)
+        assert findings_for(path, "GW101").findings == []
+
+    def test_non_repro_module_not_flagged(self, tmp_path):
+        path = write_module(tmp_path, "scripts/helper.py", """\
+            import numpy as np
+
+            for r in np.zeros(4):
+                print(r)
+        """)
+        assert findings_for(path, "GW101").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/meh.py", """\
+            import numpy as np
+
+
+            def emit(rates):
+                arr = np.asarray(rates)
+                # greedwork: ignore[GW101] -- per-row formatting is scalar
+                for r in arr:
+                    print(r)
+        """)
+        result = findings_for(path, "GW101")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestLoopInvariantCall:
+    """GW102."""
+
+    def test_varying_arguments_pass(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/ok.py", """\
+            import math
+
+
+            def decay(xs):
+                out = []
+                for x in xs:
+                    out.append(math.exp(-x))
+                return out
+        """)
+        assert findings_for(path, "GW102").findings == []
+
+    def test_invariant_math_call_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad.py", """\
+            import math
+
+
+            def scale(xs, t):
+                out = []
+                for x in xs:
+                    out.append(x * math.exp(t))
+                return out
+        """)
+        result = findings_for(path, "GW102")
+        assert len(result.findings) == 1
+        assert "math.exp(...)" in result.findings[0].message
+        assert "hoist" in result.findings[0].message
+
+    def test_invariant_domain_method_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad2.py", """\
+            def sweep(curve, total, xs):
+                out = []
+                for x in xs:
+                    out.append(x + curve.value(total))
+                return out
+        """)
+        assert len(findings_for(path, "GW102").findings) == 1
+
+    def test_hoisted_call_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/ok2.py", """\
+            import math
+
+
+            def scale(xs, t):
+                factor = math.exp(t)
+                out = []
+                for x in xs:
+                    out.append(x * factor)
+                return out
+        """)
+        assert findings_for(path, "GW102").findings == []
+
+    def test_rng_named_call_is_not_invariant(self, tmp_path):
+        # Same arguments, different results: stateful generators must
+        # never be hoisted, whatever their arguments do.
+        path = write_module(tmp_path, "src/repro/sim/ok3.py", """\
+            def draws(rng, n, trials):
+                out = []
+                for _ in range(trials):
+                    out.append(rng.sample(n))
+                return out
+        """)
+        assert findings_for(path, "GW102").findings == []
+
+    def test_mutated_receiver_is_not_invariant(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/ok4.py", """\
+            import numpy as np
+
+
+            def trail(xs):
+                acc = []
+                out = []
+                for x in xs:
+                    acc.append(x)
+                    out.append(np.asarray(acc))
+                return out
+        """)
+        assert findings_for(path, "GW102").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/meh.py", """\
+            import math
+
+
+            def f(xs, t):
+                out = []
+                for x in xs:
+                    out.append(x * math.exp(t))  # greedwork: ignore[GW102]
+                return out
+        """)
+        result = findings_for(path, "GW102")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestQuadraticMembership:
+    """GW103."""
+
+    def test_set_membership_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/ok.py", """\
+            def count(items, keys):
+                allowed = set(keys)
+                hits = 0
+                for item in items:
+                    if item in allowed:
+                        hits += 1
+                return hits
+        """)
+        assert findings_for(path, "GW103").findings == []
+
+    def test_list_membership_in_loop_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad.py", """\
+            def count(items, keys):
+                allowed = list(keys)
+                hits = 0
+                for item in items:
+                    if item in allowed:
+                        hits += 1
+                return hits
+        """)
+        result = findings_for(path, "GW103")
+        assert len(result.findings) == 1
+        assert "quadratic" in result.findings[0].message
+
+    def test_literal_list_membership_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad2.py", """\
+            def tally(names):
+                hits = 0
+                for name in names:
+                    if name in ["fifo", "fair-share", "fair-queue"]:
+                        hits += 1
+                return hits
+        """)
+        assert len(findings_for(path, "GW103").findings) == 1
+
+    def test_membership_outside_loop_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/ok2.py", """\
+            def once(item, keys):
+                allowed = list(keys)
+                return item in allowed
+        """)
+        assert findings_for(path, "GW103").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/meh.py", """\
+            def f(items):
+                allowed = list(items)
+                for item in items:
+                    if item in allowed:  # greedwork: ignore[GW103]
+                        return item
+        """)
+        result = findings_for(path, "GW103")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestArrayGrowth:
+    """GW104."""
+
+    def test_collect_then_convert_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/ok.py", """\
+            import numpy as np
+
+
+            def collect(chunks):
+                parts = []
+                for chunk in chunks:
+                    parts.append(chunk)
+                return np.concatenate(parts)
+        """)
+        assert findings_for(path, "GW104").findings == []
+
+    def test_np_append_fails_anywhere(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad.py", """\
+            import numpy as np
+
+
+            def extend(arr, x):
+                return np.append(arr, x)
+        """)
+        result = findings_for(path, "GW104")
+        assert len(result.findings) == 1
+        assert "np.append" in result.findings[0].message
+
+    def test_loop_carried_concatenate_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/bad2.py", """\
+            import numpy as np
+
+
+            def gather(chunks):
+                out = np.zeros(0)
+                for chunk in chunks:
+                    out = np.concatenate((out, chunk))
+                return out
+        """)
+        result = findings_for(path, "GW104")
+        assert len(result.findings) == 1
+        assert "'out'" in result.findings[0].message
+
+    def test_fresh_concatenate_in_loop_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/ok2.py", """\
+            import numpy as np
+
+
+            def pairs(chunks, tail):
+                out = []
+                for chunk in chunks:
+                    joined = np.concatenate((chunk, tail))
+                    out.append(joined)
+                return out
+        """)
+        assert findings_for(path, "GW104").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/meh.py", """\
+            import numpy as np
+
+
+            def extend(arr, x):
+                return np.append(arr, x)  # greedwork: ignore[GW104]
+        """)
+        result = findings_for(path, "GW104")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestPoleDivision:
+    """GW201 — the g(x) = x/(1-x) pole."""
+
+    def test_unguarded_division_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/bad.py", """\
+            def g(load):
+                return load / (1.0 - load)
+        """)
+        result = findings_for(path, "GW201")
+        assert len(result.findings) == 1
+        assert "1 - x" in result.findings[0].message
+        assert "load" in result.findings[0].message
+
+    def test_terminating_guard_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok.py", """\
+            import math
+
+
+            def g(load):
+                if load >= 1.0:
+                    return math.inf
+                return load / (1.0 - load)
+        """)
+        assert findings_for(path, "GW201").findings == []
+
+    def test_assert_guard_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok2.py", """\
+            def g(load):
+                assert load < 1.0
+                return load / (1.0 - load)
+        """)
+        assert findings_for(path, "GW201").findings == []
+
+    def test_guard_call_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok3.py", """\
+            from repro.queueing.mm1 import require_stable
+
+
+            def g(load):
+                require_stable(load)
+                return load / (1.0 - load)
+        """)
+        assert findings_for(path, "GW201").findings == []
+
+    def test_enclosing_conditional_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok4.py", """\
+            import math
+
+
+            def g(load):
+                return load / (1.0 - load) if load < 1.0 else math.inf
+        """)
+        assert findings_for(path, "GW201").findings == []
+
+    def test_vectorized_mask_guard_passes(self, tmp_path):
+        # ``stable = loads < 1.0`` is the canonical numpy guard: the
+        # mask binding dominates the masked division below it.
+        path = write_module(tmp_path, "src/repro/queueing/ok5.py", """\
+            import numpy as np
+
+
+            def g(loads):
+                stable = loads < 1.0
+                out = np.full(loads.shape, np.inf)
+                out[stable] = loads[stable] / (1.0 - loads[stable])
+                return out
+        """)
+        assert findings_for(path, "GW201").findings == []
+
+    def test_alias_through_assignment_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/bad2.py", """\
+            def g(load):
+                headroom = 1.0 - load
+                return load / headroom
+        """)
+        result = findings_for(path, "GW201")
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 3
+
+    def test_guard_on_upstream_name_covers_derived_load(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok6.py", """\
+            import math
+
+
+            def g(total, service_rate):
+                if total >= service_rate:
+                    return math.inf
+                rho = total / service_rate
+                return rho / (1.0 - rho)
+        """)
+        assert findings_for(path, "GW201").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/meh.py", """\
+            def g(load):
+                return load / (1.0 - load)  # greedwork: ignore[GW201]
+        """)
+        result = findings_for(path, "GW201")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestDomainCall:
+    """GW202."""
+
+    def test_unguarded_sqrt_of_subtraction_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/bad.py", """\
+            import math
+
+
+            def spread(a, b):
+                return math.sqrt(a - b)
+        """)
+        result = findings_for(path, "GW202")
+        assert len(result.findings) == 1
+        assert "math.sqrt()" in result.findings[0].message
+
+    def test_abs_wrapper_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok.py", """\
+            import math
+
+
+            def spread(a, b):
+                return math.sqrt(abs(a - b))
+        """)
+        assert findings_for(path, "GW202").findings == []
+
+    def test_clip_wrapper_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok2.py", """\
+            import numpy as np
+
+
+            def spread(a, b):
+                return np.sqrt(np.clip(a - b, 0.0, None))
+        """)
+        assert findings_for(path, "GW202").findings == []
+
+    def test_dominating_guard_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok3.py", """\
+            import math
+
+
+            def spread(a, b):
+                if a < b:
+                    raise ValueError("a must dominate b")
+                return math.sqrt(a - b)
+        """)
+        assert findings_for(path, "GW202").findings == []
+
+    def test_log_of_subtraction_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/bad2.py", """\
+            import numpy as np
+
+
+            def slack(load):
+                return np.log(1.0 - load)
+        """)
+        assert len(findings_for(path, "GW202").findings) == 1
+
+    def test_plain_argument_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/ok4.py", """\
+            import math
+
+
+            def f(x):
+                return math.sqrt(x)
+        """)
+        assert findings_for(path, "GW202").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/queueing/meh.py", """\
+            import math
+
+
+            def spread(a, b):
+                return math.sqrt(a - b)  # greedwork: ignore[GW202]
+        """)
+        result = findings_for(path, "GW202")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestDeadPublicAPI:
+    """GW301 (whole-program)."""
+
+    def _tree(self, tmp_path):
+        write_module(tmp_path, "src/repro/game/extra.py", """\
+            def used_helper():
+                return 1
+
+
+            def orphan_helper():
+                return 2
+
+
+            def _private_helper():
+                return 3
+        """)
+        write_module(tmp_path, "src/repro/game/consumer.py", """\
+            from repro.game.extra import used_helper
+
+            VALUE = used_helper()
+        """)
+        return tmp_path / "src"
+
+    def test_orphan_public_function_fails(self, tmp_path):
+        src = self._tree(tmp_path)
+        result = run_checks([src], rules=[get_rule("GW301")],
+                            project_root=tmp_path)
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert "'orphan_helper'" in finding.message
+        assert finding.path.endswith("extra.py")
+
+    def test_reference_from_tests_counts(self, tmp_path):
+        src = self._tree(tmp_path)
+        write_module(tmp_path, "tests/test_extra.py", """\
+            from repro.game.extra import orphan_helper
+
+            def test_orphan():
+                assert orphan_helper() == 2
+        """)
+        result = run_checks([src], rules=[get_rule("GW301")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_suppressible(self, tmp_path):
+        write_module(tmp_path, "src/repro/game/solo.py", """\
+            # greedwork: ignore[GW301] -- public surface under construction
+            def future_api():
+                return 0
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW301")],
+                            project_root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestStatefulDiscipline:
+    """GW302 (whole-program)."""
+
+    def _tree(self, tmp_path, discipline_src):
+        write_module(tmp_path, "src/repro/disciplines/base.py", BASE_STUB)
+        return write_module(tmp_path, "src/repro/disciplines/impl.py",
+                            discipline_src)
+
+    def test_pure_discipline_passes(self, tmp_path):
+        impl = self._tree(tmp_path, """\
+            import numpy as np
+
+            from repro.disciplines.base import AllocationFunction
+
+
+            class PureAllocation(AllocationFunction):
+                name = "pure"
+
+                def congestion(self, rates):
+                    return np.asarray(rates, dtype=float)
+        """)
+        result = run_checks([impl], rules=[get_rule("GW302")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_module_level_mutation_fails(self, tmp_path):
+        impl = self._tree(tmp_path, """\
+            from repro.disciplines.base import AllocationFunction
+
+            _CALLS = []
+
+
+            class LoggingAllocation(AllocationFunction):
+                name = "logging"
+
+                def congestion(self, rates):
+                    _CALLS.append(len(rates))
+                    return rates
+        """)
+        result = run_checks([impl], rules=[get_rule("GW302")],
+                            project_root=tmp_path)
+        assert len(result.findings) == 1
+        assert "_CALLS" in result.findings[0].message
+        assert "pure map" in result.findings[0].message
+
+    def test_global_statement_fails(self, tmp_path):
+        impl = self._tree(tmp_path, """\
+            from repro.disciplines.base import AllocationFunction
+
+            _COUNT = 0
+
+
+            class CountingAllocation(AllocationFunction):
+                name = "counting"
+
+                def congestion(self, rates):
+                    global _COUNT
+                    _COUNT += 1
+                    return rates
+        """)
+        result = run_checks([impl], rules=[get_rule("GW302")],
+                            project_root=tmp_path)
+        assert len(result.findings) >= 1
+        assert any("global" in f.message for f in result.findings)
+
+    def test_non_allocation_methods_unconstrained(self, tmp_path):
+        impl = self._tree(tmp_path, """\
+            from repro.disciplines.base import AllocationFunction
+
+            _WARMED = []
+
+
+            class WarmableAllocation(AllocationFunction):
+                name = "warmable"
+
+                def warm(self):
+                    _WARMED.append(self.name)
+
+                def congestion(self, rates):
+                    return rates
+        """)
+        result = run_checks([impl], rules=[get_rule("GW302")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_suppressible(self, tmp_path):
+        impl = self._tree(tmp_path, """\
+            from repro.disciplines.base import AllocationFunction
+
+            _CALLS = []
+
+
+            class LoggingAllocation(AllocationFunction):
+                name = "logging"
+
+                def congestion(self, rates):
+                    _CALLS.append(len(rates))  # greedwork: ignore[GW302]
+                    return rates
+        """)
+        result = run_checks([impl], rules=[get_rule("GW302")],
+                            project_root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestIncrementalCache:
+    def _tree(self, tmp_path):
+        # Private helpers so the GW301 dead-API rule stays quiet and
+        # the cache assertions see a clean tree.
+        write_module(tmp_path, "src/repro/sim/alpha.py", """\
+            def _alpha(x):
+                return x + 1
+        """)
+        write_module(tmp_path, "src/repro/sim/beta.py", """\
+            def _beta(x):
+                return x * 2
+        """)
+        return tmp_path / "src"
+
+    def test_warm_run_reanalyzes_nothing(self, tmp_path):
+        src = self._tree(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        first = run_checks([src], project_root=tmp_path,
+                           cache=True, cache_dir=cache_dir)
+        assert first.files_from_cache == 0
+        assert first.files_analyzed == first.files_checked
+        second = run_checks([src], project_root=tmp_path,
+                            cache=True, cache_dir=cache_dir)
+        assert second.files_checked == first.files_checked
+        assert second.files_analyzed == 0
+        assert second.files_from_cache == second.files_checked
+        assert [f.render() for f in second.findings] == \
+            [f.render() for f in first.findings]
+
+    def test_edited_file_is_reanalyzed(self, tmp_path):
+        src = self._tree(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        run_checks([src], project_root=tmp_path,
+                   cache=True, cache_dir=cache_dir)
+        beta = src / "repro/sim/beta.py"
+        beta.write_text(beta.read_text() + "\n\nimport random\n")
+        third = run_checks([src], project_root=tmp_path,
+                           cache=True, cache_dir=cache_dir)
+        assert third.files_analyzed == 1
+        assert third.files_from_cache == third.files_checked - 1
+        assert [f.rule_id for f in third.findings] == ["GW003"]
+
+    def test_cached_findings_identical_to_fresh(self, tmp_path):
+        write_module(tmp_path, "src/repro/sim/dirty.py", """\
+            import random
+
+            sum = 3
+        """)
+        src = tmp_path / "src"
+        cache_dir = tmp_path / ".cache"
+        fresh = run_checks([src], project_root=tmp_path,
+                           cache=True, cache_dir=cache_dir)
+        cached = run_checks([src], project_root=tmp_path,
+                            cache=True, cache_dir=cache_dir)
+        assert cached.files_from_cache == cached.files_checked
+        assert [f.render() for f in cached.findings] == \
+            [f.render() for f in fresh.findings]
+
+    def test_no_cache_flag_disables(self, tmp_path):
+        src = self._tree(tmp_path)
+        cache_dir = tmp_path / ".cache"
+        run_checks([src], project_root=tmp_path,
+                   cache=True, cache_dir=cache_dir)
+        again = run_checks([src], project_root=tmp_path,
+                           cache=False, cache_dir=cache_dir)
+        assert again.files_from_cache == 0
+        assert again.files_analyzed == again.files_checked
+
+
+class TestParallelRuns:
+    def test_parallel_matches_serial(self, tmp_path):
+        for i in range(4):
+            write_module(tmp_path, f"src/repro/sim/mod{i}.py", """\
+                import random
+
+                sum = 3
+            """)
+        src = tmp_path / "src"
+        serial = run_checks([src], project_root=tmp_path, jobs=1)
+        parallel = run_checks([src], project_root=tmp_path, jobs=2)
+        assert serial.findings  # the fixtures are genuinely dirty
+        assert [f.render() for f in parallel.findings] == \
+            [f.render() for f in serial.findings]
+        assert [f.render() for f in parallel.suppressed] == \
+            [f.render() for f in serial.suppressed]
+        assert parallel.files_checked == serial.files_checked
+
+
+class TestSarifReport:
+    def _result(self, tmp_path):
+        write_module(tmp_path, "bad.py", """\
+            import random
+            from random import shuffle  # greedwork: ignore[GW003]
+        """)
+        return run_checks([tmp_path / "bad.py"], project_root=tmp_path)
+
+    def test_document_matches_vendored_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        document = json.loads(render_sarif(self._result(tmp_path)))
+        schema = json.loads(SARIF_SUBSET_SCHEMA.read_text())
+        jsonschema.validate(document, schema)
+
+    def test_structure(self, tmp_path):
+        document = json.loads(render_sarif(self._result(tmp_path)))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "greedwork-check"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == \
+            ALL_RULE_IDS
+        assert run["columnKind"] in ("utf16CodeUnits",
+                                     "unicodeCodePoints")
+        live = [r for r in run["results"] if "suppressions" not in r]
+        suppressed = [r for r in run["results"] if "suppressions" in r]
+        assert len(live) == 1 and len(suppressed) == 1
+        assert live[0]["ruleId"] == "GW003"
+        region = live[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+        assert "greedworkFingerprint/v1" in live[0]["partialFingerprints"]
+        assert suppressed[0]["suppressions"][0]["kind"] == "inSource"
+
+    def test_baselined_findings_marked_external(self, tmp_path):
+        bad = write_module(tmp_path, "bad.py", "import random\n")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_checks([bad]).findings)
+        result = run_checks([bad], baseline=baseline)
+        document = json.loads(render_sarif(result))
+        results = document["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["suppressions"][0]["kind"] == "external"
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        bad = write_module(tmp_path, "bad.py", "import random\n")
+        first = run_checks([bad])
+        assert len(first.findings) == 1
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, first.findings)
+        second = run_checks([bad], baseline=baseline)
+        assert second.findings == []
+        assert len(second.baselined) == 1
+        assert second.ok
+
+    def test_baseline_survives_line_moves(self, tmp_path):
+        bad = write_module(tmp_path, "bad.py", "import random\n")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, run_checks([bad]).findings)
+        bad.write_text("\"\"\"A docstring pushing the line down.\"\"\"\n"
+                       "\nimport random\n")
+        result = run_checks([bad], baseline=baseline)
+        assert result.findings == []
+        assert len(result.baselined) == 1
+
+    def test_surplus_occurrence_still_fails(self, tmp_path):
+        bad = write_module(tmp_path, "src/repro/sim/bad.py", """\
+            def g(load):
+                return load / (1.0 - load)
+        """)
+        baseline = tmp_path / "baseline.json"
+        rules = [get_rule("GW201")]
+        write_baseline(
+            baseline,
+            run_checks([bad], rules=rules,
+                       project_root=tmp_path).findings)
+        bad.write_text(bad.read_text() + textwrap.dedent("""\
+
+
+            def h(load):
+                return load / (1.0 - load)
+        """))
+        result = run_checks([bad], rules=rules, project_root=tmp_path,
+                            baseline=baseline)
+        assert len(result.baselined) == 1
+        assert len(result.findings) == 1
+
+    def test_load_baseline_rejects_junk(self, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            load_baseline(junk)
+
+
 class TestCLI:
     def test_check_clean_tree_exit_zero(self, capsys):
         code = cli_main(["check", str(REPO_SRC)])
@@ -584,15 +1532,92 @@ class TestCLI:
         code = cli_main(["check", "--list-rules"])
         out = capsys.readouterr().out
         assert code == 0
-        for rule_id in ("GW001", "GW002", "GW003", "GW004", "GW005"):
+        for rule_id in ALL_RULE_IDS:
             assert rule_id in out
+
+    def test_check_sarif_format(self, tmp_path, capsys):
+        write_module(tmp_path, "bad.py", """\
+            import random
+        """)
+        code = cli_main(["check", str(tmp_path), "--no-cache",
+                         "--format", "sarif"])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"][0]["ruleId"] == "GW003"
+
+    def test_check_stats_on_stderr(self, tmp_path, capsys):
+        write_module(tmp_path, "ok.py", """\
+            VALUE = 1
+        """)
+        code = cli_main(["check", str(tmp_path), "--stats",
+                         "--cache-dir", str(tmp_path / ".cache")])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "files=1" in captured.err
+        assert "duration_s=" in captured.err
+
+    def test_check_update_then_use_baseline(self, tmp_path, capsys):
+        write_module(tmp_path, "bad.py", """\
+            import random
+        """)
+        baseline = tmp_path / "baseline.json"
+        code = cli_main(["check", str(tmp_path), "--no-cache",
+                         "--update-baseline",
+                         "--baseline", str(baseline)])
+        assert code == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        code = cli_main(["check", str(tmp_path), "--no-cache",
+                         "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baselined" in out
+
+    def test_check_parallel_jobs(self, tmp_path, capsys):
+        write_module(tmp_path, "bad.py", """\
+            import random
+        """)
+        code = cli_main(["check", str(tmp_path), "--no-cache",
+                         "-j", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "GW003" in out
+
+    def test_check_unknown_selector_exit_two(self, tmp_path, capsys):
+        code = cli_main(["check", str(tmp_path), "--no-cache",
+                         "--select", "GW9"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown rule selector" in captured.err
+
+    def test_check_warm_cache_serves_all_files(self, tmp_path, capsys):
+        write_module(tmp_path, "ok.py", """\
+            VALUE = 1
+        """)
+        cache_dir = str(tmp_path / ".cache")
+        cli_main(["check", str(tmp_path), "--cache-dir", cache_dir])
+        capsys.readouterr()
+        code = cli_main(["check", str(tmp_path), "--cache-dir",
+                         cache_dir, "--stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "analyzed=0" in captured.err
+        assert "cached=1" in captured.err
 
 
 class TestRepoIsClean:
     """The gate CI applies: the shipped tree has zero findings."""
 
     def test_full_suite_over_src(self):
-        result = run_checks([REPO_SRC], project_root=REPO_SRC.parent)
+        result = run_checks([REPO_SRC], project_root=REPO_ROOT)
         messages = [f.render() for f in result.findings]
         assert messages == []
         assert result.files_checked > 90
+
+    def test_full_suite_over_src_and_tests(self):
+        result = run_checks([REPO_SRC, REPO_TESTS],
+                            project_root=REPO_ROOT)
+        messages = [f.render() for f in result.findings]
+        assert messages == []
+        assert result.files_checked > 140

@@ -14,7 +14,7 @@ from repro.users.families import (
     QuadraticUtility,
     ThresholdUtility,
 )
-from repro.users.utility import check_acceptable
+from repro.users.utility import AcceptanceReport, check_acceptable
 
 
 class TestLinearUtility:
@@ -32,6 +32,7 @@ class TestLinearUtility:
 
     def test_in_au(self):
         report = check_acceptable(LinearUtility(gamma=0.7))
+        assert isinstance(report, AcceptanceReport)
         assert report.is_acceptable, report.violations
 
     def test_validation(self):
