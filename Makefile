@@ -3,8 +3,8 @@
 PYTHON ?= python
 STRICT_PKGS = -p repro.queueing -p repro.costsharing -p repro.disciplines
 
-.PHONY: install test test-fast bench experiments report examples clean \
-        lint lint-ruff lint-mypy check check-sarif
+.PHONY: install test test-fast bench bench-micro experiments report \
+        examples clean lint lint-ruff lint-mypy check check-sarif
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -44,6 +44,11 @@ test-fast:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Event-loop throughput matrix; appends to the BENCH_sim.json
+# trajectory so engine changes are comparable across commits.
+bench-micro:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_micro.py -o BENCH_sim.json
+
 experiments:
 	$(PYTHON) -m repro run all --fast
 
@@ -55,5 +60,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks \
-		.greedwork_cache greedwork.sarif
+		.greedwork_cache greedwork.sarif BENCH_sim.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -4,21 +4,55 @@ These complement the experiment benchmarks: they time the primitives
 the reproduction leans on (allocation evaluation, analytic Jacobians,
 best responses, Nash solves, the discrete-event loop) so performance
 regressions are visible independently of the experiment logic.
+
+The event-loop throughput matrix (``test_event_loop_throughput``)
+sweeps the three packet disciplines across utilizations
+rho in {0.5, 0.9, 0.97} and reports events per second.  Running this
+file as a script times the same matrix without pytest and appends the
+numbers to ``BENCH_sim.json`` (one entry per run, tagged with the
+engine version) so throughput can be tracked across engine changes::
+
+    PYTHONPATH=src python benchmarks/bench_micro.py -o BENCH_sim.json
 """
 
+import argparse
+import json
+import time
+
 import numpy as np
+import pytest
 
 from repro.disciplines.fair_share import FairShareAllocation
 from repro.disciplines.proportional import ProportionalAllocation
 from repro.game.best_response import best_response
 from repro.game.nash import solve_nash
-from repro.sim.runner import SimulationConfig, simulate
+from repro.sim import cache as sim_cache
+from repro.sim.runner import ENGINE_VERSION, SimulationConfig, simulate
 from repro.users.families import LinearUtility
 from repro.users.profiles import lemma5_profile
 
 RATES8 = np.linspace(0.02, 0.09, 8)
 FS = FairShareAllocation()
 FIFO = ProportionalAllocation()
+
+#: The event-loop matrix: three disciplines crossed with light,
+#: heavy, and near-saturation load.
+LOOP_POLICIES = ("fifo", "fair-share", "fair-queueing")
+LOOP_RHOS = (0.5, 0.9, 0.97)
+
+
+def loop_config(policy: str, rho: float,
+                horizon: float = 20000.0) -> SimulationConfig:
+    """A 4-user event-loop benchmark config at utilization ``rho``.
+
+    The rates keep the paper's heterogeneous 1:2:3:4 profile (distinct
+    rates matter: an equal-rate profile makes the Fair Share ladder
+    degenerate to a single class, i.e. to FIFO).
+    """
+    base = np.array([0.08, 0.16, 0.24, 0.32]) * (rho / 0.8)
+    return SimulationConfig(rates=tuple(float(r) for r in base),
+                            policy=policy, horizon=horizon,
+                            warmup=horizon * 0.05, seed=0)
 
 
 def test_fs_congestion_eval(benchmark):
@@ -64,20 +98,90 @@ def test_nash_solve_planted_5users(benchmark):
     assert result.converged
 
 
-def test_des_fifo_throughput(benchmark):
-    """Discrete-event loop: FIFO, 3 users, 5000 time units."""
-    config = SimulationConfig(rates=(0.1, 0.2, 0.3), policy="fifo",
-                              horizon=5000.0, warmup=250.0, seed=0)
+@pytest.mark.parametrize("rho", LOOP_RHOS)
+@pytest.mark.parametrize("policy", LOOP_POLICIES)
+def test_event_loop_throughput(benchmark, policy, rho):
+    """Discrete-event loop: 4 heterogeneous users, 5000 time units."""
+    config = loop_config(policy, rho, horizon=5000.0)
     result = benchmark.pedantic(lambda: simulate(config), rounds=3,
                                 iterations=1)
+    events = result.arrivals + result.departures
+    print(f"\n{policy} rho={rho}: {events} events processed")
     assert result.departures > 1000
 
 
-def test_des_fair_share_ladder_throughput(benchmark):
-    """Discrete-event loop: Fair Share ladder, 3 users, 5000 units."""
-    config = SimulationConfig(rates=(0.1, 0.2, 0.3),
-                              policy="fair-share", horizon=5000.0,
-                              warmup=250.0, seed=0)
-    result = benchmark.pedantic(lambda: simulate(config), rounds=3,
-                                iterations=1)
-    assert result.departures > 1000
+def measure_event_loop(rounds: int = 3):
+    """Best-of-``rounds`` event-loop throughput for the full matrix.
+
+    Returns a list of run records (policy, rho, events, seconds,
+    events_per_sec) tagged with the engine version — the rows appended
+    to ``BENCH_sim.json`` in script mode.
+    """
+    sim_cache.set_enabled(False)
+    runs = []
+    try:
+        for policy in LOOP_POLICIES:
+            for rho in LOOP_RHOS:
+                config = loop_config(policy, rho)
+                best = float("inf")
+                events = 0
+                for _ in range(rounds):
+                    started = time.perf_counter()
+                    result = simulate(config)
+                    elapsed = time.perf_counter() - started
+                    events = result.arrivals + result.departures
+                    best = min(best, elapsed)
+                runs.append({
+                    "engine_version": ENGINE_VERSION,
+                    "policy": policy,
+                    "rho": rho,
+                    "events": events,
+                    "seconds": round(best, 6),
+                    "events_per_sec": round(events / best, 1),
+                })
+    finally:
+        sim_cache.set_enabled(None)
+    return runs
+
+
+def append_trajectory(path: str, runs) -> None:
+    """Append run records to the ``BENCH_sim.json`` trajectory file."""
+    document = {"benchmark": "event-loop-throughput", "runs": []}
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+        if isinstance(existing.get("runs"), list):
+            document["runs"] = existing["runs"]
+    except (OSError, ValueError):
+        pass
+    document["runs"].extend(runs)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """Script mode: time the event-loop matrix, append the trajectory."""
+    parser = argparse.ArgumentParser(
+        description="event-loop throughput benchmark")
+    parser.add_argument("-o", "--output", default="BENCH_sim.json",
+                        help="trajectory file to append to")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per cell (best is kept)")
+    args = parser.parse_args(argv)
+    runs = measure_event_loop(rounds=args.rounds)
+    header = (f"{'policy':14s} {'rho':>5s} {'events':>8s} "
+              f"{'seconds':>9s} {'events/s':>12s}")
+    print(f"engine {ENGINE_VERSION}")
+    print(header)
+    for run in runs:
+        print(f"{run['policy']:14s} {run['rho']:5.2f} "
+              f"{run['events']:8d} {run['seconds']:9.4f} "
+              f"{run['events_per_sec']:12,.0f}")
+    append_trajectory(args.output, runs)
+    print(f"appended {len(runs)} run(s) to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

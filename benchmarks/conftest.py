@@ -8,7 +8,22 @@ end-to-end reproductions, not microbenchmarks); microbenchmarks of the
 hot code paths live in ``bench_micro.py``.
 """
 
+import pytest
+
 from repro.experiments.registry import get_experiment
+from repro.sim import cache as sim_cache
+
+
+@pytest.fixture(autouse=True)
+def _sim_cache_off():
+    """Benchmarks measure the engine, never the simulation cache.
+
+    Without this, every round after the first would return the cached
+    result of the first and the benchmark would time pickle loading.
+    """
+    sim_cache.set_enabled(False)
+    yield
+    sim_cache.set_enabled(None)
 
 
 def run_experiment_benchmark(benchmark, experiment_id: str, seed: int = 0):

@@ -4,7 +4,8 @@ Usage::
 
     greedwork list
     greedwork run t3_envy
-    greedwork run all --fast
+    greedwork run all --fast --jobs 4
+    greedwork run table1 --no-sim-cache
     greedwork simulate --rates 0.1 0.2 0.3 --policy fair-share
     greedwork nash --gammas 0.2 0.5 --discipline fair-share
 
@@ -38,6 +39,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--fast", action="store_true",
                             help="reduced sample sizes / horizons")
+    run_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (output is "
+                                 "identical to a serial run)")
+    run_parser.add_argument("--no-sim-cache", action="store_true",
+                            help="do not reuse or store cached "
+                                 "simulation results")
 
     sim_parser = sub.add_parser("simulate",
                                 help="one packet-level simulation")
@@ -83,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="full fidelity (slow)")
     report_parser.add_argument("--only", nargs="+", default=None,
                                help="subset of experiment ids")
+    report_parser.add_argument("--jobs", type=int, default=1,
+                               help="worker processes (the report is "
+                                    "identical to a serial run)")
+    report_parser.add_argument("--no-sim-cache", action="store_true",
+                               help="do not reuse or store cached "
+                                    "simulation results")
 
     check_parser = sub.add_parser(
         "check",
@@ -136,19 +149,34 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, seed: int, fast: bool) -> int:
-    from repro.experiments.registry import all_experiments, get_experiment
+def _cmd_run(experiment: str, seed: int, fast: bool, jobs: int,
+             no_sim_cache: bool) -> int:
+    from repro.exceptions import ReproError
+    from repro.experiments.registry import all_experiments, run_experiments
+    from repro.sim import cache as sim_cache
 
-    ids = all_experiments() if experiment == "all" else [experiment]
+    if no_sim_cache:
+        sim_cache.set_enabled(False)
+    try:
+        ids = all_experiments() if experiment == "all" else [experiment]
+        reports = run_experiments(ids, seed=seed, fast=fast, jobs=jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if no_sim_cache:
+            sim_cache.set_enabled(None)
     failures = 0
-    for experiment_id in ids:
-        report = get_experiment(experiment_id)(seed=seed, fast=fast)
+    for report in reports:
         print(report.render())
         print()
         if not report.passed:
             failures += 1
     if failures:
         print(f"{failures} experiment(s) FAILED")
+    # Stats go to stderr so stdout stays byte-identical across
+    # serial/parallel and cold/warm-cache runs (CI greps this line).
+    print(sim_cache.stats().line(), file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -330,7 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.seed, args.fast)
+        return _cmd_run(args.experiment, args.seed, args.fast,
+                        args.jobs, args.no_sim_cache)
     if args.command == "simulate":
         return _cmd_simulate(args.rates, args.policy, args.horizon,
                              args.seed)
@@ -346,10 +375,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
+        from repro.sim import cache as sim_cache
 
-        failures = generate_report(args.output, fast=not args.full,
-                                   seed=args.seed,
-                                   experiment_ids=args.only)
+        if args.no_sim_cache:
+            sim_cache.set_enabled(False)
+        try:
+            failures = generate_report(args.output, fast=not args.full,
+                                       seed=args.seed,
+                                       experiment_ids=args.only,
+                                       jobs=args.jobs)
+        finally:
+            if args.no_sim_cache:
+                sim_cache.set_enabled(None)
+        print(sim_cache.stats().line(), file=sys.stderr)
         return 1 if failures else 0
     raise AssertionError(f"unhandled command {args.command}")
 

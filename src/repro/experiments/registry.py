@@ -1,10 +1,24 @@
-"""Registry mapping experiment ids to their modules."""
+"""Registry mapping experiment ids to their modules.
+
+Besides the id -> ``run(seed, fast)`` lookup, this module owns
+:func:`run_experiments`, the fan-out used by ``greedwork run`` and
+``greedwork report``: it executes a list of experiments either serially
+or across a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``--jobs N``).  Experiments seed their own generators from the
+``seed`` argument, so parallel execution returns byte-identical
+reports in the submitted order; a crashing experiment is isolated into
+a synthesized FAIL report carrying its traceback instead of killing
+the pool.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
+from repro.sim import cache as sim_cache
 from repro.experiments import (
     ablation_arrivals,
     ablation_costshare,
@@ -88,3 +102,75 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
         raise ReproError(
             f"unknown experiment {experiment_id!r}; known: "
             f"{', '.join(all_experiments())}") from None
+
+
+def _failure_report(experiment_id: str, trace: str) -> ExperimentReport:
+    """A FAIL report standing in for an experiment that crashed."""
+    return ExperimentReport(
+        experiment_id=experiment_id,
+        claim=claim_of(experiment_id),
+        passed=False,
+        notes=[f"experiment crashed:\n{trace.rstrip()}"])
+
+
+def _run_one(experiment_id: str, seed: int, fast: bool,
+             cache_enabled: Optional[bool] = None,
+             ) -> Tuple[Optional[ExperimentReport], Optional[str],
+                        Dict[str, int]]:
+    """Run one experiment; the pool-safe unit of work.
+
+    Returns ``(report, traceback, sim_cache_stats_delta)`` where
+    exactly one of ``report`` / ``traceback`` is set.  The stats delta
+    lets the parent fold a worker's cache counters into its own (pool
+    workers are reused across tasks, hence a delta rather than a
+    total).  ``cache_enabled`` pins the sim-cache override inside a
+    worker process, where the parent's in-memory override is not
+    inherited; ``None`` (the serial path) leaves it untouched.
+    """
+    if cache_enabled is not None:
+        sim_cache.set_enabled(cache_enabled)
+    before = sim_cache.snapshot()
+    try:
+        report: Optional[ExperimentReport] = _REGISTRY[experiment_id](
+            seed=seed, fast=fast)
+        trace: Optional[str] = None
+    except Exception:
+        report = None
+        trace = traceback.format_exc()
+    after = sim_cache.snapshot()
+    delta = {key: after[key] - before[key] for key in after}
+    return report, trace, delta
+
+
+def run_experiments(experiment_ids: Sequence[str], seed: int = 0,
+                    fast: bool = False,
+                    jobs: int = 1) -> List[ExperimentReport]:
+    """Run experiments, optionally in parallel; reports in input order.
+
+    ``jobs > 1`` fans the experiments out over a process pool.  Each
+    experiment derives all randomness from ``seed``, so the reports are
+    identical to a serial run — only wall time changes.  Unknown ids
+    raise :class:`~repro.exceptions.ReproError` up front (before any
+    work starts); an experiment that *crashes* comes back as a FAIL
+    report with the worker traceback in its notes.
+    """
+    ids = list(experiment_ids)
+    for experiment_id in ids:           # validate before spawning
+        get_experiment(experiment_id)
+    reports: List[ExperimentReport] = []
+    if jobs > 1 and len(ids) > 1:
+        workers = min(jobs, len(ids))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(
+                _run_one, ids, [seed] * len(ids), [fast] * len(ids),
+                [sim_cache.enabled()] * len(ids)))
+        for experiment_id, (report, trace, delta) in zip(ids, outcomes):
+            sim_cache.merge_stats(delta)
+            reports.append(report if report is not None
+                           else _failure_report(experiment_id, trace))
+    else:
+        for experiment_id in ids:
+            report, trace, _delta = _run_one(experiment_id, seed, fast)
+            reports.append(report if report is not None
+                           else _failure_report(experiment_id, trace))
+    return reports

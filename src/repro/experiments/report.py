@@ -12,7 +12,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.experiments.base import ExperimentReport, Table
-from repro.experiments.registry import all_experiments, get_experiment
+from repro.experiments.registry import all_experiments, run_experiments
 
 
 def render_markdown(reports: Sequence[ExperimentReport],
@@ -66,18 +66,19 @@ def render_markdown(reports: Sequence[ExperimentReport],
 
 def generate_report(output_path: str, fast: bool = True, seed: int = 0,
                     experiment_ids: Optional[Sequence[str]] = None,
-                    echo=print) -> int:
+                    jobs: int = 1, echo=print) -> int:
     """Run experiments and write the markdown report.
 
-    Returns the number of failed experiments (0 = all green).
+    ``jobs > 1`` runs the experiments across a process pool (the
+    report content is unchanged — experiments are deterministic in
+    ``seed``).  Returns the number of failed experiments (0 = green).
     """
     ids = list(experiment_ids) if experiment_ids else all_experiments()
-    reports: List[ExperimentReport] = []
     started = time.monotonic()
     for experiment_id in ids:
         echo(f"running {experiment_id} ...")
-        reports.append(get_experiment(experiment_id)(seed=seed,
-                                                     fast=fast))
+    reports: List[ExperimentReport] = run_experiments(
+        ids, seed=seed, fast=fast, jobs=jobs)
     elapsed = time.monotonic() - started
     document = render_markdown(reports, fast=fast, seed=seed,
                                elapsed_seconds=elapsed)

@@ -13,6 +13,13 @@ distribution while keeping each source's *rate*:
 
 The ``ablation_arrivals`` experiment measures how far the ladder's
 realized allocation drifts from ``C^FS`` under each.
+
+Two interfaces expose the same distributions:
+
+* :func:`interarrival_sampler` — one variate per call (simple, used by
+  tandem/network code and tests);
+* :class:`VariateStream` — block-batched draws for the event engine's
+  hot loop, with a documented draw-order contract.
 """
 
 from __future__ import annotations
@@ -30,6 +37,114 @@ PROCESS_CV = {
     "deterministic": 0.0,
     "hyperexponential": 2.0,
 }
+
+#: Default number of variates a :class:`VariateStream` pre-draws per
+#: block.  The golden-sequence regression tests pin the realized
+#: sequences at this size; see the class docstring for which processes
+#: are block-size invariant.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+class VariateStream:
+    """A batched, single-distribution variate source for the hot loop.
+
+    Per-event ``rng.exponential(...)`` calls dominate the event engine
+    at high load; this class amortizes them by pre-drawing
+    ``block_size`` variates at a time into a plain Python list and
+    serving them one by one with :meth:`draw`.
+
+    Draw-order contract (regression-tested; bump the engine version
+    tag in :mod:`repro.sim.runner` if it changes):
+
+    * ``poisson`` / ``exponential`` — each block is one
+      ``rng.exponential(1/rate, block_size)`` call.  NumPy fills the
+      array by applying the scalar routine sequentially to the bit
+      stream, so the realized sequence is **block-size invariant**:
+      element ``k`` equals the k-th single-call draw.
+    * ``deterministic`` — the constant gap ``1/rate``; consumes no
+      randomness (the stream's generator stays untouched).
+    * ``hyperexponential`` — each block draws ``block_size`` uniforms,
+      then ``block_size`` standard exponentials, and scales each
+      exponential by the phase the paired uniform selected (balanced
+      two-phase fit, cv 2, as in :func:`interarrival_sampler`).  The
+      uniform/exponential interleaving makes this sequence a function
+      of the block size, so it is guaranteed bit-identical only at
+      :data:`DEFAULT_BLOCK_SIZE`.
+    """
+
+    __slots__ = ("process", "rate", "block_size", "_rng", "_buf",
+                 "_pos", "_hyper_p", "_hyper_rates")
+
+    def __init__(self, process: str, rate: float,
+                 rng: np.random.Generator,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if rate <= 0.0:
+            raise SimulationError(f"rate must be positive, got {rate}")
+        if block_size < 1:
+            raise SimulationError(
+                f"block size must be >= 1, got {block_size}")
+        key = process.strip().lower()
+        if key == "exponential":
+            key = "poisson"        # service streams use either name
+        if key not in PROCESS_CV:
+            raise SimulationError(
+                f"unknown arrival process {process!r}; known: "
+                f"{', '.join(sorted(PROCESS_CV))}")
+        self.process = key
+        self.rate = float(rate)
+        self.block_size = int(block_size)
+        self._rng = rng
+        self._pos = 0
+        if key == "hyperexponential":
+            c2 = PROCESS_CV["hyperexponential"] ** 2
+            p = 0.5 * (1.0 + math.sqrt((c2 - 1.0) / (c2 + 1.0)))
+            self._hyper_p = p
+            self._hyper_rates = (2.0 * p * self.rate,
+                                 2.0 * (1.0 - p) * self.rate)
+        else:
+            self._hyper_p = math.nan
+            self._hyper_rates = (math.nan, math.nan)
+        if key == "deterministic":
+            # Constant gaps: fill once, never touch the generator.
+            self._buf = [1.0 / self.rate] * self.block_size
+        else:
+            self._buf = []
+
+    def _refill(self) -> list:
+        """Draw the next block (see the draw-order contract above)."""
+        if self.process == "poisson":
+            block = self._rng.exponential(1.0 / self.rate,
+                                          self.block_size)
+        elif self.process == "deterministic":
+            return self._buf
+        else:
+            uniforms = self._rng.random(self.block_size)
+            exponentials = self._rng.standard_exponential(
+                self.block_size)
+            fast, slow = self._hyper_rates
+            block = exponentials / np.where(uniforms < self._hyper_p,
+                                            fast, slow)
+        self._buf = block.tolist()
+        return self._buf
+
+    def draw(self) -> float:
+        """The next variate (refilling the block when exhausted)."""
+        pos = self._pos
+        buf = self._buf
+        if pos >= len(buf):
+            buf = self._refill()
+            pos = 0
+        self._pos = pos + 1
+        return buf[pos]
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` variates as an array (mostly for tests)."""
+        if n < 0:
+            raise SimulationError(f"cannot take {n} variates")
+        out = np.empty(n)
+        for k in range(n):
+            out[k] = self.draw()
+        return out
 
 
 def interarrival_sampler(process: str, rate: float,

@@ -25,8 +25,8 @@ spirit" claim quantified.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import List, Optional, Sequence
+from heapq import heappop, heappush
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,20 +46,28 @@ class StartTimeFairQueue(QueuePolicy):
         if n_users < 1:
             raise SimulationError("need at least one flow")
         if weights is None:
-            self._weights = np.ones(n_users)
+            weight_vec = np.ones(n_users)
         else:
-            self._weights = np.asarray(weights, dtype=float)
-            if self._weights.size != n_users:
+            weight_vec = np.asarray(weights, dtype=float)
+            if weight_vec.size != n_users:
                 raise SimulationError(
-                    f"{self._weights.size} weights for {n_users} flows")
-            if np.any(self._weights <= 0.0):
+                    f"{weight_vec.size} weights for {n_users} flows")
+            if np.any(weight_vec <= 0.0):
                 raise SimulationError("flow weights must be positive")
-        self._flows: List[deque] = [deque() for _ in range(n_users)]
-        self._finish_tags = np.zeros(n_users)
-        self._start_tags = {}          # packet seq -> start tag
+        # Plain lists: per-arrival scalar indexing into numpy arrays
+        # costs more than the whole tag computation.
+        self._weights: List[float] = weight_vec.tolist()
+        self._finish_tags: List[float] = [0.0] * n_users
+        # One heap of (start tag, seq, packet) over *all* waiting
+        # packets, not per-flow deques: within a flow start tags grow
+        # strictly (the finish tag advances by size / weight > 0 each
+        # push), so the heap minimum is always a flow head and heap
+        # order coincides with SFQ's min-start-tag, FIFO-within-flow
+        # service order.  Completion is O(log n) instead of a scan
+        # over flows plus dict traffic for start tags.
+        self._heap: List[Tuple[float, int, Packet]] = []
         self._virtual_time = 0.0
         self._locked: Optional[Packet] = None
-        self._count = 0
 
     def push(self, packet: Packet,
              rng: Optional[np.random.Generator] = None) -> None:
@@ -68,44 +76,32 @@ class StartTimeFairQueue(QueuePolicy):
                 "fair queueing needs sized packets; run it through the "
                 "simulator (which draws sizes) or set Packet.size")
         flow = packet.user
-        start = max(self._virtual_time, float(self._finish_tags[flow]))
-        self._start_tags[packet.seq] = start
-        self._finish_tags[flow] = start + packet.size / float(
-            self._weights[flow])
-        self._flows[flow].append(packet)
-        self._count += 1
+        finish_tags = self._finish_tags
+        start = self._virtual_time
+        if finish_tags[flow] > start:
+            start = finish_tags[flow]
+        finish_tags[flow] = start + packet.size / self._weights[flow]
         if self._locked is None:
-            self._lock_next()
-
-    def _lock_next(self) -> None:
-        best: Optional[Packet] = None
-        best_tag = None
-        for queue in self._flows:
-            if not queue:
-                continue
-            head = queue[0]
-            tag = self._start_tags[head.seq]
-            if best is None or tag < best_tag or (
-                    tag == best_tag and head.seq < best.seq):
-                best = head
-                best_tag = tag
-        if best is None:
-            self._locked = None
-            return
-        self._flows[best.user].popleft()
-        self._locked = best
-        self._virtual_time = self._start_tags.pop(best.seq)
+            self._locked = packet
+            self._virtual_time = start
+        else:
+            heappush(self._heap, (start, packet.seq, packet))
 
     def serving(self) -> Optional[Packet]:
         return self._locked
 
     def complete(self, rng: np.random.Generator) -> Packet:
-        if self._locked is None:
-            raise SimulationError("completion on an empty SFQ queue")
         done = self._locked
-        self._count -= 1
-        self._lock_next()
+        if done is None:
+            raise SimulationError("completion on an empty SFQ queue")
+        heap = self._heap
+        if heap:
+            start, _seq, nxt = heappop(heap)
+            self._locked = nxt
+            self._virtual_time = start
+        else:
+            self._locked = None
         return done
 
     def __len__(self) -> int:
-        return self._count
+        return len(self._heap) + (self._locked is not None)

@@ -5,6 +5,13 @@ user's packets in the system*, so the tracker integrates per-user queue
 lengths against time.  Confidence intervals come from the method of
 batch means, the standard remedy for the autocorrelation of queueing
 processes.
+
+The tracker is on the event engine's per-event hot path, so it
+integrates *lazily*: a user's area is only folded forward when that
+user's count changes (or when a batch boundary is crossed, so a batch
+never straddles a fold).  ``advance`` is therefore O(1) per event
+instead of O(n_users) of numpy traffic, which is most of what makes
+the fast-path engine fast.
 """
 
 from __future__ import annotations
@@ -14,6 +21,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
+
+#: Slack when deciding a time step reached a batch boundary, absorbing
+#: float drift in ``warmup + k * quota``.
+_BOUNDARY_SLACK = 1e-9
 
 
 class QueueTracker:
@@ -25,11 +36,10 @@ class QueueTracker:
         Number of users.
     warmup:
         Simulation time discarded before statistics accumulate.
-    n_batches:
-        Number of equal-duration batches for the batch-means CI; the
-        batch boundaries are laid out once the horizon is known (via
-        :meth:`finalize`), so the tracker records a fine-grained series
-        of (interval, per-user area) segments during the run.
+
+    Batch boundaries are laid out by :meth:`configure_batches` once the
+    horizon is known; each completed batch records per-user areas so
+    :meth:`batch_means` can form confidence intervals.
     """
 
     def __init__(self, n_users: int, warmup: float = 0.0) -> None:
@@ -39,60 +49,73 @@ class QueueTracker:
             raise ValueError(f"warmup must be nonnegative, got {warmup}")
         self.n_users = n_users
         self.warmup = warmup
-        self._counts = np.zeros(n_users, dtype=float)
-        self._areas = np.zeros(n_users)
-        self._measured_time = 0.0
+        self._counts = [0] * n_users
+        self._areas = [0.0] * n_users
+        self._segment_area_acc = [0.0] * n_users
+        # Per-user time up to which area has been folded; clamped to
+        # warmup so pre-warmup presence never accrues area.
+        self._fold_from = [warmup] * n_users
         self._last_time = 0.0
+        self._quota = math.inf
+        self._boundary_index = 1
+        self._next_boundary = math.inf
         self._segment_times: List[float] = []
         self._segment_areas: List[np.ndarray] = []
-        self._segment_area_acc = np.zeros(n_users)
-        self._segment_time_acc = 0.0
-        self._segment_quota = math.inf
-        self._departures = np.zeros(n_users, dtype=int)
-        self._sojourn_sums = np.zeros(n_users)
-        self._sojourn_counts = np.zeros(n_users, dtype=int)
+        self._departures = [0] * n_users
+        self._sojourn_sums = [0.0] * n_users
+        self._sojourn_counts = [0] * n_users
 
     def configure_batches(self, horizon: float, n_batches: int = 20) -> None:
         """Set the batch duration from the planned horizon."""
         effective = max(horizon - self.warmup, 0.0)
         if n_batches < 2 or effective <= 0.0:
-            self._segment_quota = math.inf
+            self._quota = math.inf
+            self._next_boundary = math.inf
             return
-        self._segment_quota = effective / n_batches
+        self._quota = effective / n_batches
+        self._boundary_index = 1
+        self._next_boundary = self.warmup + self._quota
+
+    def _fold(self, user: int, until: float) -> None:
+        """Fold ``user``'s pending area forward to time ``until``."""
+        start = self._fold_from[user]
+        if until > start:
+            area = self._counts[user] * (until - start)
+            if area:
+                self._areas[user] += area
+                self._segment_area_acc[user] += area
+            self._fold_from[user] = until
+
+    def _close_segment(self, boundary: float) -> None:
+        """Fold everyone to ``boundary`` and record the batch."""
+        acc = self._segment_area_acc
+        for user in range(self.n_users):
+            self._fold(user, boundary)
+        self._segment_times.append(self._quota)
+        self._segment_areas.append(np.asarray(acc, dtype=float))
+        self._segment_area_acc = [0.0] * self.n_users
 
     def advance(self, now: float) -> None:
-        """Integrate queue lengths up to time ``now``.
+        """Move the clock to ``now`` (crossing batch boundaries).
 
-        The step is split at batch boundaries so a long idle stretch
-        distributes its area across the batches it spans.
+        Lazy integration makes the common case a single comparison;
+        per-user areas are folded in :meth:`on_arrival` /
+        :meth:`on_departure` when counts actually change.
         """
         if now < self._last_time:
             raise ValueError(
                 f"time ran backwards: {now} < {self._last_time}")
-        start = max(self._last_time, self.warmup)
-        remaining = now - start
-        while remaining > 0.0:
-            if math.isfinite(self._segment_quota):
-                room = self._segment_quota - self._segment_time_acc
-                step = min(remaining, room)
-            else:
-                step = remaining
-            self._areas += self._counts * step
-            self._measured_time += step
-            self._segment_area_acc += self._counts * step
-            self._segment_time_acc += step
-            remaining -= step
-            if (math.isfinite(self._segment_quota)
-                    and self._segment_time_acc
-                    >= self._segment_quota - 1e-12):
-                self._segment_times.append(self._segment_time_acc)
-                self._segment_areas.append(self._segment_area_acc.copy())
-                self._segment_area_acc[:] = 0.0
-                self._segment_time_acc = 0.0
+        boundary = self._next_boundary
+        while now >= boundary - _BOUNDARY_SLACK:
+            self._close_segment(boundary)
+            self._boundary_index += 1
+            boundary = self.warmup + self._boundary_index * self._quota
+            self._next_boundary = boundary
         self._last_time = now
 
     def on_arrival(self, user: int) -> None:
         """A packet of ``user`` entered the system (after advance)."""
+        self._fold(user, self._last_time)
         self._counts[user] += 1
 
     def on_departure(self, user: int,
@@ -104,6 +127,7 @@ class QueueTracker:
         """
         if self._counts[user] <= 0:
             raise ValueError(f"departure for user {user} with empty count")
+        self._fold(user, self._last_time)
         self._counts[user] -= 1
         self._departures[user] += 1
         if sojourn is not None and self._last_time >= self.warmup:
@@ -118,6 +142,7 @@ class QueueTracker:
         """
         if self._counts[user] <= 0:
             raise ValueError(f"drop for user {user} with empty count")
+        self._fold(user, self._last_time)
         self._counts[user] -= 1
 
     # -- results ----------------------------------------------------------
@@ -125,19 +150,29 @@ class QueueTracker:
     @property
     def measured_time(self) -> float:
         """Post-warmup time integrated so far."""
-        return self._measured_time
+        return max(self._last_time - self.warmup, 0.0)
+
+    def _areas_now(self) -> np.ndarray:
+        """Per-user areas including each user's unfolded tail."""
+        t = self._last_time
+        return np.asarray(
+            [area + count * (t - start) if t > start else area
+             for area, count, start in zip(self._areas, self._counts,
+                                           self._fold_from)])
 
     def mean_queues(self) -> np.ndarray:
         """Per-user time-average number in system."""
-        if self._measured_time <= 0.0:
+        measured = self.measured_time
+        if measured <= 0.0:
             return np.full(self.n_users, math.nan)
-        return self._areas / self._measured_time
+        return self._areas_now() / measured
 
     def throughputs(self) -> np.ndarray:
         """Per-user departure rates over the measured window."""
-        if self._measured_time <= 0.0:
+        measured = self.measured_time
+        if measured <= 0.0:
             return np.full(self.n_users, math.nan)
-        return self._departures / self._measured_time
+        return np.asarray(self._departures, dtype=float) / measured
 
     def mean_delays(self) -> np.ndarray:
         """Per-user mean sojourn time from recorded departures.
@@ -147,8 +182,10 @@ class QueueTracker:
         cross-check them.
         """
         out = np.full(self.n_users, math.nan)
-        mask = self._sojourn_counts > 0
-        out[mask] = self._sojourn_sums[mask] / self._sojourn_counts[mask]
+        sums = np.asarray(self._sojourn_sums)
+        counts = np.asarray(self._sojourn_counts)
+        mask = counts > 0
+        out[mask] = sums[mask] / counts[mask]
         return out
 
     def batch_means(self) -> "BatchMeans":

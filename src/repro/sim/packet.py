@@ -2,15 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from itertools import count
+from typing import Optional
 
 _SEQUENCE = count()
 
 
-@dataclass
 class Packet:
     """One packet in flight.
+
+    A plain ``__slots__`` class rather than a dataclass: the engine
+    allocates one per arrival on the hot path, and slot storage keeps
+    that allocation (and the attribute traffic on it) cheap.
 
     Attributes
     ----------
@@ -31,12 +34,26 @@ class Packet:
         Set when service completes; ``None`` while in the system.
     """
 
-    user: int
-    arrival_time: float
-    priority: int = 0
-    size: float = 0.0
-    seq: int = field(default_factory=lambda: next(_SEQUENCE))
-    departure_time: float = None
+    __slots__ = ("user", "arrival_time", "priority", "size", "seq",
+                 "departure_time")
+
+    def __init__(self, user: int, arrival_time: float,
+                 priority: int = 0, size: float = 0.0,
+                 seq: Optional[int] = None,
+                 departure_time: Optional[float] = None) -> None:
+        self.user = user
+        self.arrival_time = arrival_time
+        self.priority = priority
+        self.size = size
+        self.seq = next(_SEQUENCE) if seq is None else seq
+        self.departure_time = departure_time
+
+    def __repr__(self) -> str:
+        return (f"Packet(user={self.user}, "
+                f"arrival_time={self.arrival_time}, "
+                f"priority={self.priority}, size={self.size}, "
+                f"seq={self.seq}, "
+                f"departure_time={self.departure_time})")
 
     @property
     def sojourn(self) -> float:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -187,7 +188,7 @@ class PreemptivePriorityQueue(QueuePolicy):
 
     def push(self, packet: Packet, rng: Optional[np.random.Generator] = None
              ) -> None:
-        generator = default_rng(rng if rng is not None else 0)
+        generator = rng if rng is not None else default_rng(0)
         klass = self._classifier(packet, generator)
         if not 0 <= klass < len(self._classes):
             raise SimulationError(
@@ -243,17 +244,22 @@ class FairShareLadderQueue(PreemptivePriorityQueue):
                                     for k, u in enumerate(order)}
         # Per-user class membership probabilities (thinning weights).
         self._class_probs: Dict[int, np.ndarray] = {}
+        # Cumulative weights as plain lists: one uniform plus a bisect
+        # replaces rng.choice(p=...) on the per-arrival hot path.
+        self._class_cum: Dict[int, List[float]] = {}
         for user, k in position.items():
             weights = deltas[: k + 1].copy()
             total = weights.sum()
             if total <= 0.0:
                 raise SimulationError(
                     f"user {user} has zero ladder weight")
-            self._class_probs[user] = weights / total
+            probs = weights / total
+            self._class_probs[user] = probs
+            self._class_cum[user] = np.cumsum(probs).tolist()
 
         def classify(packet: Packet, rng: np.random.Generator) -> int:
-            probs = self._class_probs[packet.user]
-            return int(rng.choice(probs.size, p=probs))
+            cum = self._class_cum[packet.user]
+            return min(bisect_right(cum, rng.random()), len(cum) - 1)
 
         super().__init__(n_classes=r.size, classifier=classify)
 
@@ -286,12 +292,13 @@ class AdaptiveFairShareQueue(PreemptivePriorityQueue):
         self._last_arrival = np.full(n_users, math.nan)
         self._arrivals_seen = 0
         self._class_probs: Dict[int, np.ndarray] = {}
+        self._class_cum: Dict[int, List[float]] = {}
         self._rebuild()
 
         def classify(packet: Packet, rng: np.random.Generator) -> int:
             self._observe(packet)
-            probs = self._class_probs[packet.user]
-            return int(rng.choice(probs.size, p=probs))
+            cum = self._class_cum[packet.user]
+            return min(bisect_right(cum, rng.random()), len(cum) - 1)
 
         super().__init__(n_classes=n_users, classifier=classify)
 
@@ -319,9 +326,10 @@ class AdaptiveFairShareQueue(PreemptivePriorityQueue):
         for k, user in enumerate(order.tolist()):
             weights = deltas[: k + 1].copy()
             total = weights.sum()
-            self._class_probs[int(user)] = (
-                weights / total if total > 0.0
-                else np.ones(k + 1) / (k + 1))
+            probs = (weights / total if total > 0.0
+                     else np.ones(k + 1) / (k + 1))
+            self._class_probs[int(user)] = probs
+            self._class_cum[int(user)] = np.cumsum(probs).tolist()
 
     @property
     def rate_estimates(self) -> np.ndarray:

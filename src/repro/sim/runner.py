@@ -13,23 +13,59 @@ is a jump chain over arrival/completion events:
 
 The engine integrates per-user queue lengths over time; the mean per
 user is the paper's congestion ``c_i``.
+
+RNG draw-order contract
+-----------------------
+All randomness derives from ``SimulationConfig.seed`` through
+``numpy.random.SeedSequence(seed).spawn(n_users + 2)`` (see
+:func:`repro.numerics.rng.spawn_generators`).  Child streams, in spawn
+order:
+
+* child ``i`` (``0 <= i < n_users``) — user ``i``'s interarrival
+  :class:`~repro.sim.arrivals.VariateStream`;
+* child ``n_users`` — the service stream: one ``Exp(mu)`` redraw per
+  state change in memoryless mode, or one packet size per arrival in
+  sized mode (non-exponential service, or a sized policy such as Fair
+  Queueing);
+* child ``n_users + 1`` — the policy stream (ladder thinning choices,
+  processor-sharing completion picks), passed to
+  ``QueuePolicy.push``/``complete``.
+
+Streams pre-draw variates in blocks of
+:data:`~repro.sim.arrivals.DEFAULT_BLOCK_SIZE`; exponential and
+deterministic streams are block-size invariant, the hyperexponential
+block layout is guaranteed bit-identical only at the default size (see
+:class:`~repro.sim.arrivals.VariateStream`).  Golden-seed regression
+tests pin the realized sequences; any change to this contract or to
+the event core must bump :data:`ENGINE_VERSION`, which also
+invalidates the persistent simulation cache
+(:mod:`repro.sim.cache`).
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import Sequence, Union
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import SimulationError
-from repro.numerics.rng import default_rng
-from repro.sim.arrivals import interarrival_sampler
+from repro.numerics.rng import spawn_generators, spawn_seeds
+from repro.sim import cache as sim_cache
+from repro.sim.arrivals import VariateStream
 from repro.sim.measurements import BatchMeans, QueueTracker
 from repro.sim.packet import Packet
 from repro.sim.queues import QueuePolicy, make_policy
+
+#: Version tag of the event core *and* of the RNG draw-order contract.
+#: Bump it whenever either changes: golden-sequence tests must be
+#: re-pinned and every persistent cache entry becomes stale (the tag
+#: is part of the cache key).
+ENGINE_VERSION = "2026.08-fastpath-1"
 
 
 @dataclass
@@ -42,7 +78,9 @@ class SimulationConfig:
         Per-user Poisson arrival rates.
     policy:
         A :class:`QueuePolicy` instance or a policy name understood by
-        :func:`repro.sim.queues.make_policy`.
+        :func:`repro.sim.queues.make_policy`.  Only name-configured
+        runs hit the persistent cache (an instance carries state the
+        cache key cannot see).
     horizon:
         Simulated time to run.
     warmup:
@@ -124,8 +162,7 @@ def _resolve_policy(config: SimulationConfig) -> QueuePolicy:
                        n_users=len(list(config.rates)))
 
 
-def simulate(config: SimulationConfig) -> SimulationResult:
-    """Run one discrete-event simulation to its horizon."""
+def _validate(config: SimulationConfig) -> np.ndarray:
     rates = np.asarray(config.rates, dtype=float)
     if rates.ndim != 1 or rates.size == 0:
         raise SimulationError("rates must be a non-empty vector")
@@ -137,18 +174,53 @@ def simulate(config: SimulationConfig) -> SimulationResult:
     if config.horizon <= config.warmup:
         raise SimulationError(
             f"horizon {config.horizon} must exceed warmup {config.warmup}")
+    return rates
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """Run one discrete-event simulation to its horizon.
+
+    Consults the persistent simulation cache first (see
+    :mod:`repro.sim.cache`): a hit returns the stored result without
+    touching the event core; a miss runs the engine and stores the
+    outcome.  Disable via ``--no-sim-cache`` or
+    ``GREEDWORK_SIM_CACHE=off``.
+    """
+    rates = _validate(config)
+    key = None
+    if sim_cache.enabled():
+        key = sim_cache.config_key(config, ENGINE_VERSION)
+        if key is None:
+            sim_cache.record_uncacheable()
+        else:
+            cached = sim_cache.load(key)
+            if cached is not None:
+                return cached
+    result = _simulate_fresh(config, rates)
+    sim_cache.record_fresh_events(result.arrivals + result.departures)
+    if key is not None:
+        sim_cache.store(key, result)
+    return result
+
+
+def _simulate_fresh(config: SimulationConfig,
+                    rates: np.ndarray) -> SimulationResult:
+    """The event core (no caching).  See the module docstring for the
+    RNG draw-order contract; bump ``ENGINE_VERSION`` on any change."""
     policy = _resolve_policy(config)
-    rng = default_rng(config.seed)
     n = rates.size
     tracker = QueueTracker(n, warmup=config.warmup)
     tracker.configure_batches(config.horizon, n_batches=config.n_batches)
 
-    # Heap of (next_arrival_time, user).
-    samplers = [interarrival_sampler(config.arrival_process,
-                                     float(rates[i]), rng)
-                for i in range(n)]
-    arrivals_heap = [(samplers[i](), i) for i in range(n)]
-    heapq.heapify(arrivals_heap)
+    # Independent substreams per the draw-order contract: users 0..n-1,
+    # then service, then policy randomness.
+    generators = spawn_generators(config.seed, n + 2)
+    arrival_streams = [
+        VariateStream(config.arrival_process, float(rates[i]),
+                      generators[i])
+        for i in range(n)
+    ]
+    policy_rng = generators[n + 1]
     mu = config.service_rate
     # Sized policies (Fair Queueing variants) schedule by explicit
     # packet sizes: a packet's service time is fixed when it enters
@@ -156,20 +228,36 @@ def simulate(config: SimulationConfig) -> SimulationResult:
     # Non-exponential service invalidates the redraw, so it forces
     # sized mode and requires a nonpreemptive policy.
     service_key = config.service_process.strip().lower()
-    if service_key == "exponential":
-        size_sampler = None
-    else:
-        if getattr(policy, "preemptive", False):
-            raise SimulationError(
-                f"service process {config.service_process!r} requires "
-                f"a nonpreemptive policy; {policy.name!r} preempts")
-        # The interarrival samplers double as size samplers: a
-        # distribution with mean 1/mu and the named shape.
-        size_sampler = interarrival_sampler(service_key,
-                                            config.service_rate, rng)
+    if service_key != "exponential" and getattr(policy, "preemptive",
+                                                False):
+        raise SimulationError(
+            f"service process {config.service_process!r} requires "
+            f"a nonpreemptive policy; {policy.name!r} preempts")
+    service_stream = VariateStream(service_key, mu, generators[n])
     sized = bool(getattr(policy, "sized", False)) or (
-        size_sampler is not None)
-    next_completion = math.inf
+        service_key != "exponential")
+
+    # Heap of (next_arrival_time, user).
+    arrivals_heap = [(arrival_streams[i].draw(), i) for i in range(n)]
+    heapq.heapify(arrivals_heap)
+
+    # Local bindings for the hot loop (attribute lookups add up at
+    # millions of events per run).
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    advance = tracker.advance
+    on_arrival = tracker.on_arrival
+    on_departure = tracker.on_departure
+    on_drop = tracker.on_drop
+    push = policy.push
+    complete = policy.complete
+    serving_of = policy.serving
+    service_next = service_stream.draw
+    arrival_next = [stream.draw for stream in arrival_streams]
+    horizon = config.horizon
+    inf = math.inf
+
+    next_completion = inf
     serving_seq = -1
     now = 0.0
     n_arrivals = 0
@@ -177,36 +265,37 @@ def simulate(config: SimulationConfig) -> SimulationResult:
 
     while True:
         next_arrival = arrivals_heap[0][0]
-        if next_arrival >= config.horizon and (
-                next_completion >= config.horizon):
-            tracker.advance(config.horizon)
+        if next_arrival >= horizon and next_completion >= horizon:
+            advance(horizon)
             break
         if next_arrival <= next_completion:
-            event_time, user = heapq.heappop(arrivals_heap)
-            tracker.advance(event_time)
+            event_time, user = heappop(arrivals_heap)
+            advance(event_time)
             now = event_time
-            size = (float(rng.exponential(1.0 / mu))
-                    if size_sampler is None else size_sampler())
-            packet = Packet(user=user, arrival_time=now, size=size)
-            outcome = policy.push(packet, rng=rng)
+            packet = Packet(
+                user=user, arrival_time=now,
+                size=service_next() if sized else 0.0)
+            outcome = push(packet, rng=policy_rng)
             n_arrivals += 1
-            if outcome is None or outcome.get("admitted", True):
-                tracker.on_arrival(user)
-                evicted = (outcome or {}).get("evicted_user")
+            if outcome is None:
+                on_arrival(user)
+            elif outcome.get("admitted", True):
+                on_arrival(user)
+                evicted = outcome.get("evicted_user")
                 if evicted is not None:
-                    tracker.on_drop(evicted)
-            heapq.heappush(arrivals_heap,
-                           (now + samplers[user](), user))
+                    on_drop(evicted)
+            heappush(arrivals_heap,
+                     (now + arrival_next[user](), user))
         else:
-            tracker.advance(next_completion)
+            advance(next_completion)
             now = next_completion
-            done = policy.complete(rng)
+            done = complete(policy_rng)
             done.departure_time = now
-            tracker.on_departure(done.user, sojourn=done.sojourn)
+            on_departure(done.user, sojourn=now - done.arrival_time)
             n_departures += 1
-        serving = policy.serving()
+        serving = serving_of()
         if serving is None:
-            next_completion = math.inf
+            next_completion = inf
             serving_seq = -1
         elif sized:
             # Fixed service requirement; timer set once per packet.
@@ -216,7 +305,7 @@ def simulate(config: SimulationConfig) -> SimulationResult:
         else:
             # Redraw the tentative completion for whoever is served
             # now (exact under exponential service).
-            next_completion = now + float(rng.exponential(1.0 / mu))
+            next_completion = now + service_next()
 
     losses = (policy.loss_counts(n)
               if hasattr(policy, "loss_counts")
@@ -242,20 +331,47 @@ def simulate_allocation(rates: Sequence[float], policy: Union[str, QueuePolicy],
     return result.mean_queues
 
 
-def replicate(config: SimulationConfig, n_replications: int = 5) -> (
-        "ReplicationSummary"):
-    """Run independent replications (different seeds) and pool them."""
+def replication_configs(config: SimulationConfig,
+                        n_replications: int) -> List[SimulationConfig]:
+    """Per-replication configs with independent spawned seeds.
+
+    ``dataclasses.replace`` keeps every field of ``config`` (including
+    ``service_process`` and anything added later); only the seed
+    varies, derived via :func:`repro.numerics.rng.spawn_seeds` so the
+    replication plan is a pure function of ``config.seed`` — which is
+    what makes parallel and serial replication byte-identical.
+    """
+    seeds = spawn_seeds(config.seed, n_replications)
+    return [replace(config, seed=seed) for seed in seeds]
+
+
+def replicate(config: SimulationConfig, n_replications: int = 5,
+              jobs: int = 1) -> "ReplicationSummary":
+    """Run independent replications (different seeds) and pool them.
+
+    ``jobs > 1`` fans the replications across a
+    ``ProcessPoolExecutor``; each task is a pure function of its
+    config, so the pooled output is byte-identical to the serial run.
+    Configs carrying a ``QueuePolicy`` *instance* always run serially
+    in-process (instances are not safely picklable); each replication
+    gets a deep copy of the instance so one run's leftover backlog
+    cannot contaminate the next.
+    """
     if n_replications < 1:
         raise SimulationError("need at least one replication")
-    runs = []
-    for k in range(n_replications):
-        cfg = SimulationConfig(rates=config.rates, policy=config.policy,
-                               horizon=config.horizon, warmup=config.warmup,
-                               service_rate=config.service_rate,
-                               seed=config.seed + 1000 * k,
-                               n_batches=config.n_batches,
-                               arrival_process=config.arrival_process)
-        runs.append(simulate(cfg))
+    configs = replication_configs(config, n_replications)
+    parallel = jobs > 1 and n_replications > 1 and isinstance(
+        config.policy, str)
+    if parallel:
+        workers = min(jobs, n_replications)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            runs = list(pool.map(simulate, configs))
+    elif isinstance(config.policy, str):
+        runs = [simulate(cfg) for cfg in configs]
+    else:
+        runs = [simulate(replace(cfg,
+                                 policy=copy.deepcopy(config.policy)))
+                for cfg in configs]
     queues = np.vstack([r.mean_queues for r in runs])
     means = queues.mean(axis=0)
     if n_replications >= 2:

@@ -59,6 +59,17 @@ GROWTH_FNS = frozenset({"concatenate", "vstack", "hstack", "stack",
 #: would change semantics.
 RNG_NAME_RE = re.compile(r"rng|random|generator|sample|draw", re.IGNORECASE)
 
+#: Names that signal a batched variate stream (the event engine's
+#: ``VariateStream`` refill idiom): like generators, streams advance an
+#: internal cursor on every call, so calls on or through them are
+#: stateful even when their arguments never change inside the loop.
+STREAM_NAME_RE = re.compile(r"stream|variate", re.IGNORECASE)
+
+
+def _stateful_name(name: str) -> bool:
+    """Whether a name denotes RNG- or stream-like per-call state."""
+    return bool(RNG_NAME_RE.search(name) or STREAM_NAME_RE.search(name))
+
 
 def _numpy_aliases(tree: ast.Module) -> Set[str]:
     out = set()
@@ -301,8 +312,11 @@ class LoopInvariantCallRule(Rule):
                              module_functions: Set[str]
                              ) -> Optional[str]:
         ns, fn = _call_root(node)
-        if fn is not None and RNG_NAME_RE.search(fn):
+        if fn is not None and _stateful_name(fn):
             return None  # stateful by name: random_*, sample_*, ...
+        if ns is not None and ns not in PURE_NAMESPACES \
+                and _stateful_name(ns):
+            return None  # stateful receiver: rng.*, stream.*, ...
         if ns in PURE_NAMESPACES and fn is not None:
             label = f"{ns}.{fn}(...)"
         elif ns is not None and fn in PURE_DOMAIN_METHODS \
@@ -325,7 +339,7 @@ class LoopInvariantCallRule(Rule):
     def _invariant_expr(self, node: ast.expr, written: Set[str]) -> bool:
         for sub in ast.walk(node):
             if isinstance(sub, ast.Name) and (
-                    sub.id in written or RNG_NAME_RE.search(sub.id)):
+                    sub.id in written or _stateful_name(sub.id)):
                 return False
             if isinstance(sub, ast.Call):
                 # A nested call may be impure; treat as varying.

