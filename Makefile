@@ -3,8 +3,9 @@
 PYTHON ?= python
 STRICT_PKGS = -p repro.queueing -p repro.costsharing -p repro.disciplines
 
-.PHONY: install test test-fast bench bench-micro experiments report \
-        examples clean lint lint-ruff lint-mypy check check-sarif
+.PHONY: install test test-fast bench bench-micro bench-solver \
+        experiments report examples clean lint lint-ruff lint-mypy \
+        check check-sarif
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -49,6 +50,11 @@ bench:
 bench-micro:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_micro.py -o BENCH_sim.json
 
+# Solver matrix (best response / Nash solve / adversarial search,
+# vectorized vs scalar); appends to the BENCH_solver.json trajectory.
+bench-solver:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_solver.py -o BENCH_solver.json
+
 experiments:
 	$(PYTHON) -m repro run all --fast
 
@@ -60,5 +66,6 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks \
-		.greedwork_cache greedwork.sarif BENCH_sim.json
+		.greedwork_cache greedwork.sarif BENCH_sim.json \
+		BENCH_solver.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

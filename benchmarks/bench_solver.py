@@ -1,0 +1,208 @@
+"""Benchmarks of the vectorized solver core against the scalar path.
+
+The game layer's hot loops — golden-section best responses, damped
+best-response Nash solves, and the adversarial protection search — all
+reduce to evaluating an allocation function over many candidate rate
+vectors.  PR 4 batches those evaluations (``congestion_grid`` /
+``congestion_many``); these benchmarks time both paths so the speedup
+is tracked per discipline and per user count, not just asserted once.
+
+Running this file as a script times the matrix
+(kind x discipline x N x {vectorized, scalar}) without pytest and
+appends the rows to ``BENCH_solver.json`` (one entry per run, tagged
+with the mode and the solver counters) so the trajectory is comparable
+across commits::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py -o BENCH_solver.json
+
+Each vectorized row carries ``speedup`` — the scalar best-of over the
+vectorized best-of for the same cell on the same box.
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.disciplines.registry import make_discipline
+from repro.game.best_response import best_response
+from repro.game.nash import solve_nash
+from repro.game.protection import worst_case_congestion
+from repro.numerics.instrumentation import set_vectorized, track_solver
+from repro.numerics.rng import default_rng
+from repro.users.families import LinearUtility
+
+#: The solver matrix: the disciplines with batched grids, at two sizes.
+SOLVER_DISCIPLINES = ("fair-share", "fifo", "priority", "separable")
+SOLVER_SIZES = (4, 8)
+
+
+def solver_profile(n):
+    """``n`` linear users with distinct tastes (distinct equilibria)."""
+    return [LinearUtility(gamma=g) for g in np.linspace(0.2, 0.8, n)]
+
+
+def interior_rates(n):
+    """A feasible heterogeneous profile well inside capacity."""
+    return np.linspace(0.02, 0.09, n)
+
+
+def run_best_response(allocation, n):
+    """One golden-section best response for user 0."""
+    return best_response(allocation, solver_profile(n)[0],
+                         interior_rates(n), 0)
+
+
+def run_solve_nash(allocation, n):
+    """A damped best-response Nash solve over the full profile."""
+    return solve_nash(allocation, solver_profile(n))
+
+
+def run_adversarial(allocation, n):
+    """The sampling stage of the protection search (no polish).
+
+    ``refine=False`` isolates the grid stage the vectorization targets;
+    the Nelder-Mead polish is identical on both paths.
+    """
+    return worst_case_congestion(allocation, 0, 0.1, n,
+                                 rng=default_rng(5), n_samples=400,
+                                 refine=False)
+
+
+#: kind label -> the callable timed for that row.
+SOLVER_KINDS = {
+    "best-response": run_best_response,
+    "solve-nash": run_solve_nash,
+    "adversarial-search": run_adversarial,
+}
+
+
+def test_best_response_vectorized_fs8(benchmark):
+    """Batched best response, Fair Share, 8 users."""
+    fs = make_discipline("fair-share")
+    set_vectorized(True)
+    try:
+        result = benchmark(run_best_response, fs, 8)
+    finally:
+        set_vectorized(None)
+    assert result.grid_calls > 0
+
+
+def test_solve_nash_vectorized_fs8(benchmark):
+    """Batched multistart Nash solve, Fair Share, 8 users."""
+    fs = make_discipline("fair-share")
+    set_vectorized(True)
+    try:
+        result = benchmark.pedantic(lambda: run_solve_nash(fs, 8),
+                                    rounds=3, iterations=1)
+    finally:
+        set_vectorized(None)
+    assert result.converged
+
+
+@pytest.mark.parametrize("name", SOLVER_DISCIPLINES)
+def test_adversarial_search_vectorized(benchmark, name):
+    """Batched protection sampling stage, 4 users."""
+    allocation = make_discipline(name)
+    set_vectorized(True)
+    try:
+        report = benchmark.pedantic(lambda: run_adversarial(allocation, 4),
+                                    rounds=3, iterations=1)
+    finally:
+        set_vectorized(None)
+    assert np.isfinite(report.worst_value)
+
+
+def measure_solver(rounds: int = 3):
+    """Best-of-``rounds`` timings for the full solver matrix.
+
+    Returns one row per (kind, discipline, n, mode) with the wall time
+    and the solver counters; vectorized rows additionally carry the
+    ``speedup`` over the scalar row of the same cell.
+    """
+    runs = []
+    for kind, runner in SOLVER_KINDS.items():
+        for name in SOLVER_DISCIPLINES:
+            allocation = make_discipline(name)
+            for n in SOLVER_SIZES:
+                by_mode = {}
+                for mode in ("scalar", "vectorized"):
+                    set_vectorized(mode == "vectorized")
+                    try:
+                        best = float("inf")
+                        counters = None
+                        for _ in range(rounds):
+                            with track_solver() as stats:
+                                started = time.perf_counter()
+                                runner(allocation, n)
+                                elapsed = time.perf_counter() - started
+                            if elapsed < best:
+                                best = elapsed
+                                counters = stats
+                    finally:
+                        set_vectorized(None)
+                    row = {
+                        "kind": kind,
+                        "discipline": name,
+                        "n": n,
+                        "mode": mode,
+                        "seconds": round(best, 6),
+                    }
+                    row.update({
+                        key: round(value, 6)
+                        for key, value in counters.as_dict().items()
+                        if key != "wall_time"
+                    })
+                    by_mode[mode] = row
+                    runs.append(row)
+                scalar_s = by_mode["scalar"]["seconds"]
+                vector_s = by_mode["vectorized"]["seconds"]
+                if vector_s > 0.0:
+                    by_mode["vectorized"]["speedup"] = round(
+                        scalar_s / vector_s, 2)
+    return runs
+
+
+def append_trajectory(path: str, runs) -> None:
+    """Append run records to the ``BENCH_solver.json`` trajectory."""
+    document = {"benchmark": "solver-core", "runs": []}
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+        if isinstance(existing.get("runs"), list):
+            document["runs"] = existing["runs"]
+    except (OSError, ValueError):
+        pass
+    document["runs"].extend(runs)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    """Script mode: time the solver matrix, append the trajectory."""
+    parser = argparse.ArgumentParser(
+        description="vectorized solver core benchmark")
+    parser.add_argument("-o", "--output", default="BENCH_solver.json",
+                        help="trajectory file to append to")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per cell (best is kept)")
+    args = parser.parse_args(argv)
+    runs = measure_solver(rounds=args.rounds)
+    header = (f"{'kind':20s} {'discipline':12s} {'n':>2s} {'mode':>11s} "
+              f"{'seconds':>9s} {'speedup':>8s}")
+    print(header)
+    for run in runs:
+        speedup = run.get("speedup")
+        print(f"{run['kind']:20s} {run['discipline']:12s} {run['n']:2d} "
+              f"{run['mode']:>11s} {run['seconds']:9.4f} "
+              f"{speedup if speedup is not None else '':>8}")
+    append_trajectory(args.output, runs)
+    print(f"appended {len(runs)} run(s) to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

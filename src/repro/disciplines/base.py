@@ -9,13 +9,32 @@ stable region, Section 4.2.2).
 
 Subclasses implement :meth:`congestion`; analytic derivatives are
 optional overrides of the numeric defaults.
+
+Batched evaluation (the vectorized solver core)
+-----------------------------------------------
+
+Solvers scan candidate rates in bulk, so the base class also exposes
+
+* :meth:`AllocationFunction.congestion_grid` — user ``i``'s congestion
+  over a whole vector of candidate own-rates, opponents held fixed;
+* :meth:`AllocationFunction.congestion_many` — the full congestion
+  matrix for a batch of rate profiles;
+* :meth:`AllocationFunction.gradient_i` /
+  :meth:`AllocationFunction.second_gradient_i` — row ``i`` of the
+  Jacobian and of the second-derivative tensor slice
+  ``d^2 C_i / dr_i dr_j`` as vectors.
+
+The defaults fall back to scalar loops (bit-identical to calling
+:meth:`congestion_i` per point) and numeric differences; disciplines
+with closed forms override them and set :attr:`vectorized_grid` so
+solvers know a batched call is genuinely one numpy pass.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +43,9 @@ from repro.numerics.diff import partial_derivative, second_partial
 from repro.numerics.rng import default_rng
 from repro.queueing.constraints import FeasibilitySet
 from repro.queueing.service_curves import MM1Curve, ServiceCurve
+
+#: A prepared batched objective: candidate own-rates -> ``C_i`` values.
+GridEvaluator = Callable[[Sequence[float]], np.ndarray]
 
 
 class AllocationFunction(ABC):
@@ -41,6 +63,12 @@ class AllocationFunction(ABC):
 
     name: str = "allocation"
 
+    #: True when :meth:`congestion_grid`/:meth:`congestion_many` are
+    #: real one-pass numpy implementations rather than the scalar-loop
+    #: fallback.  Solvers use it to decide whether a batched scan is
+    #: worth routing through the grid path.
+    vectorized_grid: bool = False
+
     def __init__(self, curve: Optional[ServiceCurve] = None) -> None:
         self.curve = curve if curve is not None else MM1Curve()
         self.feasibility = FeasibilitySet(self.curve)
@@ -54,6 +82,50 @@ class AllocationFunction(ABC):
     def congestion_i(self, rates: Sequence[float], i: int) -> float:
         """``C_i(r)``; subclasses may shortcut this."""
         return float(self.congestion(rates)[i])
+
+    def congestion_grid(self, rates: Sequence[float], i: int,
+                        xs: Sequence[float]) -> np.ndarray:
+        """``C_i`` over candidate own-rates ``xs``, opponents fixed.
+
+        Entry ``k`` equals ``congestion_i(r with r[i] := xs[k], i)``;
+        the value of ``rates[i]`` itself is irrelevant.  The default
+        loops over the candidates (same work as a scalar scan);
+        vectorized disciplines override it with one numpy pass over
+        the whole grid.
+        """
+        base = np.array(rates, dtype=float)
+        out = np.empty(len(xs))
+        for k, x in enumerate(np.asarray(xs, dtype=float).tolist()):
+            base[i] = x
+            out[k] = self.congestion_i(base, i)
+        return out
+
+    def grid_evaluator(self, rates: Sequence[float], i: int
+                       ) -> "GridEvaluator":
+        """A reusable ``xs -> C_i`` evaluator with the opponents fixed.
+
+        Iterative solvers (the batched grid zoom) evaluate many
+        candidate grids against the *same* opponent profile; this hook
+        lets a discipline hoist the opponent-only precomputation (sort,
+        ladder, prefix sums) out of the per-grid call.  The default
+        simply closes over :meth:`congestion_grid`, so overriding the
+        grid alone is always enough for correctness.
+        """
+        def evaluate(xs: Sequence[float]) -> np.ndarray:
+            return self.congestion_grid(rates, i, xs)
+
+        return evaluate
+
+    def congestion_many(self, profiles: Sequence[Sequence[float]]
+                        ) -> np.ndarray:
+        """Congestion matrix for a batch of profiles, shape ``(B, n)``.
+
+        Row ``b`` equals ``congestion(profiles[b])``.  The default is a
+        row loop; vectorized disciplines evaluate the whole batch in
+        one pass.
+        """
+        batch = np.asarray(profiles, dtype=float)
+        return np.stack([self.congestion(row) for row in batch])
 
     def __call__(self, rates: Sequence[float]) -> np.ndarray:
         return self.congestion(rates)
@@ -91,6 +163,23 @@ class AllocationFunction(ABC):
         """``d^2 C_i / dr_i dr_j``; numeric by default."""
         r = np.asarray(rates, dtype=float)
         return second_partial(lambda x: self.congestion_i(x, i), r, i, j)
+
+    def gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
+        """Row ``i`` of the Jacobian: the vector ``dC_i/dr_j``.
+
+        Numeric central differences by default (identical to the
+        matching :meth:`jacobian` row); Fair Share and the
+        proportional discipline override it with their closed forms.
+        """
+        r = np.asarray(rates, dtype=float)
+        return numeric_gradient(lambda x: self.congestion_i(x, i), r)
+
+    def second_gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
+        """The vector ``d^2 C_i / dr_i dr_j`` over ``j`` (numeric default)."""
+        r = np.asarray(rates, dtype=float)
+        return np.asarray(
+            [second_partial(lambda x: self.congestion_i(x, i), r, i, j)
+             for j in range(r.size)], dtype=float)
 
     # -- structure ---------------------------------------------------------
 
@@ -191,6 +280,49 @@ class Subsystem:
         """``C_i`` of the ``i``-th *free* user."""
         return float(self.congestion(free_rates)[i])
 
+    @property
+    def vectorized_grid(self) -> bool:
+        """Whether the parent discipline has a one-pass grid path."""
+        return self.parent.vectorized_grid
+
+    def congestion_grid(self, free_rates: Sequence[float], i: int,
+                        xs: Sequence[float]) -> np.ndarray:
+        """``C_i`` of free user ``i`` over candidates ``xs``.
+
+        Delegates to the parent's grid at the embedded (original)
+        index, so a vectorized parent keeps its one-pass path inside
+        subsystems.
+        """
+        full = self.embed(free_rates)
+        orig = self.free_indices(full.size)[i]
+        return self.parent.congestion_grid(full, orig, xs)
+
+    def grid_evaluator(self, free_rates: Sequence[float], i: int
+                       ) -> GridEvaluator:
+        """Reusable grid evaluator for free user ``i`` (see the
+        :meth:`AllocationFunction.grid_evaluator` hook); the embedding
+        and the parent's opponent precomputation both happen once."""
+        full = self.embed(free_rates)
+        orig = self.free_indices(full.size)[i]
+        return self.parent.grid_evaluator(full, orig)
+
+    def congestion_many(self, profiles: Sequence[Sequence[float]]
+                        ) -> np.ndarray:
+        """Free-user congestion matrix for a batch of free profiles.
+
+        Embeds the whole batch at once and delegates to the parent's
+        :meth:`AllocationFunction.congestion_many`, keeping a
+        vectorized parent one-pass inside subsystems.
+        """
+        batch = np.asarray(profiles, dtype=float)
+        n_total = batch.shape[1] + len(self.fixed)
+        free = self.free_indices(n_total)
+        full = np.empty((batch.shape[0], n_total))
+        for idx, rate in self.fixed.items():
+            full[:, idx] = rate
+        full[:, free] = batch
+        return self.parent.congestion_many(full)[:, free]
+
     def __call__(self, free_rates: Sequence[float]) -> np.ndarray:
         return self.congestion(free_rates)
 
@@ -226,6 +358,19 @@ class Subsystem:
         """``d^2 C_i/dr_i dr_j`` over the free users (numeric)."""
         r = np.asarray(free_rates, dtype=float)
         return second_partial(lambda x: self.congestion_i(x, i), r, i, j)
+
+    def gradient_i(self, free_rates: Sequence[float], i: int) -> np.ndarray:
+        """Row ``i`` of the free-user Jacobian (numeric)."""
+        r = np.asarray(free_rates, dtype=float)
+        return np.asarray([self.cross_derivative(r, i, j)
+                           for j in range(r.size)], dtype=float)
+
+    def second_gradient_i(self, free_rates: Sequence[float],
+                          i: int) -> np.ndarray:
+        """``d^2 C_i/dr_i dr_j`` over free ``j`` as a vector (numeric)."""
+        r = np.asarray(free_rates, dtype=float)
+        return np.asarray([self.mixed_second_derivative(r, i, j)
+                           for j in range(r.size)], dtype=float)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Subsystem({self.parent!r}, fixed={self.fixed})"

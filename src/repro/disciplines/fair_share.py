@@ -42,6 +42,7 @@ class FairShareAllocation(AllocationFunction):
     """Fair Share / serial cost sharing on a convex service curve."""
 
     name = "fair-share"
+    vectorized_grid = True
 
     # -- ladder geometry ---------------------------------------------------
 
@@ -85,9 +86,8 @@ class FairShareAllocation(AllocationFunction):
         n = sorted_r.size
         loads = self.ladder_loads(sorted_r)
         if loads.size and loads[-1] < self.curve.capacity:
-            # Fast fully-stable path, vectorized for the M/M/1 curve
-            # and generic otherwise.
-            g_values = self._curve_values(loads)
+            # Fast fully-stable path: one vectorized pass over the ladder.
+            g_values = self.curve.values(loads)
             increments = np.diff(np.concatenate(([0.0], g_values)))
             multiplicity = n - np.arange(n)
             sorted_c = np.cumsum(increments / multiplicity)
@@ -108,20 +108,105 @@ class FairShareAllocation(AllocationFunction):
         out[order] = sorted_c
         return out
 
-    def _curve_values(self, loads: np.ndarray) -> np.ndarray:
-        """``g`` applied to a load vector, vectorized for M/M/1.
+    # -- batched evaluation --------------------------------------------------
 
-        Overloaded entries (``load >= 1``) map to ``inf`` rather than
-        crossing the pole of ``x / (1 - x)``.
+    def congestion_grid(self, rates: Sequence[float], i: int,
+                        xs: Sequence[float]) -> np.ndarray:
+        """``C_i`` over candidate own-rates in one pass (insertion trick).
+
+        The opponents' ladder is computed once.  A candidate ``x``
+        inserts at sorted position ``p`` (the number of opponents
+        strictly below it); the classes below ``p`` are unaffected by
+        the insertion, so ``C_i(x)`` is the prefix share sum ``H_p``
+        plus user ``i``'s own class increment::
+
+            C_i(x) = H_p + [g((n - p) x + prefix_p) - g(L_{p-1})] / (n - p)
+
+        where ``L_m`` are the opponents-only ladder loads and
+        ``prefix_p`` the sum of the ``p`` smallest opponent rates.
+        Tied candidates contribute zero ``g``-increments within their
+        tie block, so the position within a block is irrelevant and
+        the result matches the scalar :meth:`congestion_i` exactly.
         """
-        from repro.queueing.service_curves import MM1Curve
+        return self.grid_evaluator(rates, i)(xs)
 
-        if type(self.curve) is MM1Curve:
-            stable = loads < 1.0
-            out = np.full(loads.shape, math.inf)
-            out[stable] = loads[stable] / (1.0 - loads[stable])
+    def grid_evaluator(self, rates: Sequence[float], i: int):
+        """One-time opponent-ladder setup, many cheap grid evaluations.
+
+        The returned closure implements the :meth:`congestion_grid`
+        insertion trick with the opponent sort, prefix sums, and
+        ``g``-share table hoisted out — the grid-zoom solver calls it
+        ~10 times per best response against the same opponents.
+        """
+        r = np.asarray(rates, dtype=float)
+        opp = np.delete(r, i)
+        if opp.size and float(opp.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        n = r.size
+        cap = self.curve.capacity
+        s = np.sort(opp)
+        prefix = np.concatenate(([0.0], np.cumsum(s)))
+        m_idx = np.arange(s.size)
+        opp_loads = (n - m_idx) * s + prefix[:-1]
+        # First opponent class at/over capacity (ladder loads ascend).
+        unstable = opp_loads >= cap
+        k_bad = int(np.searchsorted(unstable, True)) if unstable.any() \
+            else s.size
+        g_opp = np.full(s.size, math.inf)
+        g_opp[:k_bad] = self.curve.values(opp_loads[:k_bad])
+        shares = np.diff(g_opp[:k_bad], prepend=0.0) / (n - m_idx[:k_bad])
+        h = np.full(s.size + 1, math.inf)
+        h[:k_bad + 1] = np.concatenate(([0.0], np.cumsum(shares)))
+        g_prev = np.concatenate(([0.0], g_opp))
+
+        def evaluate(xs: Sequence[float]) -> np.ndarray:
+            cand = np.asarray(xs, dtype=float)
+            if cand.size and float(cand.min()) < 0.0:
+                raise ValueError("rates must be nonnegative")
+            p = np.searchsorted(s, cand, side="left")
+            own_loads = (n - p) * cand + prefix[p]
+            out = np.full(cand.shape, math.inf)
+            ok = (p <= k_bad) & (own_loads < cap)
+            out[ok] = h[p[ok]] + (
+                (self.curve.values(own_loads[ok]) - g_prev[p[ok]])
+                / (n - p[ok]))
             return out
-        return np.array([self.curve.value(float(x)) for x in loads])
+
+        return evaluate
+
+    def congestion_many(self, profiles: Sequence[Sequence[float]]
+                        ) -> np.ndarray:
+        """Whole-batch congestion: row-wise sort + cumsum, one pass."""
+        batch = np.asarray(profiles, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"profiles must be 2-D (batch, users), got {batch.shape}")
+        if batch.size and float(batch.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        n = batch.shape[1]
+        order = np.argsort(batch, axis=1, kind="stable")
+        sorted_r = np.take_along_axis(batch, order, axis=1)
+        # Exclusive prefix sums, bit-identical to ladder_loads().
+        prefix = np.concatenate(
+            (np.zeros((batch.shape[0], 1)), np.cumsum(sorted_r, axis=1)[:, :-1]),
+            axis=1)
+        mult = (n - np.arange(n))[None, :]
+        loads = mult * sorted_r + prefix
+        g = self.curve.values(loads)
+        finite = np.isfinite(g)
+        if finite.all():
+            increments = np.diff(g, prepend=0.0, axis=1)
+            sorted_c = np.cumsum(increments / mult, axis=1)
+        else:
+            g_clipped = np.where(finite, g, 0.0)
+            increments = np.diff(g_clipped, prepend=0.0, axis=1)
+            sorted_c = np.cumsum(
+                np.where(finite, increments / mult, 0.0), axis=1)
+            overloaded = np.maximum.accumulate(~finite, axis=1)
+            sorted_c = np.where(overloaded, math.inf, sorted_c)
+        out = np.empty_like(sorted_c)
+        np.put_along_axis(out, order, sorted_c, axis=1)
+        return out
 
     # -- analytic derivatives ----------------------------------------------
 
@@ -181,6 +266,57 @@ class FairShareAllocation(AllocationFunction):
         for k in range(n):
             for q in range(n):
                 out[order[k], order[q]] = jac_sorted[k, q]
+        return out
+
+    def gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
+        """Row ``i`` of the Jacobian in closed form (one sort, no FD).
+
+        Same entries as ``jacobian(rates)[i]`` — the running-sum
+        recursion telescoped into prefix sums — at the cost of a
+        single ladder evaluation instead of the full matrix.
+        """
+        sorted_r, order = self._sorted_view(rates)
+        n = sorted_r.size
+        loads = self.ladder_loads(sorted_r)
+        k = int(np.nonzero(order == i)[0][0])
+        row_sorted = np.zeros(n)
+        overloaded = loads >= self.curve.capacity
+        stable = int(np.searchsorted(overloaded, True)) if overloaded.any() \
+            else n
+        if k >= stable:
+            row_sorted[: k + 1] = math.inf
+        else:
+            gp = self.curve.derivatives(loads[: k + 1])
+            row_sorted[k] = gp[k]
+            if k > 0:
+                qs = np.arange(k)
+                # D_m = (g'(R_m) - g'(R_{m-1})) / (n - m), m = 1..k
+                d = np.concatenate(
+                    ([0.0], (gp[1:] - gp[:-1]) / (n - np.arange(1, k + 1))))
+                cum_d = np.cumsum(d)
+                bridge = (gp[1: k + 1] - gp[:k] * (n - qs)) / (n - qs - 1)
+                row_sorted[:k] = gp[:k] + bridge + (cum_d[k] - cum_d[qs + 1])
+        out = np.zeros(n)
+        out[order] = row_sorted
+        return out
+
+    def second_gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
+        """``d^2 C_i/dr_i dr_j`` over ``j``: ``g''(R_k)`` below, 0 above.
+
+        One sort for the whole row instead of ``N`` scalar
+        :meth:`mixed_second_derivative` calls (each of which sorts).
+        """
+        r = np.asarray(rates, dtype=float)
+        sorted_r, order = self._sorted_view(r)
+        n = sorted_r.size
+        k = int(np.nonzero(order == i)[0][0])
+        load = float(self.ladder_loads(sorted_r)[k])
+        if load >= self.curve.capacity:
+            gpp = math.inf
+        else:
+            gpp = self.curve.second_derivative(load)
+        out = np.where(r < r[i], gpp, 0.0)
+        out[i] = gpp * (n - k)
         return out
 
     def own_derivative(self, rates: Sequence[float], i: int) -> float:

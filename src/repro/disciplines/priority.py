@@ -31,6 +31,8 @@ from repro.queueing.service_curves import ServiceCurve
 class PriorityAllocation(AllocationFunction):
     """Per-user preemptive priority ordered by rate."""
 
+    vectorized_grid = True
+
     def __init__(self, curve: Optional[ServiceCurve] = None,
                  ascending: bool = True) -> None:
         super().__init__(curve)
@@ -73,4 +75,40 @@ class PriorityAllocation(AllocationFunction):
             start = stop
         out = np.empty(n)
         out[order] = sorted_c
+        return out
+
+    def congestion_grid(self, rates: Sequence[float], i: int,
+                        xs: Sequence[float]) -> np.ndarray:
+        """``C_i`` over candidate own-rates in one pass.
+
+        For candidate ``x``, user ``i``'s tie block spans herself plus
+        the opponents with rate exactly ``x``; the per-class
+        increments inside the block telescope, so
+
+        ``C_i(x) = [g(B + T + x) - g(B)] / (t + 1)``
+
+        with ``B`` the total strictly-higher-priority opponent rate,
+        ``T`` the tied opponents' total, and ``t`` their count.
+        """
+        r = np.asarray(rates, dtype=float)
+        cand = np.asarray(xs, dtype=float)
+        opp = np.delete(r, i)
+        if (opp.size and float(opp.min()) < 0.0) or (
+                cand.size and float(cand.min()) < 0.0):
+            raise DisciplineError(f"rates must be nonnegative, got {r}")
+        s = np.sort(opp)
+        cs = np.concatenate(([0.0], np.cumsum(s)))
+        lo = np.searchsorted(s, cand, side="left")
+        hi = np.searchsorted(s, cand, side="right")
+        block = (hi - lo + 1).astype(float)
+        if self.ascending:
+            before = cs[lo]
+            after = cs[hi] + cand
+        else:
+            before = cs[-1] - cs[hi]
+            after = (cs[-1] - cs[lo]) + cand
+        out = np.full(cand.shape, math.inf)
+        ok = after < self.curve.capacity
+        out[ok] = (self.curve.values(after[ok])
+                   - self.curve.values(before[ok])) / block[ok]
         return out

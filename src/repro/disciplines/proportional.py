@@ -32,8 +32,17 @@ class ProportionalAllocation(AllocationFunction):
     """
 
     name = "proportional"
+    vectorized_grid = True
 
     # -- curve helpers -----------------------------------------------------
+
+    def _phi_values(self, totals: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_phi` over an array of (stable) totals."""
+        out = np.empty(totals.shape)
+        pos = totals > 0.0
+        out[pos] = self.curve.values(totals[pos]) / totals[pos]
+        out[~pos] = self.curve.derivative(0.0)
+        return out
 
     def _phi(self, total: float) -> float:
         """Queue per unit of rate, ``g(S)/S`` (limit ``g'(0)`` at 0)."""
@@ -77,6 +86,43 @@ class ProportionalAllocation(AllocationFunction):
             return math.inf
         return float(r[i]) * self._phi(total)
 
+    # -- batched evaluation --------------------------------------------------
+
+    def congestion_grid(self, rates: Sequence[float], i: int,
+                        xs: Sequence[float]) -> np.ndarray:
+        """``C_i(x) = x * phi(S_{-i} + x)`` over the whole grid at once."""
+        return self.grid_evaluator(rates, i)(xs)
+
+    def grid_evaluator(self, rates: Sequence[float], i: int):
+        """Hoist the opponent total out of repeated grid evaluations."""
+        r = np.asarray(rates, dtype=float)
+        opponent_total = float(np.delete(r, i).sum())
+        cap = self.curve.capacity
+
+        def evaluate(xs: Sequence[float]) -> np.ndarray:
+            cand = np.asarray(xs, dtype=float)
+            totals = opponent_total + cand
+            out = np.full(cand.shape, math.inf)
+            ok = totals < cap
+            out[ok] = cand[ok] * self._phi_values(totals[ok])
+            return out
+
+        return evaluate
+
+    def congestion_many(self, profiles: Sequence[Sequence[float]]
+                        ) -> np.ndarray:
+        batch = np.asarray(profiles, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"profiles must be 2-D (batch, users), got {batch.shape}")
+        if batch.size and float(batch.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        totals = batch.sum(axis=1)
+        out = np.full(batch.shape, math.inf)
+        ok = totals < self.curve.capacity
+        out[ok] = batch[ok] * self._phi_values(totals[ok])[:, None]
+        return out
+
     # -- analytic derivatives ----------------------------------------------
 
     def own_derivative(self, rates: Sequence[float], i: int) -> float:
@@ -106,6 +152,30 @@ class ProportionalAllocation(AllocationFunction):
         phi = self._phi(total)
         out = np.outer(r, np.ones(n)) * psi
         out[np.diag_indices(n)] += phi
+        return out
+
+    def gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
+        """Row ``i`` of the Jacobian: ``r_i psi(S)`` off-diagonal,
+        ``phi(S) + r_i psi(S)`` on it — no finite differences."""
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return np.full(r.shape, math.inf)
+        psi = self._psi(total)
+        out = np.full(r.shape, float(r[i]) * psi)
+        out[i] = self._phi(total) + float(r[i]) * psi
+        return out
+
+    def second_gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
+        """``d^2 C_i/dr_i dr_j`` as a vector, from ``psi``/``psi'``."""
+        r = np.asarray(rates, dtype=float)
+        total = float(r.sum())
+        if total >= self.curve.capacity:
+            return np.full(r.shape, math.inf)
+        psi = self._psi(total)
+        psi_prime = self._psi_prime(total)
+        out = np.full(r.shape, psi + float(r[i]) * psi_prime)
+        out[i] = 2.0 * psi + float(r[i]) * psi_prime
         return out
 
     def own_second_derivative(self, rates: Sequence[float], i: int) -> float:

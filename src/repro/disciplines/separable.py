@@ -69,6 +69,7 @@ class SeparableAllocation(AllocationFunction):
     """
 
     name = "separable"
+    vectorized_grid = True
 
     def __init__(self, constraint: SumOfSquaresConstraint = None) -> None:
         self.constraint = (constraint if constraint is not None
@@ -83,6 +84,36 @@ class SeparableAllocation(AllocationFunction):
         if np.any(r < 0.0):
             raise ValueError(f"rates must be nonnegative, got {r}")
         return self.constraint.a * r * r
+
+    def congestion_grid(self, rates: Sequence[float], i: int,
+                        xs: Sequence[float]) -> np.ndarray:
+        """``C_i(x) = a x^2`` — the opponents do not matter at all."""
+        cand = np.asarray(xs, dtype=float)
+        if cand.size and float(cand.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        return self.constraint.a * cand * cand
+
+    def congestion_many(self, profiles: Sequence[Sequence[float]]
+                        ) -> np.ndarray:
+        batch = np.asarray(profiles, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"profiles must be 2-D (batch, users), got {batch.shape}")
+        if batch.size and float(batch.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        return self.constraint.a * batch * batch
+
+    def gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
+        r = np.asarray(rates, dtype=float)
+        out = np.zeros(r.shape)
+        out[i] = self.constraint.partial(r, i)
+        return out
+
+    def second_gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
+        r = np.asarray(rates, dtype=float)
+        out = np.zeros(r.shape)
+        out[i] = 2.0 * self.constraint.a
+        return out
 
     def own_derivative(self, rates: Sequence[float], i: int) -> float:
         return self.constraint.partial(rates, i)

@@ -39,6 +39,7 @@ class PivotAllocation(AllocationFunction):
     """The stalling pivot mechanism ``C_i = g(S) - g(S - r_i)``."""
 
     name = "stalling-pivot"
+    vectorized_grid = True
 
     def congestion(self, rates: Sequence[float]) -> np.ndarray:
         r = np.asarray(rates, dtype=float)
@@ -50,6 +51,40 @@ class PivotAllocation(AllocationFunction):
         g_total = self.curve.value(total)
         return np.array([g_total - self.curve.value(total - float(x))
                          for x in r])
+
+    def congestion_grid(self, rates: Sequence[float], i: int,
+                        xs: Sequence[float]) -> np.ndarray:
+        """``C_i(x) = g(S_{-i} + x) - g(S_{-i})``: one curve pass."""
+        r = np.asarray(rates, dtype=float)
+        cand = np.asarray(xs, dtype=float)
+        opp = np.delete(r, i)
+        if (opp.size and float(opp.min()) < 0.0) or (
+                cand.size and float(cand.min()) < 0.0):
+            raise ValueError("rates must be nonnegative")
+        opponent_total = float(opp.sum())
+        totals = opponent_total + cand
+        out = np.full(cand.shape, math.inf)
+        ok = totals < self.curve.capacity
+        if np.any(ok):
+            g_absent = self.curve.value(opponent_total)
+            out[ok] = self.curve.values(totals[ok]) - g_absent
+        return out
+
+    def congestion_many(self, profiles: Sequence[Sequence[float]]
+                        ) -> np.ndarray:
+        batch = np.asarray(profiles, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"profiles must be 2-D (batch, users), got {batch.shape}")
+        if batch.size and float(batch.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        totals = batch.sum(axis=1)
+        out = np.full(batch.shape, math.inf)
+        ok = totals < self.curve.capacity
+        g_totals = self.curve.values(totals[ok])
+        out[ok] = g_totals[:, None] - self.curve.values(
+            totals[ok, None] - batch[ok])
+        return out
 
     def own_derivative(self, rates: Sequence[float], i: int) -> float:
         """``dC_i/dr_i = g'(S)`` — the Pareto marginal, by design."""

@@ -18,6 +18,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
+from repro.numerics import instrumentation
 from repro.sim import cache as sim_cache
 from repro.experiments import (
     ablation_arrivals,
@@ -115,6 +116,7 @@ def _failure_report(experiment_id: str, trace: str) -> ExperimentReport:
 
 def _run_one(experiment_id: str, seed: int, fast: bool,
              cache_enabled: Optional[bool] = None,
+             solver_vectorized: Optional[bool] = None,
              ) -> Tuple[Optional[ExperimentReport], Optional[str],
                         Dict[str, int]]:
     """Run one experiment; the pool-safe unit of work.
@@ -123,22 +125,37 @@ def _run_one(experiment_id: str, seed: int, fast: bool,
     exactly one of ``report`` / ``traceback`` is set.  The stats delta
     lets the parent fold a worker's cache counters into its own (pool
     workers are reused across tasks, hence a delta rather than a
-    total).  ``cache_enabled`` pins the sim-cache override inside a
-    worker process, where the parent's in-memory override is not
-    inherited; ``None`` (the serial path) leaves it untouched.
+    total).  ``cache_enabled`` / ``solver_vectorized`` pin the
+    sim-cache and solver-vectorization overrides inside a worker
+    process, where the parent's in-memory overrides are not inherited;
+    ``None`` (the serial path) leaves them untouched.
+
+    Experiments that exercise the analytic solvers gain deterministic
+    ``solver_*`` evaluation counts in their summary (never wall time —
+    summaries must stay byte-identical across serial/parallel runs).
     """
     if cache_enabled is not None:
         sim_cache.set_enabled(cache_enabled)
+    if solver_vectorized is not None:
+        instrumentation.set_vectorized(solver_vectorized)
     before = sim_cache.snapshot()
     try:
-        report: Optional[ExperimentReport] = _REGISTRY[experiment_id](
-            seed=seed, fast=fast)
+        with instrumentation.track_solver() as solver_stats:
+            report: Optional[ExperimentReport] = _REGISTRY[experiment_id](
+                seed=seed, fast=fast)
         trace: Optional[str] = None
     except Exception:
         report = None
         trace = traceback.format_exc()
     after = sim_cache.snapshot()
     delta = {key: after[key] - before[key] for key in after}
+    if report is not None and (solver_stats.objective_evals
+                               or solver_stats.congestion_evals):
+        report.summary["solver_objective_evals"] = (
+            solver_stats.objective_evals)
+        report.summary["solver_congestion_evals"] = (
+            solver_stats.congestion_evals)
+        report.summary["solver_grid_calls"] = solver_stats.grid_calls
     return report, trace, delta
 
 
@@ -163,7 +180,8 @@ def run_experiments(experiment_ids: Sequence[str], seed: int = 0,
         with ProcessPoolExecutor(max_workers=workers) as pool:
             outcomes = list(pool.map(
                 _run_one, ids, [seed] * len(ids), [fast] * len(ids),
-                [sim_cache.enabled()] * len(ids)))
+                [sim_cache.enabled()] * len(ids),
+                [instrumentation.vectorized()] * len(ids)))
         for experiment_id, (report, trace, delta) in zip(ids, outcomes):
             sim_cache.merge_stats(delta)
             reports.append(report if report is not None

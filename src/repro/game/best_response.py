@@ -5,6 +5,14 @@ The paper's users are selfish: user ``i`` varies ``r_i`` to maximize
 objective is smooth inside the stable region and drops to ``-inf``
 where the user's own congestion diverges, so a scan + golden-section
 maximization is both robust and accurate.
+
+When the discipline advertises a one-pass grid
+(:attr:`~repro.disciplines.base.AllocationFunction.vectorized_grid`)
+and the solver-vector switch is on, the scan and refinement run as a
+handful of batched ``congestion_grid`` + ``value_grid`` calls instead
+of ~100 scalar congestion evaluations — the core of the vectorized
+solver path.  Every best response records its evaluation counts via
+:mod:`repro.numerics.instrumentation`.
 """
 
 from __future__ import annotations
@@ -14,7 +22,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.numerics.optimize import ScalarMaxResult, multistart_maximize
+from repro.numerics import instrumentation
+from repro.numerics.optimize import (GridFunc, ScalarMaxResult,
+                                     multistart_maximize)
 from repro.users.utility import Utility
 
 #: Smallest rate a user will consider (the paper requires ``r_i > 0``).
@@ -26,14 +36,33 @@ def _default_rate_cap(allocation) -> float:
 
     For curves with a capacity pole (M/M/1), rates at or beyond capacity
     are never optimal (own congestion is infinite), so the pole bounds
-    the search.  For pole-free constraints (the separable world) we use
-    a generous fixed cap; utilities in AU eventually punish congestion
+    the search.  For pole-free constraints (the separable world) or
+    allocations that do not carry a service curve at all, we use a
+    generous fixed cap; utilities in AU eventually punish congestion
     enough to keep optima interior.
     """
-    capacity = getattr(allocation.curve, "capacity", math.inf)
+    curve = getattr(allocation, "curve", None)
+    capacity = getattr(curve, "capacity", math.inf)
     if math.isfinite(capacity):
         return capacity * (1.0 - 1e-6)
     return 4.0
+
+
+def _grid_objective(allocation, utility: Utility, rates: np.ndarray,
+                    i: int) -> Optional[GridFunc]:
+    """Batched objective for :func:`multistart_maximize`, if available."""
+    if not instrumentation.vectorized():
+        return None
+    if not getattr(allocation, "vectorized_grid", False):
+        return None
+    # One evaluator per best response: the opponent-side precomputation
+    # (sort, ladder, prefix sums) is shared by every grid-zoom round.
+    evaluator = allocation.grid_evaluator(rates.copy(), i)
+
+    def grid(xs: np.ndarray) -> np.ndarray:
+        return utility.value_grid(xs, evaluator(xs))
+
+    return grid
 
 
 def best_response(allocation, utility: Utility, rates: Sequence[float],
@@ -62,9 +91,15 @@ def best_response(allocation, utility: Utility, rates: Sequence[float],
         congestion = allocation.congestion_i(base, i)
         return utility.value(x, congestion)
 
+    grid = _grid_objective(allocation, utility,
+                           np.asarray(rates, dtype=float), i)
     result = multistart_maximize(objective, MIN_RATE, hi, n_scan=n_scan,
-                                 tol=tol)
+                                 tol=tol, grid_func=grid)
     base[i] = result.x
+    instrumentation.record(objective_evals=result.evaluations,
+                           congestion_evals=result.evaluations,
+                           grid_calls=result.grid_calls,
+                           wall_time=result.wall_time)
     return result
 
 
@@ -94,10 +129,13 @@ def utility_improvement(allocation, utility: Utility,
 
     Zero (up to solver tolerance) at a Nash equilibrium.  Used as the
     equilibrium certificate because rate-space distance is a bad metric
-    when the objective is flat.
+    when the objective is flat.  Counts toward the active solver
+    tracker, so ``is_nash``/certification cost shows up in experiment
+    reports rather than being invisible.
     """
     r = np.asarray(rates, dtype=float)
     current = utility.value(float(r[i]), allocation.congestion_i(r, i))
+    instrumentation.record(objective_evals=1, congestion_evals=1)
     best = best_response(allocation, utility, r, i, r_max=r_max)
     if math.isinf(current) and math.isinf(best.value):
         return 0.0

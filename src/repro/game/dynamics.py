@@ -70,12 +70,11 @@ def fdc_jacobian(allocation, profile: Sequence[Utility],
     for i, utility in enumerate(profile):
         dm_dr, dm_dc = _marginal_ratio_partials(
             utility, float(r[i]), float(congestion[i]))
-        for j in range(n):
-            term = dm_dc * jac_c[i, j]
-            if i == j:
-                term += dm_dr
-            term += allocation.mixed_second_derivative(r, i, j)
-            out[i, j] = term
+        # Whole row at once: analytic under Fair Share / proportional,
+        # one numeric pass otherwise — never N^2 scalar second partials.
+        row = dm_dc * jac_c[i] + allocation.second_gradient_i(r, i)
+        row[i] += dm_dr
+        out[i] = row
     return out
 
 

@@ -31,17 +31,17 @@ def envy_matrix(profile: Sequence[Utility], rates: Sequence[float],
     c = np.asarray(congestion, dtype=float)
     n = r.size
     out = np.zeros((n, n))
-    for i, utility in enumerate(profile):
-        own = utility.value(float(r[i]), float(c[i]))
-        own_is_inf = np.isinf(own)
-        for j in range(n):
-            if j == i:
-                continue
-            other = utility.value(float(r[j]), float(c[j]))
-            if own_is_inf and np.isinf(other):
-                out[i, j] = 0.0
-            else:
-                out[i, j] = other - own
+    with np.errstate(invalid="ignore"):
+        for i, utility in enumerate(profile):
+            own = utility.value(float(r[i]), float(c[i]))
+            # One value_grid pass scores every rival allocation under
+            # user i's utility; infinite-vs-infinite pairs tie at zero.
+            others = utility.value_grid(r, c)
+            gaps = others - own
+            if np.isinf(own):
+                gaps = np.where(np.isinf(others), 0.0, gaps)
+            gaps[i] = 0.0
+            out[i] = gaps
     return out
 
 
@@ -86,18 +86,14 @@ def unilateral_envy(allocation, profile: Sequence[Utility],
     congestion = allocation.congestion(r)
     utility = profile[i]
     own = utility.value(float(r[i]), float(congestion[i]))
-    own_is_inf = np.isinf(own)
-    worst = -np.inf
-    for j in range(r.size):
-        if j == i:
-            continue
-        other = utility.value(float(r[j]), float(congestion[j]))
-        if own_is_inf and np.isinf(other):
-            gap = 0.0
-        else:
-            gap = other - own
-        worst = max(worst, gap)
-    return UnilateralEnvyOutcome(rates=r, envy=float(worst),
+    others = utility.value_grid(r, congestion)
+    with np.errstate(invalid="ignore"):
+        gaps = others - own
+    if np.isinf(own):
+        gaps = np.where(np.isinf(others), 0.0, gaps)
+    gaps[i] = -np.inf                       # never "envies" herself
+    worst = float(np.max(gaps)) if r.size > 1 else -np.inf
+    return UnilateralEnvyOutcome(rates=r, envy=worst,
                                  best_rate=float(response.x))
 
 

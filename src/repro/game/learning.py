@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.numerics import instrumentation
 from repro.numerics.rng import default_rng
 from repro.users.utility import Utility
 
@@ -62,12 +63,30 @@ def _payoff_table(allocation, profile: Sequence[Utility],
     shapes = tuple(len(g) for g in grids)
     n = len(grids)
     tables = [np.empty(shapes) for _ in range(n)]
-    for index in itertools.product(*(range(s) for s in shapes)):
-        rates = np.array([grids[j][index[j]] for j in range(n)])
-        congestion = allocation.congestion(rates)
+    if (instrumentation.vectorized()
+            and getattr(allocation, "vectorized_grid", False)):
+        # The whole candidate product as one (prod(shapes), n) batch;
+        # C-order meshgrid flattening matches itertools.product, so
+        # reshaping back to ``shapes`` lands every entry where the
+        # scalar loop would have written it.
+        mesh = np.meshgrid(*grids, indexing="ij")
+        profiles_flat = np.stack([m.reshape(-1) for m in mesh], axis=1)
+        congestion = allocation.congestion_many(profiles_flat)
         for i in range(n):
-            tables[i][index] = profile[i].value(float(rates[i]),
-                                                float(congestion[i]))
+            values = profile[i].value_grid(profiles_flat[:, i],
+                                           congestion[:, i])
+            tables[i] = values.reshape(shapes)
+        instrumentation.record(congestion_evals=profiles_flat.shape[0],
+                               grid_calls=1)
+    else:
+        for index in itertools.product(*(range(s) for s in shapes)):
+            rates = np.array([grids[j][index[j]] for j in range(n)])
+            congestion_row = allocation.congestion(rates)
+            for i in range(n):
+                tables[i][index] = profile[i].value(
+                    float(rates[i]), float(congestion_row[i]))
+        instrumentation.record(
+            congestion_evals=int(np.prod(shapes)))
     return tables
 
 

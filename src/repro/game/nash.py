@@ -93,7 +93,8 @@ def default_start(n_users: int, allocation=None) -> np.ndarray:
     """A safe interior starting point (equal split at 50% load)."""
     capacity = 1.0
     if allocation is not None:
-        cap = getattr(allocation.curve, "capacity", math.inf)
+        cap = getattr(getattr(allocation, "curve", None), "capacity",
+                      math.inf)
         if math.isfinite(cap):
             capacity = cap
     return np.full(n_users, 0.5 * capacity / n_users)
@@ -174,7 +175,8 @@ def find_all_nash(allocation, profile: Sequence[Utility],
     """
     generator = default_rng(rng if rng is not None else 0)
     n = len(profile)
-    capacity = getattr(allocation.curve, "capacity", math.inf)
+    capacity = getattr(getattr(allocation, "curve", None), "capacity",
+                       math.inf)
     max_total = 0.95 * capacity if math.isfinite(capacity) else 2.0
     found: List[NashResult] = []
     alpha = np.ones(n)

@@ -1,0 +1,113 @@
+"""Solver observability: evaluation counters and the vectorization switch.
+
+The analytic game layer is the hot path once the event engine is fast
+(PR 3), so its solvers carry lightweight instrumentation: every best
+response records how many objective/congestion evaluations it spent and
+how many batched grid calls it made, and experiment reports surface the
+deterministic totals.  The module also owns the switch between the
+vectorized grid evaluation core and the legacy scalar scan, so the two
+can be A/B-timed on the same box (``benchmarks/bench_solver.py``) and
+the scalar path stays available as a correctness oracle.
+
+Mirrors the toggle idiom of :mod:`repro.sim.cache`:
+
+* environment: ``GREEDWORK_SOLVER_VECTOR=off`` (or ``0``/``false``/
+  ``no``) disables the vectorized paths for the whole process;
+* programmatic: :func:`set_vectorized` overrides the environment for
+  the current process (``None`` restores environment control).
+
+Counters nest: :func:`track_solver` pushes a fresh
+:class:`SolverCounters` onto a stack and :func:`record` adds to every
+frame, so an outer tracker (the experiment runner) sees the totals of
+everything beneath it.  Wall time is recorded but deliberately kept
+out of experiment stdout — report output must stay byte-identical
+across serial/parallel runs and across machines; only the
+deterministic evaluation counts are printed.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+ENV_TOGGLE = "GREEDWORK_SOLVER_VECTOR"
+_DISABLING_VALUES = {"0", "off", "false", "no"}
+
+_vector_override: Optional[bool] = None
+
+
+def vectorized() -> bool:
+    """Whether solvers should use the batched grid evaluation core."""
+    if _vector_override is not None:
+        return _vector_override
+    raw = os.environ.get(ENV_TOGGLE)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _DISABLING_VALUES
+
+
+def set_vectorized(value: Optional[bool]) -> None:
+    """Force the vectorization switch on/off; ``None`` defers to the env."""
+    global _vector_override
+    _vector_override = value
+
+
+@dataclass
+class SolverCounters:
+    """Evaluation totals accumulated inside one :func:`track_solver`.
+
+    Attributes
+    ----------
+    objective_evals:
+        Scalar utility-objective evaluations (one per candidate rate).
+    congestion_evals:
+        Allocation congestion evaluations; equals ``objective_evals``
+        on the best-response path but also counts certification and
+        adversarial-search congestion calls that bypass a utility.
+    grid_calls:
+        Batched evaluations (one numpy pass over a whole grid).
+    wall_time:
+        Seconds spent inside instrumented solver sections.  Never
+        printed in experiment output (non-deterministic); exposed for
+        benchmarks.
+    """
+
+    objective_evals: int = 0
+    congestion_evals: int = 0
+    grid_calls: int = 0
+    wall_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """The counters as a plain dict (benchmark/report records)."""
+        return {
+            "objective_evals": self.objective_evals,
+            "congestion_evals": self.congestion_evals,
+            "grid_calls": self.grid_calls,
+            "wall_time": self.wall_time,
+        }
+
+
+_STACK: List[SolverCounters] = []
+
+
+def record(objective_evals: int = 0, congestion_evals: int = 0,
+           grid_calls: int = 0, wall_time: float = 0.0) -> None:
+    """Add to every active tracker (no-op when none is active)."""
+    for frame in _STACK:
+        frame.objective_evals += objective_evals
+        frame.congestion_evals += congestion_evals
+        frame.grid_calls += grid_calls
+        frame.wall_time += wall_time
+
+
+@contextmanager
+def track_solver() -> Iterator[SolverCounters]:
+    """Collect solver counters for the duration of the ``with`` block."""
+    frame = SolverCounters()
+    _STACK.append(frame)
+    try:
+        yield frame
+    finally:
+        _STACK.remove(frame)

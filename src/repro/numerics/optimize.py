@@ -12,11 +12,17 @@ a coarse multistart scan, and treat non-finite objective values as
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Sequence
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 INVPHI = (math.sqrt(5.0) - 1.0) / 2.0        # 1/phi
 INVPHI2 = (3.0 - math.sqrt(5.0)) / 2.0       # 1/phi^2
+
+#: A batched objective: maps an array of candidates to their values.
+GridFunc = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -31,11 +37,17 @@ class ScalarMaxResult:
         Objective value at ``x``.
     evaluations:
         Number of objective evaluations performed.
+    grid_calls:
+        Number of batched grid evaluations (0 on the scalar path).
+    wall_time:
+        Seconds spent inside the maximizer (0.0 when not measured).
     """
 
     x: float
     value: float
     evaluations: int
+    grid_calls: int = 0
+    wall_time: float = 0.0
 
 
 def _safe(func: Callable[[float], float]) -> Callable[[float], float]:
@@ -98,19 +110,106 @@ def maximize_scalar(func: Callable[[float], float], lo: float, hi: float,
     return golden_section_max(func, lo, hi, tol=tol)
 
 
+def _safe_grid(grid_func: GridFunc, xs: np.ndarray) -> np.ndarray:
+    """Evaluate a batch, mapping NaNs (and exceptions) to ``-inf``."""
+    try:
+        ys = np.asarray(grid_func(xs), dtype=float)
+    except (OverflowError, ZeroDivisionError, ValueError,
+            FloatingPointError):
+        return np.full(xs.shape, -math.inf)
+    if ys.shape != xs.shape:
+        raise ValueError(
+            f"grid objective returned shape {ys.shape} for {xs.shape}")
+    return np.where(np.isnan(ys), -math.inf, ys)
+
+
+#: Points per refinement round of the batched zoom (bracket shrinks by
+#: ``2 / (GRID_REFINE_POINTS - 1)`` = 16x per round).
+GRID_REFINE_POINTS = 33
+
+
+def grid_multistart_maximize(grid_func: GridFunc, lo: float, hi: float,
+                             n_scan: int = 33,
+                             tol: float = 1e-10) -> ScalarMaxResult:
+    """Batched scan + iterative grid-zoom maximization.
+
+    The vectorized counterpart of :func:`multistart_maximize`: one grid
+    call evaluates the coarse scan, then each refinement round
+    evaluates :data:`GRID_REFINE_POINTS` points across the bracket
+    around the incumbent and shrinks the bracket 16x, until its width
+    falls under ``tol``.  Golden-section search is inherently
+    sequential (~45 scalar calls at ``tol=1e-11``); the zoom replaces
+    it with ~8 batched rounds, which is what lets a vectorized
+    ``congestion_grid`` pay off end to end.  The argmax agrees with
+    the scalar path to within ``tol`` (both land inside the same
+    final bracket).
+    """
+    if n_scan < 3:
+        raise ValueError("n_scan must be at least 3")
+    if hi < lo:
+        lo, hi = hi, lo
+    xs = np.linspace(lo, hi, n_scan)
+    ys = _safe_grid(grid_func, xs)
+    evals = n_scan
+    calls = 1
+    best = int(np.argmax(ys))
+    best_x = float(xs[best])
+    best_y = float(ys[best])
+    left = float(xs[max(best - 1, 0)])
+    right = float(xs[min(best + 1, n_scan - 1)])
+    width = right - left
+    while width > tol:
+        xs = np.linspace(left, right, GRID_REFINE_POINTS)
+        ys = _safe_grid(grid_func, xs)
+        evals += GRID_REFINE_POINTS
+        calls += 1
+        best = int(np.argmax(ys))
+        if float(ys[best]) > best_y:
+            best_x = float(xs[best])
+            best_y = float(ys[best])
+        left = float(xs[max(best - 1, 0)])
+        right = float(xs[min(best + 1, GRID_REFINE_POINTS - 1)])
+        new_width = right - left
+        if new_width >= width:       # float resolution floor
+            break
+        width = new_width
+    return ScalarMaxResult(x=best_x, value=best_y, evaluations=evals,
+                           grid_calls=calls)
+
+
 def multistart_maximize(func: Callable[[float], float], lo: float, hi: float,
                         n_scan: int = 33,
-                        tol: float = 1e-10) -> ScalarMaxResult:
+                        tol: float = 1e-10,
+                        grid_func: Optional[GridFunc] = None,
+                        ) -> ScalarMaxResult:
     """Global scalar maximization by scan + local refinement.
 
     Evaluates ``func`` on an ``n_scan``-point grid, then runs a
     golden-section search on the bracket around the best grid point.  The
     endpoints themselves are candidates, so boundary maxima are found.
 
+    When ``grid_func`` is given (a batched objective evaluating a whole
+    candidate array in one pass), the scan *and* the refinement run
+    through :func:`grid_multistart_maximize` instead — same bracket
+    logic, a handful of numpy calls instead of ~100 Python ones.  If
+    the batched path raises, the scalar path is used as a fallback so
+    a discipline with a buggy grid override degrades to correct-but-
+    slow rather than failing.
+
     This is the workhorse behind best-response computation: accurate for
     unimodal objectives and resistant to the mild multimodality that
     arises under non-Fair-Share disciplines out of equilibrium.
     """
+    start = time.perf_counter()
+    if grid_func is not None:
+        try:
+            result = grid_multistart_maximize(grid_func, lo, hi,
+                                              n_scan=n_scan, tol=tol)
+        except (TypeError, ValueError, IndexError, AttributeError):
+            result = None
+        if result is not None:
+            return replace(result,
+                           wall_time=time.perf_counter() - start)
     if n_scan < 3:
         raise ValueError("n_scan must be at least 3")
     if hi < lo:
@@ -124,10 +223,12 @@ def multistart_maximize(func: Callable[[float], float], lo: float, hi: float,
     right = xs[min(best + 1, n_scan - 1)]
     refined = golden_section_max(func, left, right, tol=tol)
     evals = n_scan + refined.evaluations
+    elapsed = time.perf_counter() - start
     if ys[best] > refined.value:
-        return ScalarMaxResult(x=xs[best], value=ys[best], evaluations=evals)
+        return ScalarMaxResult(x=xs[best], value=ys[best], evaluations=evals,
+                               wall_time=elapsed)
     return ScalarMaxResult(x=refined.x, value=refined.value,
-                           evaluations=evals)
+                           evaluations=evals, wall_time=elapsed)
 
 
 def argmax_on_grid(func: Callable[[float], float],

@@ -10,13 +10,19 @@ Pareto machinery are all parameterized by.
 
 Each curve exposes value, first and second derivatives, and its
 capacity (the load at which the queue diverges; ``inf`` for curves
-without a pole).
+without a pole).  The batched counterparts (``values``,
+``derivatives``, ``second_derivatives``) evaluate a whole numpy array
+of loads at once; the concrete curves override them with masked
+vector formulas so the vectorized solver core never pays a Python
+call per grid point.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+
+import numpy as np
 
 
 class ServiceCurve(ABC):
@@ -36,6 +42,29 @@ class ServiceCurve(ABC):
     @abstractmethod
     def second_derivative(self, load: float) -> float:
         """``g''(load)``."""
+
+    def values(self, loads: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value` over an array of loads.
+
+        The default delegates to the scalar method elementwise;
+        concrete curves override it with a masked vector formula that
+        is bit-identical to the scalar one.
+        """
+        arr = np.asarray(loads, dtype=float)
+        flat = [self.value(x) for x in arr.ravel().tolist()]
+        return np.asarray(flat, dtype=float).reshape(arr.shape)
+
+    def derivatives(self, loads: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`derivative` over an array of loads."""
+        arr = np.asarray(loads, dtype=float)
+        flat = [self.derivative(x) for x in arr.ravel().tolist()]
+        return np.asarray(flat, dtype=float).reshape(arr.shape)
+
+    def second_derivatives(self, loads: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`second_derivative` over an array of loads."""
+        arr = np.asarray(loads, dtype=float)
+        flat = [self.second_derivative(x) for x in arr.ravel().tolist()]
+        return np.asarray(flat, dtype=float).reshape(arr.shape)
 
     def __call__(self, load: float) -> float:
         return self.value(load)
@@ -79,6 +108,37 @@ class MM1Curve(ServiceCurve):
             return math.inf
         return 2.0 / (1.0 - load) ** 3
 
+    def values(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        out = np.full(arr.shape, math.inf)
+        stable = arr < 1.0
+        out[stable] = arr[stable] / (1.0 - arr[stable])
+        return out
+
+    def derivatives(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        out = np.full(arr.shape, math.inf)
+        stable = arr < 1.0
+        out[stable] = 1.0 / (1.0 - arr[stable]) ** 2
+        return out
+
+    def second_derivatives(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        out = np.full(arr.shape, math.inf)
+        stable = arr < 1.0
+        out[stable] = 2.0 / (1.0 - arr[stable]) ** 3
+        return out
+
+
+def _check_nonnegative(arr: np.ndarray) -> None:
+    """Match the scalar methods' rejection of negative loads."""
+    if arr.size and float(arr.min()) < 0.0:
+        raise ValueError(
+            f"load must be nonnegative, got {float(arr.min())}")
+
 
 class MG1Curve(ServiceCurve):
     """Mean number in system of an M/G/1 queue (Pollaczek-Khinchine).
@@ -118,6 +178,34 @@ class MG1Curve(ServiceCurve):
             return math.inf
         u = 1.0 - load
         return self._k * 2.0 / (u * u * u)
+
+    def values(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        out = np.full(arr.shape, math.inf)
+        stable = arr < 1.0
+        x = arr[stable]
+        out[stable] = x + self._k * x * x / (1.0 - x)
+        return out
+
+    def derivatives(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        out = np.full(arr.shape, math.inf)
+        stable = arr < 1.0
+        x = arr[stable]
+        u = 1.0 - x
+        out[stable] = 1.0 + self._k * (2.0 * x * u + x * x) / (u * u)
+        return out
+
+    def second_derivatives(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        out = np.full(arr.shape, math.inf)
+        stable = arr < 1.0
+        u = 1.0 - arr[stable]
+        out[stable] = self._k * 2.0 / (u * u * u)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MG1Curve(cv={self.cv})"
@@ -163,6 +251,21 @@ class QuadraticCurve(ServiceCurve):
         if load < 0.0:
             raise ValueError(f"load must be nonnegative, got {load}")
         return 2.0 * self.a
+
+    def values(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        return self.a * arr * arr
+
+    def derivatives(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        return 2.0 * self.a * arr
+
+    def second_derivatives(self, loads: np.ndarray) -> np.ndarray:
+        arr = np.asarray(loads, dtype=float)
+        _check_nonnegative(arr)
+        return np.full(arr.shape, 2.0 * self.a)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QuadraticCurve(a={self.a})"

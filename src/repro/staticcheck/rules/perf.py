@@ -16,9 +16,13 @@ numpy code quietly degrades to interpreter speed:
            the container is list-valued — quadratic; use a set;
 ``GW104``  ``np.append`` anywhere (it copies the whole array per
            call), and loop-carried ``np.concatenate``-style growth.
+``GW105``  a candidate-rate scan in the game layer — ``congestion_i``
+           called in a loop that pokes candidates into a fixed rate
+           vector (``base[i] = x``) with the user index held constant —
+           where one batched ``congestion_grid`` call would do.
 
-All four apply only to ``repro`` modules: tests and examples may trade
-speed for clarity.
+All apply only to ``repro`` modules (GW105 to ``repro.game``): tests
+and examples may trade speed for clarity.
 """
 
 from __future__ import annotations
@@ -462,4 +466,73 @@ class ArrayGrowthRule(Rule):
             for sub in ast.walk(arg):
                 if isinstance(sub, ast.Name):
                     out.add(sub.id)
+        return out
+
+
+@register_rule
+class ScalarCandidateScanRule(Rule):
+    """Flag scalar congestion scans over candidate rates (GW105)."""
+
+    rule_id = "GW105"
+    name = "scalar-candidate-scan"
+    description = ("game-layer loops that evaluate `congestion_i` once "
+                   "per candidate own-rate (poking each candidate into "
+                   "a fixed rate vector) must use one batched "
+                   "`congestion_grid` call instead")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None or ctx.module is None \
+                or not ctx.module.startswith("repro.game"):
+            return
+        for scope in _scopes(ctx.tree):
+            for loop in _loops(scope):
+                written = _stored_names(loop)
+                rebound = self._plain_rebinds(loop)
+                for node in ast.walk(loop):
+                    if not self._is_congestion_i_call(node):
+                        continue
+                    rates_arg, idx_arg = node.args[0], node.args[1]
+                    # The user index must be loop-invariant: a loop
+                    # *over users* (Gauss-Seidel sweeps, per-user
+                    # certification) is not a candidate scan.
+                    if any(isinstance(sub, ast.Name) and sub.id in written
+                           for sub in ast.walk(idx_arg)):
+                        continue
+                    if not isinstance(rates_arg, ast.Name):
+                        continue
+                    # The scan signature: the same rate vector mutated
+                    # in place each iteration (``base[i] = x``) — not
+                    # rebound wholesale to a fresh vector.
+                    if rates_arg.id in rebound:
+                        continue
+                    if rates_arg.id not in written:
+                        continue
+                    yield self.finding(
+                        ctx, node,
+                        "scalar congestion_i scan over candidate rates; "
+                        "evaluate all candidates in one "
+                        "congestion_grid call")
+
+    @staticmethod
+    def _is_congestion_i_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "congestion_i"
+                and len(node.args) >= 2)
+
+    @staticmethod
+    def _plain_rebinds(loop: ast.AST) -> Set[str]:
+        """Names wholly rebound (plain ``name = ...``) inside the loop."""
+        out: Set[str] = set()
+        for sub in ast.walk(loop):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)) and \
+                    isinstance(sub.target, ast.Name):
+                out.add(sub.target.id)
+            elif isinstance(sub, ast.For) and \
+                    isinstance(sub.target, ast.Name):
+                out.add(sub.target.id)
         return out

@@ -26,6 +26,8 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+import numpy as np
+
 from repro.users.utility import Utility
 
 
@@ -49,6 +51,11 @@ class LinearUtility(Utility):
         if math.isinf(c):
             return -math.inf
         return self.a * r - self.gamma * c
+
+    def value_grid(self, rs: np.ndarray, cs: np.ndarray) -> np.ndarray:
+        r = np.asarray(rs, dtype=float)
+        c = np.asarray(cs, dtype=float)
+        return np.where(np.isinf(c), -math.inf, self.a * r - self.gamma * c)
 
     def du_dr(self, r: float, c: float) -> float:
         return self.a
@@ -105,6 +112,20 @@ class ExponentialUtility(Utility):
         c_term = -(self.gamma ** 2 / self.nu) * math.exp(exponent)
         return r_term + c_term
 
+    def value_grid(self, rs: np.ndarray, cs: np.ndarray) -> np.ndarray:
+        r = np.asarray(rs, dtype=float)
+        c = np.asarray(cs, dtype=float)
+        out = np.full(r.shape, -math.inf)
+        exponent = np.where(np.isinf(c), math.inf,
+                            (self.nu / self.gamma) * (c - self.c_ref))
+        ok = exponent <= 700.0
+        with np.errstate(over="ignore"):
+            r_term = -(self.alpha ** 2 / self.beta) * np.exp(
+                -(self.beta / self.alpha) * (r[ok] - self.r_ref))
+            out[ok] = r_term - (self.gamma ** 2 / self.nu) * np.exp(
+                exponent[ok])
+        return out
+
     def du_dr(self, r: float, c: float) -> float:
         return self.alpha * math.exp(
             -(self.beta / self.alpha) * (r - self.r_ref))
@@ -151,6 +172,15 @@ class PowerUtility(Utility):
             return -math.inf
         return self.a * r ** self.p - self.gamma * c ** self.q
 
+    def value_grid(self, rs: np.ndarray, cs: np.ndarray) -> np.ndarray:
+        r = np.asarray(rs, dtype=float)
+        c = np.asarray(cs, dtype=float)
+        out = np.full(r.shape, -math.inf)
+        ok = ~np.isinf(c) & (r >= 0.0) & (c >= 0.0)
+        out[ok] = (self.a * r[ok] ** self.p
+                   - self.gamma * c[ok] ** self.q)
+        return out
+
     def du_dr(self, r: float, c: float) -> float:
         if r <= 0.0 and self.p < 1.0:
             r = 1e-12      # one-sided limit at the p < 1 pole
@@ -192,6 +222,12 @@ class QuadraticUtility(Utility):
             return -math.inf
         return self.a * r + self.b * r * r - self.gamma * c
 
+    def value_grid(self, rs: np.ndarray, cs: np.ndarray) -> np.ndarray:
+        r = np.asarray(rs, dtype=float)
+        c = np.asarray(cs, dtype=float)
+        return np.where(np.isinf(c), -math.inf,
+                        self.a * r + self.b * r * r - self.gamma * c)
+
     def du_dr(self, r: float, c: float) -> float:
         return self.a + 2.0 * self.b * r
 
@@ -226,6 +262,13 @@ class ThresholdUtility(Utility):
         if math.isinf(c):
             return -math.inf
         return self.a * min(r, self.threshold) - self.gamma * c
+
+    def value_grid(self, rs: np.ndarray, cs: np.ndarray) -> np.ndarray:
+        r = np.asarray(rs, dtype=float)
+        c = np.asarray(cs, dtype=float)
+        return np.where(np.isinf(c), -math.inf,
+                        self.a * np.minimum(r, self.threshold)
+                        - self.gamma * c)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ThresholdUtility(threshold={self.threshold}, "
@@ -272,8 +315,18 @@ class BiconvexUtility(Utility):
                 - self.ell * c
                 + (self.b0 / self.b1) * math.exp(-self.b1 * c))
 
-    def du_dr(self, r: float, c: float) -> float:
-        return self.a0 * math.exp(self.a1 * r)
+    def value_grid(self, rs: np.ndarray, cs: np.ndarray) -> np.ndarray:
+        r = np.asarray(rs, dtype=float)
+        c = np.asarray(cs, dtype=float)
+        exponent = self.a1 * r
+        finite = ~np.isinf(c)
+        big = exponent > 700.0
+        vals = np.where(big, math.inf, 0.0)
+        ok = finite & ~big
+        vals[ok] = ((self.a0 / self.a1) * np.exp(exponent[ok])
+                    - self.ell * c[ok]
+                    + (self.b0 / self.b1) * np.exp(-self.b1 * c[ok]))
+        return np.where(finite, vals, -math.inf)
 
     def du_dc(self, r: float, c: float) -> float:
         return -(self.ell + self.b0 * math.exp(-self.b1 * c))

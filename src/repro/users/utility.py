@@ -45,6 +45,19 @@ class Utility(ABC):
     def __call__(self, r: float, c: float) -> float:
         return self.value(r, c)
 
+    def value_grid(self, rs: np.ndarray, cs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value` over aligned rate/congestion arrays.
+
+        The default loops over the points (bit-identical to scalar
+        calls); the closed-form families override it with one numpy
+        pass so batched solvers stay batched end to end.
+        """
+        r_arr = np.asarray(rs, dtype=float)
+        c_arr = np.asarray(cs, dtype=float)
+        return np.asarray(
+            [self.value(r, c)
+             for r, c in zip(r_arr.tolist(), c_arr.tolist())], dtype=float)
+
     # -- derivatives -----------------------------------------------------
 
     def du_dr(self, r: float, c: float) -> float:

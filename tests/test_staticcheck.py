@@ -37,7 +37,7 @@ SARIF_SUBSET_SCHEMA = (Path(__file__).resolve().parent / "data"
 
 ALL_RULE_IDS = [
     "GW001", "GW002", "GW003", "GW004", "GW005",
-    "GW101", "GW102", "GW103", "GW104",
+    "GW101", "GW102", "GW103", "GW104", "GW105",
     "GW201", "GW202",
     "GW301", "GW302",
 ]
@@ -149,7 +149,7 @@ class TestFramework:
     def test_select_rules_by_family_prefix(self):
         rules = select_rules(all_rules(), select=["GW1"])
         assert [r.rule_id for r in rules] == \
-            ["GW101", "GW102", "GW103", "GW104"]
+            ["GW101", "GW102", "GW103", "GW104", "GW105"]
 
     def test_select_rules_normalizes_family_suffix(self):
         rules = select_rules(all_rules(), select=["GW2xx"])
@@ -158,7 +158,8 @@ class TestFramework:
     def test_select_rules_ignore_wins(self):
         rules = select_rules(all_rules(), select=["GW1"],
                              ignore=["GW103"])
-        assert [r.rule_id for r in rules] == ["GW101", "GW102", "GW104"]
+        assert [r.rule_id for r in rules] == ["GW101", "GW102", "GW104",
+                                             "GW105"]
 
     def test_select_rules_unknown_selector_raises(self):
         with pytest.raises(KeyError):
@@ -1011,6 +1012,97 @@ class TestArrayGrowth:
                 return np.append(arr, x)  # greedwork: ignore[GW104]
         """)
         result = findings_for(path, "GW104")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestScalarCandidateScan:
+    """GW105."""
+
+    def test_candidate_scan_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/bad.py", """\
+            import numpy as np
+
+
+            def scan(allocation, rates, i, xs):
+                base = np.array(rates, dtype=float)
+                out = np.empty(len(xs))
+                for k, x in enumerate(xs):
+                    base[i] = x
+                    out[k] = allocation.congestion_i(base, i)
+                return out
+        """)
+        result = findings_for(path, "GW105")
+        assert len(result.findings) == 1
+        assert "congestion_grid" in result.findings[0].message
+
+    def test_per_user_sweep_passes(self, tmp_path):
+        # Gauss-Seidel style: the *user index* is the loop variable, so
+        # no single congestion_grid call covers the iterations.
+        path = write_module(tmp_path, "src/repro/game/ok.py", """\
+            import numpy as np
+
+
+            def sweep(allocation, rates):
+                r = np.asarray(rates, dtype=float).copy()
+                for i in range(r.size):
+                    r[i] = r[i] + allocation.congestion_i(r, i)
+                return r
+        """)
+        assert findings_for(path, "GW105").findings == []
+
+    def test_rebound_vector_passes(self, tmp_path):
+        # Better-reply learners rebind the whole rate vector per step
+        # and draw a fresh user index: not a candidate scan.
+        path = write_module(tmp_path, "src/repro/game/ok2.py", """\
+            import numpy as np
+
+
+            def learn(allocation, r0, generator, n_steps):
+                r = np.asarray(r0, dtype=float).copy()
+                for _ in range(n_steps):
+                    i = int(generator.integers(0, r.size))
+                    current = allocation.congestion_i(r, i)
+                    probe = r.copy()
+                    probe[i] = current
+                    if allocation.congestion_i(probe, i) < current:
+                        r = probe
+                return r
+        """)
+        assert findings_for(path, "GW105").findings == []
+
+    def test_outside_game_layer_passes(self, tmp_path):
+        # The generic congestion_grid *fallback* in disciplines/ is
+        # exactly this loop; the rule only polices the game layer.
+        path = write_module(tmp_path, "src/repro/disciplines/ok.py", """\
+            import numpy as np
+
+
+            def scan(allocation, rates, i, xs):
+                base = np.array(rates, dtype=float)
+                out = np.empty(len(xs))
+                for k, x in enumerate(xs):
+                    base[i] = x
+                    out[k] = allocation.congestion_i(base, i)
+                return out
+        """)
+        assert findings_for(path, "GW105").findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/meh.py", """\
+            import numpy as np
+
+
+            def scan(allocation, rates, i, xs):
+                base = np.array(rates, dtype=float)
+                out = np.empty(len(xs))
+                for k, x in enumerate(xs):
+                    base[i] = x
+                    # greedwork: ignore[GW105] -- scalar fallback oracle
+                    out[k] = allocation.congestion_i(base, i)
+                return out
+        """)
+        result = findings_for(path, "GW105")
         assert result.findings == []
         assert len(result.suppressed) == 1
 
