@@ -4,8 +4,8 @@ PYTHON ?= python
 STRICT_PKGS = -p repro.queueing -p repro.costsharing -p repro.disciplines
 
 .PHONY: install test test-fast bench bench-micro bench-solver \
-        experiments report examples clean lint lint-ruff lint-mypy \
-        check check-sarif
+        bench-stats experiments report examples clean lint lint-ruff \
+        lint-mypy check check-sarif
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -54,6 +54,11 @@ bench-micro:
 # vectorized vs scalar); appends to the BENCH_solver.json trajectory.
 bench-solver:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_solver.py -o BENCH_solver.json
+
+# Events-to-target-CI matrix (fixed horizon vs control variates vs
+# CRN pairing vs sequential stopping); appends to BENCH_sim.json.
+bench-stats:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_stats.py -o BENCH_sim.json
 
 experiments:
 	$(PYTHON) -m repro run all --fast

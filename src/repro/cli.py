@@ -51,8 +51,24 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--rates", type=float, nargs="+",
                             required=True)
     sim_parser.add_argument("--policy", default="fifo")
-    sim_parser.add_argument("--horizon", type=float, default=50000.0)
+    sim_parser.add_argument("--horizon", type=float, default=50000.0,
+                            help="fixed horizon, or the initial "
+                                 "horizon under --target-halfwidth")
     sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument("--target-halfwidth", type=float,
+                            default=None, metavar="W",
+                            help="stop when every user's CI "
+                                 "half-width is at most W (grows the "
+                                 "horizon as needed instead of "
+                                 "running the fixed one)")
+    sim_parser.add_argument("--replications", type=int, default=None,
+                            metavar="N",
+                            help="pool N independent replications "
+                                 "(Student-t CI across seeds; N=1 "
+                                 "reports its CI as n/a)")
+    sim_parser.add_argument("--antithetic", action="store_true",
+                            help="run replications as mirrored "
+                                 "antithetic pairs (N must be even)")
 
     nash_parser = sub.add_parser(
         "nash", help="solve a Nash equilibrium for linear users")
@@ -181,13 +197,52 @@ def _cmd_run(experiment: str, seed: int, fast: bool, jobs: int,
 
 
 def _cmd_simulate(rates: List[float], policy: str, horizon: float,
-                  seed: int) -> int:
+                  seed: int, target_halfwidth: Optional[float] = None,
+                  replications: Optional[int] = None,
+                  antithetic: bool = False) -> int:
     from repro.experiments.base import Table
-    from repro.sim.runner import SimulationConfig, simulate
+    from repro.sim.runner import (SimulationConfig, replicate, simulate,
+                                  simulate_to_precision)
 
-    result = simulate(SimulationConfig(rates=rates, policy=policy,
-                                       horizon=horizon,
-                                       warmup=horizon * 0.05, seed=seed))
+    config = SimulationConfig(rates=rates, policy=policy,
+                              horizon=horizon, warmup=horizon * 0.05,
+                              seed=seed)
+    if replications is not None:
+        summary = replicate(config, n_replications=replications,
+                            antithetic=antithetic)
+        labels = summary.half_width_labels()
+        table = Table(
+            title=(f"policy={policy} horizon={horizon:g} "
+                   f"replications={replications}"
+                   + (" (antithetic pairs)" if antithetic else "")),
+            headers=["user", "rate", "mean queue", "CI half"])
+        for i, rate in enumerate(rates):
+            table.add_row(i, float(rate),
+                          float(summary.mean_queues[i]), labels[i])
+        print(table.render())
+        return 0
+    if target_halfwidth is not None:
+        precision = simulate_to_precision(
+            config, target_halfwidth=target_halfwidth)
+        result = precision.result
+        table = Table(
+            title=(f"policy={result.policy_name} "
+                   f"target-halfwidth={target_halfwidth:g} "
+                   f"horizon={precision.horizons[-1]:g}"),
+            headers=["user", "rate", "mean queue", "CI half",
+                     "throughput"])
+        for i, rate in enumerate(rates):
+            table.add_row(i, float(rate),
+                          float(precision.summary.means[i]),
+                          float(precision.summary.half_widths[i]),
+                          float(result.throughputs[i]))
+        print(table.render())
+        chunks = ", ".join(f"{h:g}" for h in precision.horizons)
+        print(f"schedule: {chunks}  achieved: {precision.achieved}  "
+              f"controls: "
+              f"{', '.join(precision.summary.control_names) or 'none'}")
+        return 0 if precision.achieved else 1
+    result = simulate(config)
     table = Table(title=f"policy={result.policy_name} horizon={horizon:g}",
                   headers=["user", "rate", "mean queue", "CI half",
                            "throughput"])
@@ -362,7 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         args.jobs, args.no_sim_cache)
     if args.command == "simulate":
         return _cmd_simulate(args.rates, args.policy, args.horizon,
-                             args.seed)
+                             args.seed, args.target_halfwidth,
+                             args.replications, args.antithetic)
     if args.command == "nash":
         return _cmd_nash(args.gammas, args.discipline)
     if args.command == "protect":

@@ -24,7 +24,8 @@ import numpy as np
 from repro.disciplines.fair_share import FairShareAllocation
 from repro.disciplines.proportional import ProportionalAllocation
 from repro.experiments.base import ExperimentReport, Table
-from repro.sim.runner import SimulationConfig, simulate
+from repro.sim.runner import (SimulationConfig, paired_configs, simulate,
+                              simulate_to_precision)
 
 EXPERIMENT_ID = "fq_vs_ladder"
 CLAIM = ("Packet-level Fair Queueing delivers the paper's three claims "
@@ -37,17 +38,35 @@ RATES = (0.1, 0.2, 0.3)
 def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     """Three-way comparison: FIFO vs SFQ vs Fair Share ladder."""
     rates = np.asarray(RATES, dtype=float)
-    horizon = 30000.0 if fast else 120000.0
-    warmup = horizon * 0.05
+    # Adaptive precision with common random numbers: the three
+    # policies share one seed (identical arrival realizations by the
+    # engine's draw-order contract), and each runs until its
+    # control-variate-adjusted CI half-width meets the target.  The
+    # old fixed horizon is kept for the events-saved accounting.
+    fixed_horizon = 30000.0 if fast else 120000.0
+    initial_horizon = 8000.0 if fast else 20000.0
+    warmup = 1000.0 if fast else 5000.0
+    target = 0.06 if fast else 0.03
     fifo_ref = ProportionalAllocation().congestion(rates)
     fs_ref = FairShareAllocation().congestion(rates)
 
+    base = SimulationConfig(rates=rates, policy="fifo",
+                            horizon=initial_horizon, warmup=warmup,
+                            seed=seed)
     measured = {}
-    for k, policy in enumerate(("fifo", "fair-queueing", "fair-share")):
-        result = simulate(SimulationConfig(
-            rates=rates, policy=policy, horizon=horizon, warmup=warmup,
-            seed=seed + k))
-        measured[policy] = result.mean_queues
+    events_simulated = 0
+    events_fixed_estimate = 0
+    targets_met = True
+    for config in paired_configs(base, ("fifo", "fair-queueing",
+                                        "fair-share")):
+        precision = simulate_to_precision(config, target_halfwidth=target)
+        measured[config.policy] = precision.summary.means
+        targets_met = targets_met and precision.achieved
+        events_simulated += precision.events
+        final_horizon = precision.horizons[-1]
+        events_fixed_estimate += int(round(
+            precision.events * max(fixed_horizon, final_horizon)
+            / final_horizon))
 
     alloc_table = Table(
         title="Per-user mean queues at fixed rates (0.1, 0.2, 0.3)",
@@ -79,6 +98,9 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
         headers=["policy", "victim mean queue", "attacker mean queue"])
     victim = {}
     for k, policy in enumerate(("fifo", "fair-queueing", "fair-share")):
+        # greedwork: ignore[GW106] -- the claim is divergence: FIFO's
+        # victim queue grows without bound at rho > 1, so no CI target
+        # exists and a fixed observation window is the measurement.
         result = simulate(SimulationConfig(
             rates=attack, policy=policy, horizon=flood_horizon,
             warmup=flood_horizon * 0.05, seed=seed + 10 + k))
@@ -89,6 +111,7 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
                  and victim["fair-share"] < 2.0
                  and victim["fifo"] > 10.0)
 
+    events_saved = max(0, events_fixed_estimate - events_simulated)
     passed = small_user_better and toward_fs and protected
     return ExperimentReport(
         experiment_id=EXPERIMENT_ID, claim=CLAIM, passed=passed,
@@ -99,9 +122,19 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
             "fq_protects_victim": protected,
             "fq_victim_queue_under_flood": victim["fair-queueing"],
             "fifo_victim_queue_under_flood": victim["fifo"],
+            "all_targets_met": targets_met,
+            "events_simulated": events_simulated,
+            "events_fixed_horizon_estimate": events_fixed_estimate,
+            "events_saved_estimate": events_saved,
         },
         notes=["FQ = start-time fair queueing on real exponential "
                "packet sizes; no rate oracle, unlike the Table-1 "
                "ladder", "the paper claims similarity in spirit, not "
                "equality — FQ protects strongly but does not meet the "
-               "ladder's exact g(Nr)/N bound"])
+               "ladder's exact g(Nr)/N bound",
+               "allocation part uses shared-seed common random numbers "
+               "with adaptive precision; the flood part is fixed-horizon "
+               "by design (the FIFO victim's queue diverges — no CI "
+               "target exists)",
+               f"events saved vs the fixed horizon {fixed_horizon:g}: "
+               f"{events_saved} of {events_fixed_estimate} (estimate)"])

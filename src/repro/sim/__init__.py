@@ -34,10 +34,40 @@ from repro.sim.queues import (
     make_policy,
 )
 from repro.sim.measurements import BatchMeans, QueueTracker
-from repro.sim.runner import SimulationConfig, SimulationResult, simulate
+from repro.sim.runner import (
+    PrecisionResult,
+    ReplicationPrecision,
+    ReplicationSummary,
+    SimulationConfig,
+    SimulationEngine,
+    SimulationResult,
+    control_variate_summary,
+    paired_configs,
+    replicate,
+    replicate_to_precision,
+    simulate,
+    simulate_to_precision,
+)
+from repro.sim.stats import (
+    ControlVariateSummary,
+    control_variate_adjust,
+    t_quantile,
+)
 from repro.sim.agents import AgentConfig, HillClimbingAgent, run_selfish_loop
 
 __all__ = [
+    "PrecisionResult",
+    "ReplicationPrecision",
+    "ReplicationSummary",
+    "SimulationEngine",
+    "ControlVariateSummary",
+    "control_variate_adjust",
+    "control_variate_summary",
+    "paired_configs",
+    "replicate",
+    "replicate_to_precision",
+    "simulate_to_precision",
+    "t_quantile",
     "Packet",
     "QueuePolicy",
     "FIFOQueue",

@@ -44,6 +44,16 @@ PROCESS_CV = {
 #: are block-size invariant.
 DEFAULT_BLOCK_SIZE = 1024
 
+#: Recognized variate modes (see :class:`VariateStream`): ``default``
+#: keeps numpy's native samplers; ``inverse`` and ``antithetic`` draw
+#: by inversion from a shared uniform stream so that two streams with
+#: the same seed form an antithetic pair.
+VARIATE_MODES = ("default", "inverse", "antithetic")
+
+#: Floor applied to uniforms before ``log`` in the antithetic branch
+#: (``U = 0.0`` is a valid ``rng.random()`` output).
+_LOG_FLOOR = 1e-300
+
 
 class VariateStream:
     """A batched, single-distribution variate source for the hot loop.
@@ -70,14 +80,33 @@ class VariateStream:
       uniform/exponential interleaving makes this sequence a function
       of the block size, so it is guaranteed bit-identical only at
       :data:`DEFAULT_BLOCK_SIZE`.
+
+    Variate modes (antithetic pairing)
+    ----------------------------------
+    ``mode="default"`` is the contract above.  The other two modes
+    exist because numpy's ziggurat exponential sampler is not an
+    inversion: there is no way to mirror its output.  ``"inverse"``
+    draws every variate by inversion from uniforms
+    (``X = -log(1 - U) / rate``) and ``"antithetic"`` applies the
+    mirrored inversion (``X = -log(U) / rate``) to the *same* uniform
+    stream — so two streams built from identically seeded generators,
+    one per mode, form an exact antithetic pair.  Both consume one
+    uniform per exponential variate (two for hyperexponential), so a
+    pair stays draw-for-draw aligned.  These modes define their own
+    sequences; they do not alter the default contract.
+
+    ``draws`` counts variates served over the stream's lifetime — the
+    common-random-numbers contract tests compare these counters across
+    policies to prove paired configs consume identical sequences.
     """
 
-    __slots__ = ("process", "rate", "block_size", "_rng", "_buf",
-                 "_pos", "_hyper_p", "_hyper_rates")
+    __slots__ = ("process", "rate", "block_size", "mode", "draws",
+                 "_rng", "_buf", "_pos", "_hyper_p", "_hyper_rates")
 
     def __init__(self, process: str, rate: float,
                  rng: np.random.Generator,
-                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 mode: str = "default") -> None:
         if rate <= 0.0:
             raise SimulationError(f"rate must be positive, got {rate}")
         if block_size < 1:
@@ -90,9 +119,15 @@ class VariateStream:
             raise SimulationError(
                 f"unknown arrival process {process!r}; known: "
                 f"{', '.join(sorted(PROCESS_CV))}")
+        if mode not in VARIATE_MODES:
+            raise SimulationError(
+                f"unknown variate mode {mode!r}; known: "
+                f"{', '.join(VARIATE_MODES)}")
         self.process = key
         self.rate = float(rate)
         self.block_size = int(block_size)
+        self.mode = mode
+        self.draws = 0
         self._rng = rng
         self._pos = 0
         if key == "hyperexponential":
@@ -110,20 +145,35 @@ class VariateStream:
         else:
             self._buf = []
 
+    def _standard_exponentials(self) -> np.ndarray:
+        """One block of unit-rate exponentials in the stream's mode."""
+        if self.mode == "default":
+            return self._rng.standard_exponential(self.block_size)
+        uniforms = self._rng.random(self.block_size)
+        if self.mode == "inverse":
+            return -np.log1p(-uniforms)
+        return -np.log(np.maximum(uniforms, _LOG_FLOOR))
+
     def _refill(self) -> list:
         """Draw the next block (see the draw-order contract above)."""
         if self.process == "poisson":
-            block = self._rng.exponential(1.0 / self.rate,
-                                          self.block_size)
+            if self.mode == "default":
+                block = self._rng.exponential(1.0 / self.rate,
+                                              self.block_size)
+            else:
+                block = self._standard_exponentials() / self.rate
         elif self.process == "deterministic":
             return self._buf
         else:
             uniforms = self._rng.random(self.block_size)
-            exponentials = self._rng.standard_exponential(
-                self.block_size)
+            if self.mode == "antithetic":
+                uniforms = 1.0 - uniforms
+            exponentials = self._standard_exponentials()
             fast, slow = self._hyper_rates
-            block = exponentials / np.where(uniforms < self._hyper_p,
-                                            fast, slow)
+            # The mirrored uniforms only *select* a phase; the divisor
+            # is one of two strictly positive phase rates.
+            block = exponentials / np.where(  # greedwork: ignore[GW201]
+                uniforms < self._hyper_p, fast, slow)
         self._buf = block.tolist()
         return self._buf
 
@@ -135,6 +185,7 @@ class VariateStream:
             buf = self._refill()
             pos = 0
         self._pos = pos + 1
+        self.draws += 1
         return buf[pos]
 
     def take(self, n: int) -> np.ndarray:

@@ -23,6 +23,19 @@ Layout and policy
 * The cache is best-effort: unreadable or corrupt entries are treated
   as misses and I/O errors while storing are swallowed.
 
+Resumable engine state
+----------------------
+Besides finished results, the cache stores *engine snapshots* for
+configs that opted into a horizon-independent batch layout
+(``batch_quota`` set): :func:`state_key` hashes every config field
+**except** ``horizon``, so one entry serves every horizon of the same
+run.  ``simulate`` restores the snapshot and simulates only the
+``H -> H'`` delta, which is what makes sequential stopping
+(:func:`repro.sim.runner.simulate_to_precision`) nearly free on warm
+caches.  Snapshot entries live next to result entries under a
+``state-`` prefixed key and obey the same engine-version
+invalidation.
+
 Statistics are kept per process (hits, misses, stores, uncacheable
 lookups, and ``fresh_events`` — events simulated by cache-missing
 runs).  ``greedwork run`` prints them to stderr; CI's warm-cache gate
@@ -60,7 +73,12 @@ class CacheStats:
     stores: int = 0
     uncacheable: int = 0
     #: Events (arrivals + departures) processed by fresh simulate runs.
+    #: A resumed run contributes only its extension delta.
     fresh_events: int = 0
+    #: Engine snapshots restored (each one turned a fresh run into a
+    #: delta run) and snapshots written.
+    state_hits: int = 0
+    state_stores: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (snapshot/merge currency)."""
@@ -70,6 +88,8 @@ class CacheStats:
         """One-line summary, greppable by the CI warm-cache gate."""
         return (f"[sim-cache] hits={self.hits} misses={self.misses} "
                 f"stores={self.stores} uncacheable={self.uncacheable} "
+                f"state_hits={self.state_hits} "
+                f"state_stores={self.state_stores} "
                 f"fresh_events={self.fresh_events}")
 
 
@@ -133,6 +153,65 @@ def config_key(config: Any, engine_version: str) -> Optional[str]:
         return None
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def state_key(config: Any, engine_version: str) -> Optional[str]:
+    """Content hash of a config *minus its horizon*, or ``None``.
+
+    Horizon-independent keying is what lets one snapshot entry serve a
+    whole family of extensions of the same run; it is only sound when
+    the batch layout is itself horizon-independent, so configs without
+    an explicit ``batch_quota`` are not state-cacheable.
+    """
+    if getattr(config, "batch_quota", None) is None:
+        return None
+    if not isinstance(getattr(config, "policy", None), str):
+        return None
+    payload: Dict[str, Any] = {"__engine__": engine_version,
+                               "__kind__": "state"}
+    try:
+        for spec in fields(config):
+            if spec.name == "horizon":
+                continue
+            payload[spec.name] = _canonical_value(
+                getattr(config, spec.name))
+    except TypeError:
+        return None
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "state-" + hashlib.sha256(
+        blob.encode("utf-8")).hexdigest()
+
+
+def load_state(key: str) -> Optional[Any]:
+    """The cached engine snapshot for ``key``, or ``None``.
+
+    Unlike :func:`load`, a miss here is not counted as a cache miss —
+    the result-cache counters keep their original meaning; restored
+    snapshots increment ``state_hits`` instead.
+    """
+    path = _entry_path(key)
+    try:
+        with open(path, "rb") as handle:
+            state = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    _stats.state_hits += 1
+    return state
+
+
+def store_state(key: str, state: Any) -> None:
+    """Persist an engine snapshot under ``key`` (atomic, best-effort).
+
+    The caller is responsible for only overwriting an entry with a
+    snapshot at a *later* horizon (a race losing that property costs
+    performance on the next resume, never correctness).
+    """
+    before = _stats.stores
+    store(key, state)
+    if _stats.stores > before:
+        _stats.stores = before
+        _stats.state_stores += 1
 
 
 def _entry_path(key: str) -> str:
@@ -200,6 +279,8 @@ def merge_stats(delta: Dict[str, int]) -> None:
     _stats.stores += delta.get("stores", 0)
     _stats.uncacheable += delta.get("uncacheable", 0)
     _stats.fresh_events += delta.get("fresh_events", 0)
+    _stats.state_hits += delta.get("state_hits", 0)
+    _stats.state_stores += delta.get("state_stores", 0)
 
 
 def reset_stats() -> None:

@@ -22,6 +22,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.sim.stats import t_quantile
+
 #: Slack when deciding a time step reached a batch boundary, absorbing
 #: float drift in ``warmup + k * quota``.
 _BOUNDARY_SLACK = 1e-9
@@ -61,12 +63,31 @@ class QueueTracker:
         self._next_boundary = math.inf
         self._segment_times: List[float] = []
         self._segment_areas: List[np.ndarray] = []
+        self._segment_arrival_acc = [0] * n_users
+        self._segment_arrivals: List[np.ndarray] = []
         self._departures = [0] * n_users
         self._sojourn_sums = [0.0] * n_users
         self._sojourn_counts = [0] * n_users
 
-    def configure_batches(self, horizon: float, n_batches: int = 20) -> None:
-        """Set the batch duration from the planned horizon."""
+    def configure_batches(self, horizon: float, n_batches: int = 20,
+                          quota: Optional[float] = None) -> None:
+        """Set the batch duration.
+
+        By default the post-warmup window is split into ``n_batches``
+        equal batches, which ties the batch layout to the horizon.  An
+        explicit ``quota`` (batch duration in simulated time) instead
+        lays boundaries at ``warmup + k * quota`` independently of the
+        horizon — the layout resumable runs need so that extending a
+        horizon appends batches without moving earlier boundaries.
+        Any partial batch past the last boundary is discarded.
+        """
+        if quota is not None:
+            if quota <= 0.0:
+                raise ValueError(f"quota must be positive, got {quota}")
+            self._quota = float(quota)
+            self._boundary_index = 1
+            self._next_boundary = self.warmup + self._quota
+            return
         effective = max(horizon - self.warmup, 0.0)
         if n_batches < 2 or effective <= 0.0:
             self._quota = math.inf
@@ -94,6 +115,9 @@ class QueueTracker:
         self._segment_times.append(self._quota)
         self._segment_areas.append(np.asarray(acc, dtype=float))
         self._segment_area_acc = [0.0] * self.n_users
+        self._segment_arrivals.append(
+            np.asarray(self._segment_arrival_acc, dtype=float))
+        self._segment_arrival_acc = [0] * self.n_users
 
     def advance(self, now: float) -> None:
         """Move the clock to ``now`` (crossing batch boundaries).
@@ -117,6 +141,8 @@ class QueueTracker:
         """A packet of ``user`` entered the system (after advance)."""
         self._fold(user, self._last_time)
         self._counts[user] += 1
+        if self._last_time >= self.warmup:
+            self._segment_arrival_acc[user] += 1
 
     def on_departure(self, user: int,
                      sojourn: Optional[float] = None) -> None:
@@ -188,8 +214,15 @@ class QueueTracker:
         out[mask] = sums[mask] / counts[mask]
         return out
 
-    def batch_means(self) -> "BatchMeans":
-        """Batch-means summary of per-user mean queues."""
+    def batch_means(self, confidence: float = 0.95) -> "BatchMeans":
+        """Batch-means summary of per-user mean queues.
+
+        Half-widths use the Student-t quantile at ``n_batches - 1``
+        degrees of freedom (the normal 1.96 understates small-sample
+        CIs).  The raw per-batch matrices ride along so downstream
+        control-variate adjustment and sequential stopping can reuse
+        them without re-simulating.
+        """
         if not self._segment_areas:
             return BatchMeans(means=self.mean_queues(),
                               half_widths=np.full(self.n_users, math.nan),
@@ -201,19 +234,34 @@ class QueueTracker:
         n = per_batch.shape[0]
         if n >= 2:
             stderr = per_batch.std(axis=0, ddof=1) / math.sqrt(n)
-            half = 1.96 * stderr
+            half = t_quantile(confidence, n - 1) * stderr
         else:
             half = np.full(self.n_users, math.nan)
-        return BatchMeans(means=means, half_widths=half, n_batches=n)
+        return BatchMeans(means=means, half_widths=half, n_batches=n,
+                          per_batch=per_batch,
+                          per_batch_arrivals=np.vstack(
+                              self._segment_arrivals),
+                          quota=self._quota,
+                          confidence=confidence)
 
 
 @dataclass
 class BatchMeans:
-    """Batch-means estimate with normal-approximation half-widths."""
+    """Batch-means estimate with Student-t half-widths.
+
+    ``per_batch`` (and ``per_batch_arrivals``) are the raw
+    ``(n_batches, n_users)`` matrices behind the summary; ``None`` on
+    legacy constructions that never configured batches.  ``quota`` is
+    the batch duration (``inf`` when batching was off).
+    """
 
     means: np.ndarray
     half_widths: np.ndarray
     n_batches: int
+    per_batch: Optional[np.ndarray] = None
+    per_batch_arrivals: Optional[np.ndarray] = None
+    quota: float = math.inf
+    confidence: float = 0.95
 
     def contains(self, reference: Sequence[float],
                  slack: float = 1.0) -> bool:

@@ -8,6 +8,30 @@ from typing import Optional
 _SEQUENCE = count()
 
 
+def sequence_watermark() -> int:
+    """Consume and return one sequence value.
+
+    The returned value is a strict upper bound on every ``seq`` issued
+    so far in this process — engine snapshots record it so a resumed
+    run (possibly in a fresh process) can keep new sequence numbers
+    above every in-flight packet's.
+    """
+    return next(_SEQUENCE)
+
+
+def ensure_sequence_at_least(floor: int) -> None:
+    """Advance the global sequence counter to at least ``floor``.
+
+    Only the *relative order* of sequence numbers matters (heap
+    tiebreaks, served-packet change detection), so jumping the counter
+    forward is always safe; moving it backwards never is, hence the
+    max with the current position.
+    """
+    global _SEQUENCE
+    current = next(_SEQUENCE)
+    _SEQUENCE = count(max(current + 1, floor))
+
+
 class Packet:
     """One packet in flight.
 

@@ -22,6 +22,7 @@ completes.
 
 from __future__ import annotations
 
+import copy
 import math
 from abc import ABC, abstractmethod
 from bisect import bisect_right
@@ -74,6 +75,21 @@ class QueuePolicy(ABC):
 
     def reset(self) -> None:  # pragma: no cover - optional hook
         """Clear all state (default: subclasses rebuild themselves)."""
+
+    def state_snapshot(self) -> "QueuePolicy":
+        """An independent, picklable copy of the live policy state.
+
+        The resumable-horizon machinery (see
+        :func:`repro.sim.runner.simulate_to_precision`) snapshots the
+        whole engine — including the policy with its backlog — into
+        the persistent cache and later restores it, possibly in a
+        different process.  The default deep copy is correct for any
+        policy whose state is plain data plus bound methods; a policy
+        holding unpicklable members (open files, closures, foreign
+        handles) must override this to return a picklable equivalent.
+        See CONTRIBUTING.md for the full contract.
+        """
+        return copy.deepcopy(self)
 
 
 class FIFOQueue(QueuePolicy):
@@ -257,11 +273,15 @@ class FairShareLadderQueue(PreemptivePriorityQueue):
             self._class_probs[user] = probs
             self._class_cum[user] = np.cumsum(probs).tolist()
 
-        def classify(packet: Packet, rng: np.random.Generator) -> int:
-            cum = self._class_cum[packet.user]
-            return min(bisect_right(cum, rng.random()), len(cum) - 1)
+        # A bound method, not a closure: closures cannot be pickled
+        # (engine state snapshots) and deepcopy would not rebind them
+        # to the copied instance.
+        super().__init__(n_classes=r.size, classifier=self._classify)
 
-        super().__init__(n_classes=r.size, classifier=classify)
+    def _classify(self, packet: Packet,
+                  rng: np.random.Generator) -> int:
+        cum = self._class_cum[packet.user]
+        return min(bisect_right(cum, rng.random()), len(cum) - 1)
 
 
 class AdaptiveFairShareQueue(PreemptivePriorityQueue):
@@ -294,13 +314,15 @@ class AdaptiveFairShareQueue(PreemptivePriorityQueue):
         self._class_probs: Dict[int, np.ndarray] = {}
         self._class_cum: Dict[int, List[float]] = {}
         self._rebuild()
+        # Bound method for the same pickling/deepcopy reasons as the
+        # oracle ladder; the adaptive state it reads lives on self.
+        super().__init__(n_classes=n_users, classifier=self._classify)
 
-        def classify(packet: Packet, rng: np.random.Generator) -> int:
-            self._observe(packet)
-            cum = self._class_cum[packet.user]
-            return min(bisect_right(cum, rng.random()), len(cum) - 1)
-
-        super().__init__(n_classes=n_users, classifier=classify)
+    def _classify(self, packet: Packet,
+                  rng: np.random.Generator) -> int:
+        self._observe(packet)
+        cum = self._class_cum[packet.user]
+        return min(bisect_right(cum, rng.random()), len(cum) - 1)
 
     def _observe(self, packet: Packet) -> None:
         user = packet.user

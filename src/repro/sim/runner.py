@@ -31,15 +31,39 @@ order:
   processor-sharing completion picks), passed to
   ``QueuePolicy.push``/``complete``.
 
+Because the arrival streams are children ``0..n_users-1`` of the seed
+alone, two configs that share a seed and rates — and differ only in
+``policy`` — consume *identical* arrival sequences (and, in sized
+mode, identical packet sizes): common random numbers for discipline
+comparisons fall out of the contract.  :func:`paired_configs` builds
+such families; a contract test pins the per-stream draw counts.
+
 Streams pre-draw variates in blocks of
 :data:`~repro.sim.arrivals.DEFAULT_BLOCK_SIZE`; exponential and
 deterministic streams are block-size invariant, the hyperexponential
 block layout is guaranteed bit-identical only at the default size (see
-:class:`~repro.sim.arrivals.VariateStream`).  Golden-seed regression
-tests pin the realized sequences; any change to this contract or to
-the event core must bump :data:`ENGINE_VERSION`, which also
-invalidates the persistent simulation cache
-(:mod:`repro.sim.cache`).
+:class:`~repro.sim.arrivals.VariateStream`).
+``SimulationConfig.variate_mode`` selects the inversion-based variate
+modes that make antithetic replication pairs possible; the default
+mode's sequences are unchanged.  Golden-seed regression tests pin the
+realized sequences; any change to this contract or to the event core
+must bump :data:`ENGINE_VERSION`, which also invalidates the
+persistent simulation cache (:mod:`repro.sim.cache`).
+
+Resumable horizons and sequential stopping
+------------------------------------------
+:class:`SimulationEngine` factors the event core into an object whose
+``run_to(horizon)`` can be called repeatedly with growing horizons;
+between calls the full state (policy backlog, tracker, variate
+streams, pending events) can be snapshotted, pickled into the
+persistent cache, and restored — extending a cached run from ``H`` to
+``H'`` simulates only the delta.  Bit-identity of resumed runs with
+fresh runs requires a horizon-independent batch layout, so resumable
+configs must set ``batch_quota`` (an explicit batch duration) instead
+of deriving batches from the horizon.  :func:`simulate_to_precision`
+builds sequential stopping on top: simulate in geometrically growing
+horizon chunks, assess the (control-variate-adjusted, Student-t) CI
+after each, stop at the target half-width.
 """
 
 from __future__ import annotations
@@ -49,7 +73,7 @@ import heapq
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,14 +82,17 @@ from repro.numerics.rng import spawn_generators, spawn_seeds
 from repro.sim import cache as sim_cache
 from repro.sim.arrivals import VariateStream
 from repro.sim.measurements import BatchMeans, QueueTracker
-from repro.sim.packet import Packet
+from repro.sim.packet import (Packet, ensure_sequence_at_least,
+                              sequence_watermark)
 from repro.sim.queues import QueuePolicy, make_policy
+from repro.sim.stats import (ControlVariateSummary, control_specs_for,
+                             control_variate_adjust, t_quantile)
 
 #: Version tag of the event core *and* of the RNG draw-order contract.
 #: Bump it whenever either changes: golden-sequence tests must be
 #: re-pinned and every persistent cache entry becomes stale (the tag
 #: is part of the cache key).
-ENGINE_VERSION = "2026.08-fastpath-1"
+ENGINE_VERSION = "2026.08-adaptive-2"
 
 
 @dataclass
@@ -90,7 +117,8 @@ class SimulationConfig:
     seed:
         RNG seed; runs are reproducible given the seed.
     n_batches:
-        Batches for the batch-means confidence intervals.
+        Batches for the batch-means confidence intervals (ignored when
+        ``batch_quota`` is set).
     arrival_process:
         Interarrival distribution: ``"poisson"`` (the paper's model),
         ``"deterministic"``, or ``"hyperexponential"`` (cv 2) — see
@@ -101,6 +129,18 @@ class SimulationConfig:
         (cv 2).  Non-exponential service forces sized mode and is only
         valid with nonpreemptive policies (FIFO, HOL, round robin,
         fair queueing) — the memoryless redraw would be wrong.
+    batch_quota:
+        Explicit batch duration in simulated time.  When set, batch
+        boundaries lie at ``warmup + k * batch_quota`` independently
+        of the horizon, which makes the run *resumable*: extending the
+        horizon appends batches without moving earlier boundaries, so
+        a resumed run is bit-identical to a fresh longer one and the
+        engine state becomes cacheable (see :mod:`repro.sim.cache`).
+    variate_mode:
+        ``"default"`` (numpy's native samplers), or the
+        inversion-based ``"inverse"`` / ``"antithetic"`` pair used by
+        antithetic replication — see
+        :class:`~repro.sim.arrivals.VariateStream`.
     """
 
     rates: Sequence[float]
@@ -112,6 +152,8 @@ class SimulationConfig:
     n_batches: int = 20
     arrival_process: str = "poisson"
     service_process: str = "exponential"
+    batch_quota: Optional[float] = None
+    variate_mode: str = "default"
 
 
 @dataclass
@@ -123,7 +165,8 @@ class SimulationResult:
     mean_queues:
         Per-user time-average number in system (the paper's ``c_i``).
     batch:
-        Batch-means summary (means + CI half-widths).
+        Batch-means summary (means + CI half-widths, plus the raw
+        per-batch matrices used by control variates).
     throughputs:
         Per-user measured departure rates.
     mean_delays:
@@ -137,6 +180,10 @@ class SimulationResult:
         Which policy ran.
     config:
         The configuration used.
+    variate_draws:
+        Variates served per stream — one count per user's arrival
+        stream, then the service stream.  Policy-independent for the
+        arrival entries (the common-random-numbers contract).
     """
 
     mean_queues: np.ndarray
@@ -148,11 +195,17 @@ class SimulationResult:
     departures: int
     policy_name: str
     config: SimulationConfig = field(repr=False)
+    variate_draws: Optional[Tuple[int, ...]] = None
 
     @property
     def total_mean_queue(self) -> float:
         """Aggregate mean number in system."""
         return float(self.mean_queues.sum())
+
+    @property
+    def events(self) -> int:
+        """Total simulated events behind this result."""
+        return self.arrivals + self.departures
 
 
 def _resolve_policy(config: SimulationConfig) -> QueuePolicy:
@@ -174,7 +227,278 @@ def _validate(config: SimulationConfig) -> np.ndarray:
     if config.horizon <= config.warmup:
         raise SimulationError(
             f"horizon {config.horizon} must exceed warmup {config.warmup}")
+    if config.batch_quota is not None and config.batch_quota <= 0.0:
+        raise SimulationError(
+            f"batch quota must be positive, got {config.batch_quota}")
     return rates
+
+
+@dataclass
+class EngineState:
+    """A picklable snapshot of a :class:`SimulationEngine` mid-run.
+
+    Everything a resumed engine needs to continue bit-identically:
+    the policy with its backlog, the measurement tracker, the variate
+    streams (buffer positions included), pending events, and the
+    packet sequence watermark that keeps new sequence numbers above
+    every in-flight packet's after a process boundary.
+    """
+
+    horizon: float
+    policy: QueuePolicy
+    tracker: QueueTracker
+    arrival_streams: List[VariateStream]
+    service_stream: VariateStream
+    policy_rng: np.random.Generator
+    arrivals_heap: List[Tuple[float, int]]
+    next_completion: float
+    serving_seq: int
+    now: float
+    n_arrivals: int
+    n_departures: int
+    sized: bool
+    seq_watermark: int
+    engine_version: str = ENGINE_VERSION
+
+
+class SimulationEngine:
+    """The resumable event core behind :func:`simulate`.
+
+    ``run_to(horizon)`` advances the jump chain to a horizon and may
+    be called again with a larger one; because the loop leaves every
+    pending event (heaped arrivals, the tentative completion) intact
+    at the break, the continued run replays exactly the event sequence
+    a fresh, longer run would have produced — *provided* the batch
+    layout is horizon-independent (``batch_quota``).  ``snapshot()``
+    captures the full state for the persistent cache;
+    :meth:`SimulationEngine.resume` restores it, possibly in another
+    process.
+    """
+
+    def __init__(self, config: SimulationConfig,
+                 rates: Optional[np.ndarray] = None) -> None:
+        if rates is None:
+            rates = _validate(config)
+        self.config = config
+        self.rates = rates
+        n = rates.size
+        policy = _resolve_policy(config)
+        service_key = config.service_process.strip().lower()
+        if service_key != "exponential" and getattr(policy, "preemptive",
+                                                    False):
+            raise SimulationError(
+                f"service process {config.service_process!r} requires "
+                f"a nonpreemptive policy; {policy.name!r} preempts")
+        self.policy = policy
+        self.tracker = QueueTracker(n, warmup=config.warmup)
+        if config.batch_quota is not None:
+            self.tracker.configure_batches(config.horizon,
+                                           quota=config.batch_quota)
+        else:
+            self.tracker.configure_batches(config.horizon,
+                                           n_batches=config.n_batches)
+        # Independent substreams per the draw-order contract: users
+        # 0..n-1, then service, then policy randomness.
+        generators = spawn_generators(config.seed, n + 2)
+        self.arrival_streams = [
+            VariateStream(config.arrival_process, float(rates[i]),
+                          generators[i], mode=config.variate_mode)
+            for i in range(n)
+        ]
+        self.service_stream = VariateStream(service_key,
+                                            config.service_rate,
+                                            generators[n],
+                                            mode=config.variate_mode)
+        self.policy_rng = generators[n + 1]
+        # Sized policies (Fair Queueing variants) schedule by explicit
+        # packet sizes: a packet's service time is fixed when it
+        # enters service.  Memoryless policies get the jump-chain
+        # redraw instead.  Non-exponential service invalidates the
+        # redraw, so it forces sized mode (nonpreemptive policies
+        # only, checked above).
+        self.sized = bool(getattr(policy, "sized", False)) or (
+            service_key != "exponential")
+        # Heap of (next_arrival_time, user).
+        self.arrivals_heap = [(self.arrival_streams[i].draw(), i)
+                              for i in range(n)]
+        heapq.heapify(self.arrivals_heap)
+        self.next_completion = math.inf
+        self.serving_seq = -1
+        self.now = 0.0
+        self.n_arrivals = 0
+        self.n_departures = 0
+        self.horizon_reached = 0.0
+
+    @classmethod
+    def resume(cls, state: EngineState,
+               config: SimulationConfig) -> "SimulationEngine":
+        """Rebuild an engine from a snapshot taken at a lower horizon."""
+        if state.engine_version != ENGINE_VERSION:
+            raise SimulationError(
+                f"snapshot from engine {state.engine_version!r} cannot "
+                f"resume under {ENGINE_VERSION!r}")
+        if config.batch_quota is None:
+            raise SimulationError(
+                "resuming requires an explicit batch_quota (the batch "
+                "layout must not depend on the horizon)")
+        rates = _validate(config)
+        engine = cls.__new__(cls)
+        engine.config = config
+        engine.rates = rates
+        engine.policy = state.policy
+        engine.tracker = state.tracker
+        engine.arrival_streams = state.arrival_streams
+        engine.service_stream = state.service_stream
+        engine.policy_rng = state.policy_rng
+        engine.sized = state.sized
+        engine.arrivals_heap = state.arrivals_heap
+        engine.next_completion = state.next_completion
+        engine.serving_seq = state.serving_seq
+        engine.now = state.now
+        engine.n_arrivals = state.n_arrivals
+        engine.n_departures = state.n_departures
+        engine.horizon_reached = state.horizon
+        # New packets must sort after every in-flight one (heap
+        # tiebreaks); only relative order matters, so jumping the
+        # global counter forward preserves bit-identity.
+        ensure_sequence_at_least(state.seq_watermark + 1)
+        return engine
+
+    def snapshot(self) -> EngineState:
+        """Capture the current state (see :class:`EngineState`).
+
+        The policy goes through its
+        :meth:`~repro.sim.queues.QueuePolicy.state_snapshot` hook; the
+        other members are referenced as-is, which is safe because a
+        snapshot is taken after a ``run_to`` completes and pickled
+        before the engine runs again.
+        """
+        return EngineState(
+            horizon=self.horizon_reached,
+            policy=self.policy.state_snapshot(),
+            tracker=self.tracker,
+            arrival_streams=self.arrival_streams,
+            service_stream=self.service_stream,
+            policy_rng=self.policy_rng,
+            arrivals_heap=self.arrivals_heap,
+            next_completion=self.next_completion,
+            serving_seq=self.serving_seq,
+            now=self.now,
+            n_arrivals=self.n_arrivals,
+            n_departures=self.n_departures,
+            sized=self.sized,
+            seq_watermark=sequence_watermark())
+
+    def run_to(self, horizon: float) -> int:
+        """Advance the jump chain to ``horizon``.
+
+        Returns the number of events (arrivals + departures)
+        simulated by *this call* — the extension delta when resuming.
+        See the module docstring for the RNG draw-order contract; bump
+        ``ENGINE_VERSION`` on any change to this loop.
+        """
+        if horizon <= self.horizon_reached:
+            return 0
+        # Local bindings for the hot loop (attribute lookups add up at
+        # millions of events per run).
+        arrivals_heap = self.arrivals_heap
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        advance = self.tracker.advance
+        on_arrival = self.tracker.on_arrival
+        on_departure = self.tracker.on_departure
+        on_drop = self.tracker.on_drop
+        push = self.policy.push
+        complete = self.policy.complete
+        serving_of = self.policy.serving
+        service_next = self.service_stream.draw
+        arrival_next = [stream.draw for stream in self.arrival_streams]
+        policy_rng = self.policy_rng
+        sized = self.sized
+        inf = math.inf
+
+        next_completion = self.next_completion
+        serving_seq = self.serving_seq
+        now = self.now
+        n_arrivals = self.n_arrivals
+        n_departures = self.n_departures
+        events_before = n_arrivals + n_departures
+
+        while True:
+            next_arrival = arrivals_heap[0][0]
+            if next_arrival >= horizon and next_completion >= horizon:
+                advance(horizon)
+                break
+            if next_arrival <= next_completion:
+                event_time, user = heappop(arrivals_heap)
+                advance(event_time)
+                now = event_time
+                packet = Packet(
+                    user=user, arrival_time=now,
+                    size=service_next() if sized else 0.0)
+                outcome = push(packet, rng=policy_rng)
+                n_arrivals += 1
+                if outcome is None:
+                    on_arrival(user)
+                elif outcome.get("admitted", True):
+                    on_arrival(user)
+                    evicted = outcome.get("evicted_user")
+                    if evicted is not None:
+                        on_drop(evicted)
+                heappush(arrivals_heap,
+                         (now + arrival_next[user](), user))
+            else:
+                advance(next_completion)
+                now = next_completion
+                done = complete(policy_rng)
+                done.departure_time = now
+                on_departure(done.user, sojourn=now - done.arrival_time)
+                n_departures += 1
+            serving = serving_of()
+            if serving is None:
+                next_completion = inf
+                serving_seq = -1
+            elif sized:
+                # Fixed service requirement; timer set once per packet.
+                if serving.seq != serving_seq:
+                    next_completion = now + serving.size
+                    serving_seq = serving.seq
+            else:
+                # Redraw the tentative completion for whoever is
+                # served now (exact under exponential service).
+                next_completion = now + service_next()
+
+        self.next_completion = next_completion
+        self.serving_seq = serving_seq
+        self.now = now
+        self.n_arrivals = n_arrivals
+        self.n_departures = n_departures
+        self.horizon_reached = horizon
+        return n_arrivals + n_departures - events_before
+
+    def result(self, config: Optional[SimulationConfig] = None
+               ) -> SimulationResult:
+        """Assemble the measured outcome at the current horizon."""
+        if config is None:
+            config = replace(self.config, horizon=self.horizon_reached)
+        n = self.rates.size
+        policy = self.policy
+        losses = (policy.loss_counts(n)
+                  if hasattr(policy, "loss_counts")
+                  else np.zeros(n, dtype=int))
+        draws = tuple(stream.draws for stream in self.arrival_streams
+                      ) + (self.service_stream.draws,)
+        tracker = self.tracker
+        return SimulationResult(mean_queues=tracker.mean_queues(),
+                                batch=tracker.batch_means(),
+                                throughputs=tracker.throughputs(),
+                                mean_delays=tracker.mean_delays(),
+                                losses=losses,
+                                arrivals=self.n_arrivals,
+                                departures=self.n_departures,
+                                policy_name=policy.name,
+                                config=config,
+                                variate_draws=draws)
 
 
 def simulate(config: SimulationConfig) -> SimulationResult:
@@ -182,12 +506,15 @@ def simulate(config: SimulationConfig) -> SimulationResult:
 
     Consults the persistent simulation cache first (see
     :mod:`repro.sim.cache`): a hit returns the stored result without
-    touching the event core; a miss runs the engine and stores the
-    outcome.  Disable via ``--no-sim-cache`` or
-    ``GREEDWORK_SIM_CACHE=off``.
+    touching the event core.  On a miss, configs with an explicit
+    ``batch_quota`` additionally look for a cached *engine snapshot*
+    at a lower horizon of the same run and simulate only the
+    extension delta (``fresh_events`` counts just that delta).
+    Disable via ``--no-sim-cache`` or ``GREEDWORK_SIM_CACHE=off``.
     """
     rates = _validate(config)
     key = None
+    skey = None
     if sim_cache.enabled():
         key = sim_cache.config_key(config, ENGINE_VERSION)
         if key is None:
@@ -196,129 +523,35 @@ def simulate(config: SimulationConfig) -> SimulationResult:
             cached = sim_cache.load(key)
             if cached is not None:
                 return cached
-    result = _simulate_fresh(config, rates)
-    sim_cache.record_fresh_events(result.arrivals + result.departures)
+            skey = sim_cache.state_key(config, ENGINE_VERSION)
+    engine = None
+    resumed_from = None
+    if skey is not None:
+        state = sim_cache.load_state(skey)
+        if (state is not None
+                and getattr(state, "horizon", math.inf) <= config.horizon
+                and getattr(state, "engine_version", "") == ENGINE_VERSION):
+            engine = SimulationEngine.resume(state, config)
+            resumed_from = state.horizon
+    if engine is None:
+        engine = SimulationEngine(config, rates)
+    fresh = engine.run_to(config.horizon)
+    sim_cache.record_fresh_events(fresh)
+    result = engine.result(config)
     if key is not None:
         sim_cache.store(key, result)
+    if skey is not None and (resumed_from is None
+                             or config.horizon > resumed_from):
+        sim_cache.store_state(skey, engine.snapshot())
     return result
 
 
 def _simulate_fresh(config: SimulationConfig,
                     rates: np.ndarray) -> SimulationResult:
-    """The event core (no caching).  See the module docstring for the
-    RNG draw-order contract; bump ``ENGINE_VERSION`` on any change."""
-    policy = _resolve_policy(config)
-    n = rates.size
-    tracker = QueueTracker(n, warmup=config.warmup)
-    tracker.configure_batches(config.horizon, n_batches=config.n_batches)
-
-    # Independent substreams per the draw-order contract: users 0..n-1,
-    # then service, then policy randomness.
-    generators = spawn_generators(config.seed, n + 2)
-    arrival_streams = [
-        VariateStream(config.arrival_process, float(rates[i]),
-                      generators[i])
-        for i in range(n)
-    ]
-    policy_rng = generators[n + 1]
-    mu = config.service_rate
-    # Sized policies (Fair Queueing variants) schedule by explicit
-    # packet sizes: a packet's service time is fixed when it enters
-    # service.  Memoryless policies get the jump-chain redraw instead.
-    # Non-exponential service invalidates the redraw, so it forces
-    # sized mode and requires a nonpreemptive policy.
-    service_key = config.service_process.strip().lower()
-    if service_key != "exponential" and getattr(policy, "preemptive",
-                                                False):
-        raise SimulationError(
-            f"service process {config.service_process!r} requires "
-            f"a nonpreemptive policy; {policy.name!r} preempts")
-    service_stream = VariateStream(service_key, mu, generators[n])
-    sized = bool(getattr(policy, "sized", False)) or (
-        service_key != "exponential")
-
-    # Heap of (next_arrival_time, user).
-    arrivals_heap = [(arrival_streams[i].draw(), i) for i in range(n)]
-    heapq.heapify(arrivals_heap)
-
-    # Local bindings for the hot loop (attribute lookups add up at
-    # millions of events per run).
-    heappush = heapq.heappush
-    heappop = heapq.heappop
-    advance = tracker.advance
-    on_arrival = tracker.on_arrival
-    on_departure = tracker.on_departure
-    on_drop = tracker.on_drop
-    push = policy.push
-    complete = policy.complete
-    serving_of = policy.serving
-    service_next = service_stream.draw
-    arrival_next = [stream.draw for stream in arrival_streams]
-    horizon = config.horizon
-    inf = math.inf
-
-    next_completion = inf
-    serving_seq = -1
-    now = 0.0
-    n_arrivals = 0
-    n_departures = 0
-
-    while True:
-        next_arrival = arrivals_heap[0][0]
-        if next_arrival >= horizon and next_completion >= horizon:
-            advance(horizon)
-            break
-        if next_arrival <= next_completion:
-            event_time, user = heappop(arrivals_heap)
-            advance(event_time)
-            now = event_time
-            packet = Packet(
-                user=user, arrival_time=now,
-                size=service_next() if sized else 0.0)
-            outcome = push(packet, rng=policy_rng)
-            n_arrivals += 1
-            if outcome is None:
-                on_arrival(user)
-            elif outcome.get("admitted", True):
-                on_arrival(user)
-                evicted = outcome.get("evicted_user")
-                if evicted is not None:
-                    on_drop(evicted)
-            heappush(arrivals_heap,
-                     (now + arrival_next[user](), user))
-        else:
-            advance(next_completion)
-            now = next_completion
-            done = complete(policy_rng)
-            done.departure_time = now
-            on_departure(done.user, sojourn=now - done.arrival_time)
-            n_departures += 1
-        serving = serving_of()
-        if serving is None:
-            next_completion = inf
-            serving_seq = -1
-        elif sized:
-            # Fixed service requirement; timer set once per packet.
-            if serving.seq != serving_seq:
-                next_completion = now + serving.size
-                serving_seq = serving.seq
-        else:
-            # Redraw the tentative completion for whoever is served
-            # now (exact under exponential service).
-            next_completion = now + service_next()
-
-    losses = (policy.loss_counts(n)
-              if hasattr(policy, "loss_counts")
-              else np.zeros(n, dtype=int))
-    return SimulationResult(mean_queues=tracker.mean_queues(),
-                            batch=tracker.batch_means(),
-                            throughputs=tracker.throughputs(),
-                            mean_delays=tracker.mean_delays(),
-                            losses=losses,
-                            arrivals=n_arrivals,
-                            departures=n_departures,
-                            policy_name=policy.name,
-                            config=config)
+    """The event core without any caching (tests and benchmarks)."""
+    engine = SimulationEngine(config, rates)
+    engine.run_to(config.horizon)
+    return engine.result(config)
 
 
 def simulate_allocation(rates: Sequence[float], policy: Union[str, QueuePolicy],
@@ -331,6 +564,211 @@ def simulate_allocation(rates: Sequence[float], policy: Union[str, QueuePolicy],
     return result.mean_queues
 
 
+def paired_configs(config: SimulationConfig,
+                   policies: Sequence[Union[str, QueuePolicy]],
+                   ) -> List[SimulationConfig]:
+    """Common-random-numbers configs: one per policy, same streams.
+
+    Arrival streams (and sized-mode packet sizes) are children of the
+    seed alone, so sharing the seed across policies pairs the runs on
+    identical traffic: the difference of two paired estimates cancels
+    arrival noise instead of compounding it.  The discipline
+    comparisons (``fq_vs_ladder``, ``sim_validation``,
+    ``finite_buffers``, ``ablation_arrivals``) lean on this.
+    """
+    return [replace(config, policy=policy) for policy in policies]
+
+
+def control_variate_summary(result: SimulationResult,
+                            confidence: float = 0.95,
+                            use_control_variates: bool = True,
+                            ) -> ControlVariateSummary:
+    """Control-variate-adjusted per-user CI for a finished run.
+
+    Builds the exactly-known controls valid for the run's model (see
+    :func:`repro.sim.stats.control_specs_for`) and regresses them out
+    of the per-batch means.  Works on cached results — the adjustment
+    needs only the batch matrices, never the event core.  Falls back
+    to the raw Student-t batch summary when no control applies.
+    """
+    batch = result.batch
+    if batch.per_batch is None or batch.n_batches < 2:
+        raise SimulationError(
+            "control-variate adjustment needs per-batch matrices; "
+            "run with at least two completed batches")
+    specs = []
+    if use_control_variates:
+        policy = result.config.policy
+        if isinstance(policy, QueuePolicy):
+            sized = bool(getattr(policy, "sized", False))
+        else:
+            sized = bool(getattr(_resolve_policy(result.config),
+                                 "sized", False))
+        sized = sized or (result.config.service_process.strip().lower()
+                          != "exponential")
+        specs = control_specs_for(
+            per_batch=batch.per_batch,
+            per_batch_arrivals=batch.per_batch_arrivals,
+            quota=batch.quota,
+            rates=np.asarray(result.config.rates, dtype=float),
+            service_rate=result.config.service_rate,
+            arrival_process=result.config.arrival_process.strip().lower(),
+            service_process=result.config.service_process.strip().lower(),
+            sized=sized,
+            lossless=int(np.sum(result.losses)) == 0)
+    return control_variate_adjust(batch.per_batch, specs,
+                                  confidence=confidence)
+
+
+@dataclass
+class PrecisionResult:
+    """Outcome of a sequential-stopping simulation.
+
+    ``result`` is the final (longest-horizon) run; ``summary`` holds
+    the control-variate-adjusted means and half-widths that met (or
+    failed to meet, when ``achieved`` is False) the target.
+    ``horizons`` is the deterministic chunk schedule actually visited
+    — deterministic so that warm-cache reruns replay the same chunk
+    results and produce byte-identical reports.
+    """
+
+    result: SimulationResult
+    summary: ControlVariateSummary
+    target_halfwidth: float
+    horizons: List[float]
+    achieved: bool
+
+    @property
+    def events(self) -> int:
+        """Events behind the final result (delta-only when resumed)."""
+        return self.result.events
+
+
+def _precision_base(config: SimulationConfig) -> SimulationConfig:
+    """Normalize a config for sequential stopping.
+
+    An explicit ``batch_quota`` (derived once from the *initial*
+    horizon when absent) keeps the batch layout fixed across chunks,
+    which is what makes each chunk resumable from the previous one.
+    """
+    if config.batch_quota is not None:
+        return config
+    quota = (config.horizon - config.warmup) / config.n_batches
+    return replace(config, batch_quota=quota)
+
+
+def _chunk_simulate(chunk: SimulationConfig,
+                    engine_box: List[Optional[SimulationEngine]],
+                    ) -> SimulationResult:
+    """One sequential-stopping chunk, reusing a live engine.
+
+    Same cache discipline as :func:`simulate` — result-cache hit
+    first, then engine-snapshot resume — with one addition: the
+    engine from the previous chunk (``engine_box[0]``) is kept alive
+    in-process, so consecutive chunks are delta-only even when the
+    persistent cache is disabled (tests) or the config is uncacheable
+    (policy instances).
+    """
+    rates = _validate(chunk)
+    key = None
+    skey = None
+    if sim_cache.enabled():
+        key = sim_cache.config_key(chunk, ENGINE_VERSION)
+        if key is None:
+            sim_cache.record_uncacheable()
+        else:
+            cached = sim_cache.load(key)
+            if cached is not None:
+                return cached
+            skey = sim_cache.state_key(chunk, ENGINE_VERSION)
+    engine = engine_box[0]
+    if engine is not None and engine.horizon_reached > chunk.horizon:
+        engine = None        # pragma: no cover - defensive, cannot rewind
+    resumed_from = engine.horizon_reached if engine is not None else None
+    if engine is None and skey is not None:
+        state = sim_cache.load_state(skey)
+        if (state is not None
+                and getattr(state, "horizon", math.inf) <= chunk.horizon
+                and getattr(state, "engine_version", "") == ENGINE_VERSION):
+            engine = SimulationEngine.resume(state, chunk)
+            resumed_from = state.horizon
+    if engine is None:
+        engine = SimulationEngine(chunk, rates)
+    fresh = engine.run_to(chunk.horizon)
+    sim_cache.record_fresh_events(fresh)
+    result = engine.result(chunk)
+    engine_box[0] = engine
+    if key is not None:
+        sim_cache.store(key, result)
+    if skey is not None and (resumed_from is None
+                             or chunk.horizon > resumed_from):
+        sim_cache.store_state(skey, engine.snapshot())
+    return result
+
+
+def simulate_to_precision(config: SimulationConfig,
+                          target_halfwidth: float,
+                          confidence: float = 0.95,
+                          growth: float = 2.0,
+                          max_horizon: Optional[float] = None,
+                          use_control_variates: bool = True,
+                          ) -> PrecisionResult:
+    """Simulate just long enough for the per-user CI to meet a target.
+
+    Runs the engine in geometrically growing horizon chunks
+    (``h_k = warmup + (h_0 - warmup) * growth**k``, ``h_0`` the
+    config's horizon), assessing the control-variate-adjusted
+    Student-t half-widths after each chunk and stopping as soon as
+    every user's half-width is at or below ``target_halfwidth``.  One
+    engine is carried across chunks, so the *total* simulated events
+    equal those of the final horizon alone; with the persistent cache
+    on, a warm rerun replays the whole schedule without simulating at
+    all, and a re-run with a tighter target resumes the cached engine
+    snapshot and simulates only the extension.
+
+    The chunk schedule is a pure function of the config and the
+    arguments — never of cache contents — so cold and warm runs visit
+    identical chunk configs and render byte-identical reports.
+
+    ``max_horizon`` (default ``32x`` the initial post-warmup window)
+    bounds the schedule; if the target is still unmet there, the
+    returned ``achieved`` flag is False and the summary reports the
+    half-widths actually reached.
+    """
+    if target_halfwidth <= 0.0:
+        raise SimulationError(
+            f"target half-width must be positive, got {target_halfwidth}")
+    if growth <= 1.0:
+        raise SimulationError(f"growth must exceed 1, got {growth}")
+    base = _precision_base(config)
+    if isinstance(base.policy, QueuePolicy):
+        # The engine mutates the policy as it runs; keep the caller's
+        # instance pristine.
+        base = replace(base, policy=copy.deepcopy(base.policy))
+    window = base.horizon - base.warmup
+    if max_horizon is None:
+        max_horizon = base.warmup + 32.0 * window
+    horizon = base.horizon
+    horizons: List[float] = []
+    engine_box: List[Optional[SimulationEngine]] = [None]
+    while True:
+        result = _chunk_simulate(replace(base, horizon=horizon),
+                                 engine_box)
+        horizons.append(horizon)
+        summary = control_variate_summary(
+            result, confidence=confidence,
+            use_control_variates=use_control_variates)
+        finite = np.all(np.isfinite(summary.half_widths))
+        achieved = bool(finite and np.max(summary.half_widths)
+                        <= target_halfwidth)
+        if achieved or horizon >= max_horizon:
+            return PrecisionResult(result=result, summary=summary,
+                                   target_halfwidth=target_halfwidth,
+                                   horizons=horizons, achieved=achieved)
+        horizon = min(max_horizon,
+                      base.warmup + (horizon - base.warmup) * growth)
+
+
 def replication_configs(config: SimulationConfig,
                         n_replications: int) -> List[SimulationConfig]:
     """Per-replication configs with independent spawned seeds.
@@ -339,15 +777,54 @@ def replication_configs(config: SimulationConfig,
     ``service_process`` and anything added later); only the seed
     varies, derived via :func:`repro.numerics.rng.spawn_seeds` so the
     replication plan is a pure function of ``config.seed`` — which is
-    what makes parallel and serial replication byte-identical.
+    what makes parallel and serial replication byte-identical, and
+    (because spawned seeds are prefix-stable) lets
+    :func:`replicate_to_precision` grow the replication count while
+    reusing every earlier run from the cache.
     """
     seeds = spawn_seeds(config.seed, n_replications)
     return [replace(config, seed=seed) for seed in seeds]
 
 
+def antithetic_configs(config: SimulationConfig,
+                       n_replications: int) -> List[SimulationConfig]:
+    """Antithetic replication pairs (``n_replications`` must be even).
+
+    Replications ``2k`` and ``2k+1`` share spawned seed ``k``; the
+    even member draws every variate by inversion (``-ln(1-U)/rate``),
+    the odd member by the mirrored inversion (``-ln(U)/rate``) from
+    the same uniform stream — busy periods in one member line up with
+    idle periods in the other, so pair averages have lower variance
+    than two independent runs.
+    """
+    if n_replications % 2 != 0:
+        raise SimulationError(
+            f"antithetic replication needs an even count, "
+            f"got {n_replications}")
+    if config.variate_mode != "default":
+        raise SimulationError(
+            "antithetic replication manages variate modes itself; "
+            f"config already sets {config.variate_mode!r}")
+    seeds = spawn_seeds(config.seed, n_replications // 2)
+    out: List[SimulationConfig] = []
+    for k in range(n_replications):
+        out.append(replace(
+            config, seed=seeds[k // 2],
+            variate_mode="inverse" if k % 2 == 0 else "antithetic"))
+    return out
+
+
 def replicate(config: SimulationConfig, n_replications: int = 5,
-              jobs: int = 1) -> "ReplicationSummary":
+              jobs: int = 1, antithetic: bool = False,
+              confidence: float = 0.95) -> "ReplicationSummary":
     """Run independent replications (different seeds) and pool them.
+
+    Half-widths use the Student-t quantile at the replication count's
+    degrees of freedom — at ``n=3`` the correct multiplier is 4.30,
+    more than twice the normal 1.96 the naive formula would use.
+    With ``antithetic=True`` replications come in mirrored pairs
+    (see :func:`antithetic_configs`) and the CI is computed over the
+    *pair averages*, which are genuinely independent.
 
     ``jobs > 1`` fans the replications across a
     ``ProcessPoolExecutor``; each task is a pure function of its
@@ -359,7 +836,10 @@ def replicate(config: SimulationConfig, n_replications: int = 5,
     """
     if n_replications < 1:
         raise SimulationError("need at least one replication")
-    configs = replication_configs(config, n_replications)
+    if antithetic:
+        configs = antithetic_configs(config, n_replications)
+    else:
+        configs = replication_configs(config, n_replications)
     parallel = jobs > 1 and n_replications > 1 and isinstance(
         config.policy, str)
     if parallel:
@@ -373,13 +853,21 @@ def replicate(config: SimulationConfig, n_replications: int = 5,
                                  policy=copy.deepcopy(config.policy)))
                 for cfg in configs]
     queues = np.vstack([r.mean_queues for r in runs])
+    if antithetic:
+        # CI over independent pair averages (members of a pair are
+        # negatively correlated by construction).
+        queues = queues.reshape(n_replications // 2, 2, -1).mean(axis=1)
     means = queues.mean(axis=0)
-    if n_replications >= 2:
-        half = 1.96 * queues.std(axis=0, ddof=1) / math.sqrt(n_replications)
+    n_points = queues.shape[0]
+    if n_points >= 2:
+        half = (t_quantile(confidence, n_points - 1)
+                * queues.std(axis=0, ddof=1) / math.sqrt(n_points))
     else:
         half = np.full(means.shape, math.nan)
     return ReplicationSummary(mean_queues=means, half_widths=half,
-                              runs=runs)
+                              runs=runs, n_replications=n_replications,
+                              confidence=confidence,
+                              antithetic=antithetic)
 
 
 @dataclass
@@ -389,3 +877,77 @@ class ReplicationSummary:
     mean_queues: np.ndarray
     half_widths: np.ndarray
     runs: list
+    n_replications: int = 0
+    confidence: float = 0.95
+    antithetic: bool = False
+
+    def half_width_labels(self) -> List[str]:
+        """Half-widths for report output.
+
+        A single replication has no spread to estimate, so its CI is
+        rendered ``"n/a"`` rather than the ``nan`` the formula
+        produces.
+        """
+        if self.n_replications <= 1 or self.mean_queues.size == 0:
+            return ["n/a"] * int(self.mean_queues.size)
+        return [f"{h:.4f}" for h in np.asarray(self.half_widths)]
+
+
+@dataclass
+class ReplicationPrecision:
+    """Outcome of replication-count sequential stopping."""
+
+    summary: ReplicationSummary
+    target_halfwidth: float
+    schedule: List[int]
+    achieved: bool
+
+
+def replicate_to_precision(config: SimulationConfig,
+                           target_halfwidth: float,
+                           n_initial: int = 4,
+                           max_replications: int = 64,
+                           growth: float = 2.0,
+                           jobs: int = 1,
+                           antithetic: bool = False,
+                           confidence: float = 0.95,
+                           ) -> ReplicationPrecision:
+    """Grow the replication count until the pooled CI meets a target.
+
+    Counts follow ``n_{k+1} = ceil(n_k * growth)`` (rounded up to even
+    under ``antithetic``).  Spawned seeds are prefix-stable, so every
+    round re-issues the earlier replications' exact configs and — with
+    the cache on — re-simulates nothing; only the new replications
+    cost events.
+    """
+    if target_halfwidth <= 0.0:
+        raise SimulationError(
+            f"target half-width must be positive, got {target_halfwidth}")
+    if growth <= 1.0:
+        raise SimulationError(f"growth must exceed 1, got {growth}")
+    if n_initial < 2:
+        raise SimulationError(
+            f"need at least two initial replications, got {n_initial}")
+    if antithetic:
+        # Pairing needs even counts throughout; an odd cap would make
+        # the even-rounding oscillate below it.
+        max_replications -= max_replications % 2
+        n_initial += n_initial % 2
+    n = min(n_initial, max_replications)
+    schedule: List[int] = []
+    while True:
+        summary = replicate(config, n, jobs=jobs, antithetic=antithetic,
+                            confidence=confidence)
+        schedule.append(n)
+        finite = np.all(np.isfinite(summary.half_widths))
+        achieved = bool(finite and np.max(summary.half_widths)
+                        <= target_halfwidth)
+        if achieved or n >= max_replications:
+            return ReplicationPrecision(summary=summary,
+                                        target_halfwidth=target_halfwidth,
+                                        schedule=schedule,
+                                        achieved=achieved)
+        n = int(math.ceil(n * growth))
+        if antithetic:
+            n += n % 2
+        n = min(max_replications, n)

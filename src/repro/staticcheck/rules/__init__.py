@@ -8,8 +8,10 @@ from repro.staticcheck.rules.hygiene import HygieneRule
 from repro.staticcheck.rules.perf import (
     ArrayGrowthRule,
     DevectorizedLoopRule,
+    FixedHorizonSimulateRule,
     LoopInvariantCallRule,
     QuadraticMembershipRule,
+    ScalarCandidateScanRule,
 )
 from repro.staticcheck.rules.numerical import (
     UnguardedDomainCallRule,
@@ -30,6 +32,8 @@ __all__ = [
     "LoopInvariantCallRule",
     "QuadraticMembershipRule",
     "ArrayGrowthRule",
+    "ScalarCandidateScanRule",
+    "FixedHorizonSimulateRule",
     "UnguardedPoleDivisionRule",
     "UnguardedDomainCallRule",
     "DeadPublicAPIRule",

@@ -20,9 +20,16 @@ numpy code quietly degrades to interpreter speed:
            called in a loop that pokes candidates into a fixed rate
            vector (``base[i] = x``) with the user index held constant —
            where one batched ``congestion_grid`` call would do.
+``GW106``  a direct fixed-horizon ``simulate()`` call in an experiment
+           module — where a precision target exists,
+           ``simulate_to_precision`` reaches the same CI with a
+           fraction of the events; fixed horizons are only right when
+           no CI target exists (divergent queues, loss fractions), and
+           such sites must say so in a suppression.
 
-All apply only to ``repro`` modules (GW105 to ``repro.game``): tests
-and examples may trade speed for clarity.
+All apply only to ``repro`` modules (GW105 to ``repro.game``, GW106 to
+``repro.experiments``): tests and examples may trade speed for
+clarity.
 """
 
 from __future__ import annotations
@@ -536,3 +543,37 @@ class ScalarCandidateScanRule(Rule):
                     isinstance(sub.target, ast.Name):
                 out.add(sub.target.id)
         return out
+
+
+@register_rule
+class FixedHorizonSimulateRule(Rule):
+    """Flag fixed-horizon simulate() calls in experiments (GW106)."""
+
+    rule_id = "GW106"
+    name = "fixed-horizon-simulate"
+    description = ("experiment modules calling `simulate()` directly "
+                   "run a pessimistic fixed horizon every time; where "
+                   "a precision target exists, "
+                   "`simulate_to_precision` reaches the same CI "
+                   "half-width with a fraction of the events")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None or ctx.module is None \
+                or not ctx.module.startswith("repro.experiments"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name != "simulate":
+                continue
+            yield self.finding(
+                ctx, node,
+                "direct fixed-horizon simulate() in an experiment; "
+                "use simulate_to_precision with a target half-width "
+                "(or suppress with the reason no CI target exists)")

@@ -40,6 +40,31 @@ class TestSimulate:
                      "--policy", "fair-share", "--horizon", "2000"])
         assert code == 0
 
+    def test_precision_mode(self, capsys):
+        code = main(["simulate", "--rates", "0.1", "0.2",
+                     "--horizon", "4000",
+                     "--target-halfwidth", "0.08"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "target-halfwidth=0.08" in out
+        assert "schedule:" in out and "achieved: True" in out
+
+    def test_single_replication_ci_is_na(self, capsys):
+        code = main(["simulate", "--rates", "0.1", "0.2",
+                     "--horizon", "2000", "--replications", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n/a" in out
+        assert "nan" not in out
+
+    def test_pooled_replications(self, capsys):
+        code = main(["simulate", "--rates", "0.1", "0.2",
+                     "--horizon", "2000", "--replications", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replications=3" in out
+        assert "n/a" not in out
+
 
 class TestRun:
     @pytest.mark.slow

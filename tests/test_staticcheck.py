@@ -37,7 +37,7 @@ SARIF_SUBSET_SCHEMA = (Path(__file__).resolve().parent / "data"
 
 ALL_RULE_IDS = [
     "GW001", "GW002", "GW003", "GW004", "GW005",
-    "GW101", "GW102", "GW103", "GW104", "GW105",
+    "GW101", "GW102", "GW103", "GW104", "GW105", "GW106",
     "GW201", "GW202",
     "GW301", "GW302",
 ]
@@ -149,7 +149,7 @@ class TestFramework:
     def test_select_rules_by_family_prefix(self):
         rules = select_rules(all_rules(), select=["GW1"])
         assert [r.rule_id for r in rules] == \
-            ["GW101", "GW102", "GW103", "GW104", "GW105"]
+            ["GW101", "GW102", "GW103", "GW104", "GW105", "GW106"]
 
     def test_select_rules_normalizes_family_suffix(self):
         rules = select_rules(all_rules(), select=["GW2xx"])
@@ -159,7 +159,7 @@ class TestFramework:
         rules = select_rules(all_rules(), select=["GW1"],
                              ignore=["GW103"])
         assert [r.rule_id for r in rules] == ["GW101", "GW102", "GW104",
-                                             "GW105"]
+                                             "GW105", "GW106"]
 
     def test_select_rules_unknown_selector_raises(self):
         with pytest.raises(KeyError):
@@ -1103,6 +1103,75 @@ class TestScalarCandidateScan:
                 return out
         """)
         result = findings_for(path, "GW105")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestFixedHorizonSimulate:
+    """GW106."""
+
+    def test_direct_simulate_in_experiment_fails(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/experiments/bad.py", """\
+                from repro.sim.runner import SimulationConfig, simulate
+
+
+                def run(seed=0):
+                    return simulate(SimulationConfig(
+                        rates=[0.1], policy="fifo", horizon=50000.0,
+                        warmup=2500.0, seed=seed))
+        """)
+        result = findings_for(path, "GW106")
+        assert len(result.findings) == 1
+        assert "simulate_to_precision" in result.findings[0].message
+
+    def test_attribute_call_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/experiments/bad2.py", """\
+                from repro.sim import runner
+
+
+                def run(config):
+                    return runner.simulate(config)
+        """)
+        assert len(findings_for(path, "GW106").findings) == 1
+
+    def test_precision_call_passes(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/experiments/ok.py", """\
+                from repro.sim.runner import simulate_to_precision
+
+
+                def run(config):
+                    return simulate_to_precision(
+                        config, target_halfwidth=0.05)
+        """)
+        assert findings_for(path, "GW106").findings == []
+
+    def test_outside_experiments_passes(self, tmp_path):
+        # The sim layer itself (and benchmarks, tests, examples) may
+        # run fixed horizons freely.
+        path = write_module(tmp_path, "src/repro/sim/ok.py", """\
+            from repro.sim.runner import simulate
+
+
+            def warm(config):
+                return simulate(config)
+        """)
+        assert findings_for(path, "GW106").findings == []
+
+    def test_suppressible_with_justification(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/experiments/meh.py", """\
+                from repro.sim.runner import SimulationConfig, simulate
+
+
+                def run(config):
+                    # greedwork: ignore[GW106] -- divergence claim;
+                    # no CI target exists at rho > 1.
+                    return simulate(config)
+        """)
+        result = findings_for(path, "GW106")
         assert result.findings == []
         assert len(result.suppressed) == 1
 
