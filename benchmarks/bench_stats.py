@@ -53,6 +53,7 @@ from repro.sim import cache as sim_cache
 from repro.sim.runner import (
     ENGINE_VERSION,
     SimulationConfig,
+    config_sized,
     control_variate_summary,
     paired_configs,
     simulate,
@@ -109,8 +110,25 @@ def measure_fixed(config: SimulationConfig):
     return result.events, raw_halfwidth(result)
 
 
+def measure_plain_sequential(config: SimulationConfig, target: float):
+    """Fallback for sized cells: delta-only ladder, raw batch CIs.
+
+    Sized mode (SFQ) admits no analytically-known control and no CRN
+    pairing against the FIFO baseline (the size draws desynchronize
+    the legs), so the honest protocol is plain sequential stopping —
+    resumable chunks, Student-t batch means, nothing regressed out.
+    """
+    precision = simulate_to_precision(
+        config, target_halfwidth=target, growth=GROWTH,
+        max_horizon=REFERENCE_HORIZON, use_control_variates=False)
+    return (precision.events,
+            float(np.max(precision.summary.half_widths)))
+
+
 def measure_control_variate(config: SimulationConfig, target: float):
     """Restart ladder with control-variate-adjusted CIs."""
+    if config_sized(config):
+        return measure_plain_sequential(config, target)
     events = 0
     for horizon in ladder(config):
         result = simulate(replace(config, horizon=horizon))
@@ -135,8 +153,11 @@ def measure_crn_paired(config: SimulationConfig, target: float):
     Estimates the cell's per-user mean queues as ``analytic FIFO mean
     + (policy - fifo)`` where the difference is taken batch-by-batch
     over paired streams, so the CI covers only the paired gap.
-    Events count both legs at every restart.
+    Events count both legs at every restart.  Sized cells fall back
+    to plain sequential stopping — see ``measure_plain_sequential``.
     """
+    if config_sized(config):
+        return measure_plain_sequential(config, target)
     events = 0
     for horizon in ladder(config):
         rung = replace(config, horizon=horizon)

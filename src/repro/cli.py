@@ -154,6 +154,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="list rule ids and exit")
     check_parser.add_argument("--verbose", action="store_true",
                               help="also show suppressed findings")
+
+    explain_parser = sub.add_parser(
+        "explain",
+        help="explain a static-analysis rule: rationale, minimal "
+             "triggering example, approved fix/suppression")
+    explain_parser.add_argument("rules", nargs="+", metavar="RULE",
+                                help="rule ids or family prefixes "
+                                     "(e.g. GW401, GW5xx)")
     return parser
 
 
@@ -406,6 +414,40 @@ def _cmd_check(args: "argparse.Namespace") -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_explain(selectors: List[str]) -> int:
+    """Print rationale/example/fix for rules, from their docstrings.
+
+    The ``explain`` output *is* the class docstring (dedented), so the
+    documentation cannot drift from the rule implementation: editing
+    the rule's Rationale/Example/Fix sections updates both.
+    """
+    import inspect
+
+    from repro.staticcheck import all_rules, select_rules
+
+    try:
+        chosen = select_rules(all_rules(), select=selectors)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    blocks = []
+    for rule in chosen:
+        scope = "project" if rule.scope == "project" else "file"
+        lines = [f"{rule.rule_id} ({rule.name}, {scope}-scope)",
+                 f"  {rule.description}"]
+        doc = inspect.getdoc(type(rule))
+        if doc:
+            lines.append("")
+            lines.extend(f"  {line}" if line else ""
+                         for line in doc.splitlines())
+        blocks.append("\n".join(lines))
+    try:
+        print("\n\n".join(blocks))
+    except BrokenPipeError:  # reader (head, a pager) closed early
+        return 0
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -429,6 +471,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                            args.seed)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "explain":
+        return _cmd_explain(args.rules)
     if args.command == "report":
         from repro.experiments.report import generate_report
         from repro.sim import cache as sim_cache

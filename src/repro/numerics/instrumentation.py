@@ -50,6 +50,8 @@ def vectorized() -> bool:
 
 def set_vectorized(value: Optional[bool]) -> None:
     """Force the vectorization switch on/off; ``None`` defers to the env."""
+    # greedwork: ignore[GW601] -- deliberately per-process: each worker
+    # re-applies the parent's flag from its payload (registry._run_one).
     global _vector_override
     _vector_override = value
 
@@ -106,6 +108,8 @@ def record(objective_evals: int = 0, congestion_evals: int = 0,
 def track_solver() -> Iterator[SolverCounters]:
     """Collect solver counters for the duration of the ``with`` block."""
     frame = SolverCounters()
+    # greedwork: ignore[GW601] -- per-process instrumentation stack;
+    # counters are returned to the caller and merged in the parent.
     _STACK.append(frame)
     try:
         yield frame

@@ -200,6 +200,8 @@ def multistart_maximize(func: Callable[[float], float], lo: float, hi: float,
     unimodal objectives and resistant to the mild multimodality that
     arises under non-Fair-Share disciplines out of equilibrium.
     """
+    # greedwork: ignore[GW502] -- wall_time is diagnostic metadata
+    # only; it never feeds a numeric result, table, or golden.
     start = time.perf_counter()
     if grid_func is not None:
         try:
@@ -209,6 +211,7 @@ def multistart_maximize(func: Callable[[float], float], lo: float, hi: float,
             result = None
         if result is not None:
             return replace(result,
+                           # greedwork: ignore[GW502] -- diagnostic.
                            wall_time=time.perf_counter() - start)
     if n_scan < 3:
         raise ValueError("n_scan must be at least 3")
@@ -223,6 +226,7 @@ def multistart_maximize(func: Callable[[float], float], lo: float, hi: float,
     right = xs[min(best + 1, n_scan - 1)]
     refined = golden_section_max(func, left, right, tol=tol)
     evals = n_scan + refined.evaluations
+    # greedwork: ignore[GW502] -- diagnostic wall time only.
     elapsed = time.perf_counter() - start
     if ys[best] > refined.value:
         return ScalarMaxResult(x=xs[best], value=ys[best], evaluations=evals,

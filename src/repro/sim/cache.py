@@ -99,6 +99,9 @@ _enabled_override: Optional[bool] = None
 
 def enabled() -> bool:
     """Whether simulate() should consult the cache."""
+    # greedwork: ignore[GW601] -- the override is deliberately
+    # per-process; workers re-apply the parent's flag from their
+    # payload (registry._run_one ships cache_enabled explicitly).
     if _enabled_override is not None:
         return _enabled_override
     raw = os.environ.get(ENV_TOGGLE, "").strip().lower()
@@ -107,6 +110,8 @@ def enabled() -> bool:
 
 def set_enabled(flag: Optional[bool]) -> None:
     """Force the cache on/off; ``None`` returns control to the env."""
+    # greedwork: ignore[GW601] -- see enabled(): per-process override,
+    # re-applied in each worker from the dispatch payload.
     global _enabled_override
     _enabled_override = flag
 
@@ -196,6 +201,8 @@ def load_state(key: str) -> Optional[Any]:
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
             ImportError, IndexError):
         return None
+    # greedwork: ignore[GW601] -- _stats is per-process by design;
+    # merge_stats folds worker deltas back into the parent.
     _stats.state_hits += 1
     return state
 
@@ -210,6 +217,8 @@ def store_state(key: str, state: Any) -> None:
     before = _stats.stores
     store(key, state)
     if _stats.stores > before:
+        # greedwork: ignore[GW601] -- per-process _stats; see
+        # merge_stats.
         _stats.stores = before
         _stats.state_stores += 1
 
@@ -228,6 +237,7 @@ def load(key: str) -> Optional[Any]:
             ImportError, IndexError):
         _stats.misses += 1
         return None
+    # greedwork: ignore[GW601] -- per-process _stats; see merge_stats.
     _stats.hits += 1
     return result
 
@@ -249,16 +259,19 @@ def store(key: str, result: Any) -> None:
             raise
     except OSError:
         return
+    # greedwork: ignore[GW601] -- per-process _stats; see merge_stats.
     _stats.stores += 1
 
 
 def record_uncacheable() -> None:
     """Note a lookup that could not be keyed (policy instance...)."""
+    # greedwork: ignore[GW601] -- per-process _stats; see merge_stats.
     _stats.uncacheable += 1
 
 
 def record_fresh_events(n_events: int) -> None:
     """Note events processed by a fresh (non-cached) simulation."""
+    # greedwork: ignore[GW601] -- per-process _stats; see merge_stats.
     _stats.fresh_events += n_events
 
 
@@ -269,6 +282,8 @@ def stats() -> CacheStats:
 
 def snapshot() -> Dict[str, int]:
     """Copy of the counters (for deltas across a task)."""
+    # greedwork: ignore[GW601] -- reads the per-process counters to
+    # build exactly the delta merge_stats later folds into the parent.
     return _stats.as_dict()
 
 

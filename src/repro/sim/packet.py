@@ -27,6 +27,9 @@ def ensure_sequence_at_least(floor: int) -> None:
     forward is always safe; moving it backwards never is, hence the
     max with the current position.
     """
+    # greedwork: ignore[GW601] -- re-syncs the *per-process* sequence
+    # counter when resuming a snapshot; only relative order within one
+    # process matters, so parent/worker divergence is harmless.
     global _SEQUENCE
     current = next(_SEQUENCE)
     _SEQUENCE = count(max(current + 1, floor))

@@ -579,6 +579,25 @@ def paired_configs(config: SimulationConfig,
     return [replace(config, policy=policy) for policy in policies]
 
 
+def config_sized(config: SimulationConfig) -> bool:
+    """Whether ``config`` runs the engine in sized mode.
+
+    Sized mode — a size-aware policy (Fair Queueing) or any
+    non-exponential service law — draws a service size per arrival, so
+    the variance-reduction applicability gates treat the run as
+    incompatible with the analytically-known controls (see
+    :func:`repro.sim.stats.control_specs_for`).  Benchmarks and
+    callers choosing an estimation protocol should consult this
+    instead of re-deriving the policy attribute.
+    """
+    policy = config.policy
+    if isinstance(policy, QueuePolicy):
+        sized = bool(getattr(policy, "sized", False))
+    else:
+        sized = bool(getattr(_resolve_policy(config), "sized", False))
+    return sized or config.service_process.strip().lower() != "exponential"
+
+
 def control_variate_summary(result: SimulationResult,
                             confidence: float = 0.95,
                             use_control_variates: bool = True,
@@ -598,14 +617,7 @@ def control_variate_summary(result: SimulationResult,
             "run with at least two completed batches")
     specs = []
     if use_control_variates:
-        policy = result.config.policy
-        if isinstance(policy, QueuePolicy):
-            sized = bool(getattr(policy, "sized", False))
-        else:
-            sized = bool(getattr(_resolve_policy(result.config),
-                                 "sized", False))
-        sized = sized or (result.config.service_process.strip().lower()
-                          != "exponential")
+        sized = config_sized(result.config)
         specs = control_specs_for(
             per_batch=batch.per_batch,
             per_batch_arrivals=batch.per_batch_arrivals,

@@ -308,9 +308,18 @@ def control_specs_for(per_batch: np.ndarray,
       size-blind policy (the jump-chain disciplines; SFQ orders by
       realized sizes, which breaks the conservation argument), and a
       stable load.
+
+    Sized mode disables *all* controls, not just the queue law: with
+    per-arrival size draws the batch boundaries couple to the realized
+    sizes, so the arrival-count regressors carry almost no correlation
+    with the batch means — they burn regression degrees of freedom
+    and inflate the adjusted CI (the BENCH_sim.json fair-queueing
+    regression, ratios 0.51/0.26 vs fixed-horizon).  Sized cells fall
+    back to plain sequential stopping instead.
     """
     specs: List[ControlSpec] = []
-    if arrival_process != "poisson" or quota <= 0.0 or not lossless:
+    if (arrival_process != "poisson" or quota <= 0.0 or not lossless
+            or sized):
         return specs
     if per_batch_arrivals is not None:
         counts = np.asarray(per_batch_arrivals, dtype=float)

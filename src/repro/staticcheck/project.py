@@ -13,6 +13,22 @@ cross-file structures that per-file rules cannot see:
   method, the set of callee names it invokes, resolved through the
   alias table to dotted ``module:name`` targets where possible.
 
+On top of these sits the **state-flow layer** (PR 6), which the
+state-contract and parallel-safety rule families consume:
+
+* a per-class **attribute state model** (:class:`ClassStateModel`) —
+  which attributes ``__init__`` assigns, which methods rebind or
+  mutate them afterwards, and which methods read them — merged
+  through in-project base classes;
+* per-function **purity/escape summaries**
+  (:class:`FunctionSummary`) — which module-level names a function
+  reads or writes (rebinding via ``global``, assigning into, or
+  calling a mutator method on); and
+* **worker-entry reachability** — the callables handed to process
+  pools (``multiprocessing.Pool`` / ``ProcessPoolExecutor``) and the
+  transitive closure of the call graph from them, so rules can tell
+  which code runs inside worker processes.
+
 The context distinguishes *analyzed* files (those the user asked to
 check, for which findings may be reported) from *reference-only* files
 (extra roots such as ``examples/`` and ``benchmarks/`` scanned so that
@@ -42,6 +58,17 @@ MUTATOR_METHODS = frozenset({
     "appendleft", "extendleft",
 })
 
+#: Pool constructors whose dispatched callables run in *other
+#: processes* (shared-memory executors are deliberately absent).
+_POOL_CONSTRUCTORS = frozenset({"Pool", "ProcessPoolExecutor"})
+
+#: Methods that ship a callable to pool workers; the callable is the
+#: first positional argument for every one of them.
+_POOL_DISPATCH_METHODS = frozenset({
+    "map", "imap", "imap_unordered", "starmap", "starmap_async",
+    "map_async", "submit", "apply_async",
+})
+
 
 @dataclass
 class Symbol:
@@ -59,6 +86,72 @@ class Symbol:
     @property
     def is_public(self) -> bool:
         return not self.name.startswith("_")
+
+
+@dataclass
+class ClassStateModel:
+    """Attribute-level state model of one class (bases merged in).
+
+    Built from ``self.<attr>`` traffic inside instance methods:
+    stores, augmented assigns, subscript stores, and calls to known
+    in-place mutators all count as *writes*; plain loads count as
+    *reads*.  ``classmethod``/``staticmethod`` bodies are excluded
+    (their attribute traffic does not target the instance).
+    """
+
+    module: str
+    name: str
+    #: Attribute -> line of its first assignment inside ``__init__``.
+    init_assigned: Dict[str, int] = field(default_factory=dict)
+    #: Method name -> attributes it writes (``__init__`` excluded).
+    method_writes: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Method name -> attributes it reads.
+    method_reads: Dict[str, Set[str]] = field(default_factory=dict)
+    #: Method name -> its AST node (instance methods *and* class/
+    #: static methods, so contract rules can inspect any of them).
+    methods: Dict[str, ast.AST] = field(default_factory=dict)
+    #: Methods that pass ``self`` whole to a call (``deepcopy(self)``,
+    #: ``pickle.dumps(self)``...): such a method covers every
+    #: attribute by construction.
+    whole_self_methods: Set[str] = field(default_factory=set)
+
+    @property
+    def stateful(self) -> Set[str]:
+        """Every attribute the instance owns: init-assigned or written."""
+        out = set(self.init_assigned)
+        for attrs in self.method_writes.values():
+            out.update(attrs)
+        return out
+
+    @property
+    def mutated_after_init(self) -> Set[str]:
+        """Attributes some non-``__init__`` method writes."""
+        out: Set[str] = set()
+        for attrs in self.method_writes.values():
+            out.update(attrs)
+        return out
+
+    def reads_in(self, method: str) -> Set[str]:
+        """Attributes of ``self`` the named method reads."""
+        return self.method_reads.get(method, set())
+
+
+@dataclass
+class FunctionSummary:
+    """Module-level state touched by one function (purity summary).
+
+    ``global_writes`` maps each module-level name the function rebinds
+    (``global``), assigns into, or calls a mutator method on, to the
+    first node doing so; ``global_reads`` maps each module-level name
+    it merely loads.  Imported names are excluded from reads — they
+    are bindings, not state.
+    """
+
+    key: str                            # "module:qualname"
+    module: str
+    node: ast.AST
+    global_reads: Dict[str, ast.AST] = field(default_factory=dict)
+    global_writes: Dict[str, ast.AST] = field(default_factory=dict)
 
 
 class ModuleInfo:
@@ -229,6 +322,11 @@ class ProjectContext:
             if info.module is not None}
         self._analyzed_paths = {ctx.display_path for ctx in self.analyzed}
         self._call_graph: Optional[Dict[str, Set[str]]] = None
+        self._class_states: Dict[str, Optional[ClassStateModel]] = {}
+        self._function_summaries: Optional[Dict[str, FunctionSummary]] = None
+        self._mutable_globals: Dict[str, Set[str]] = {}
+        self._worker_entries: Optional[Dict[str, str]] = None
+        self._worker_reachable: Optional[Dict[str, str]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -337,6 +435,164 @@ class ProjectContext:
                             break
         return out
 
+    # -- state-flow layer ---------------------------------------------------
+
+    def class_state(self, module: str, class_name: str
+                    ) -> Optional[ClassStateModel]:
+        """Attribute state model of ``module:class_name``, bases merged.
+
+        Only bases resolvable to in-project classes contribute; a base
+        from outside the parsed tree is silently treated as stateless.
+        Returns ``None`` when the class itself cannot be found.
+        """
+        return self._class_state(module, class_name, set())
+
+    def _class_state(self, module: str, class_name: str,
+                     visiting: Set[str]) -> Optional[ClassStateModel]:
+        key = f"{module}:{class_name}"
+        if key in self._class_states:
+            return self._class_states[key]
+        if key in visiting:             # inheritance cycle: stop
+            return None
+        visiting.add(key)
+        info = self.modules.get(module)
+        symbol = info.symbols.get(class_name) if info is not None else None
+        if symbol is None or not isinstance(symbol.node, ast.ClassDef):
+            self._class_states[key] = None
+            return None
+        model = _build_class_model(module, symbol.node)
+        for base in symbol.bases:
+            target = info.resolve_dotted(base)
+            if target is None and base in info.symbols:
+                target = f"{module}:{base}"
+            if target is None or ":" not in target:
+                continue
+            base_mod, _, base_name = target.partition(":")
+            if "." in base_name:
+                continue
+            parent = self._class_state(base_mod, base_name, visiting)
+            if parent is not None:
+                _merge_base_model(model, parent)
+        self._class_states[key] = model
+        return model
+
+    @property
+    def function_summaries(self) -> Dict[str, FunctionSummary]:
+        """``module:qualname`` -> module-state purity summary."""
+        if self._function_summaries is None:
+            out: Dict[str, FunctionSummary] = {}
+            for info in self.infos:
+                if info.module is None or info.ctx.tree is None:
+                    continue
+                for qual, func in _iter_functions(info.ctx.tree):
+                    key = f"{info.module}:{qual}"
+                    out[key] = _build_function_summary(key, info, func)
+            self._function_summaries = out
+        return self._function_summaries
+
+    def module_mutable_globals(self, module: str) -> Set[str]:
+        """Module-level names some function in ``module`` writes.
+
+        This is the working definition of *worker-shared mutable
+        state*: a module-level binding no function ever writes is
+        configuration, not state.
+        """
+        if module not in self._mutable_globals:
+            written: Set[str] = set()
+            for summary in self.function_summaries.values():
+                if summary.module == module:
+                    written.update(summary.global_writes)
+            self._mutable_globals[module] = written
+        return self._mutable_globals[module]
+
+    def worker_entry_points(self) -> Dict[str, str]:
+        """Callable shipped to a process pool -> the dispatching scope.
+
+        Keys are resolved ``module:qualname`` targets of the first
+        positional argument of ``pool.map``/``submit``/... calls on
+        receivers constructed from ``multiprocessing.Pool`` or
+        ``ProcessPoolExecutor``.
+        """
+        if self._worker_entries is None:
+            entries: Dict[str, str] = {}
+            for info in self.infos:
+                if info.module is None or info.ctx.tree is None:
+                    continue
+                for qual, func in _iter_functions(info.ctx.tree):
+                    for target in _pool_dispatch_targets(info, func):
+                        resolved = self._normalize_target(target)
+                        entries.setdefault(resolved,
+                                           f"{info.module}:{qual}")
+            self._worker_entries = entries
+        return self._worker_entries
+
+    def reachable_from_workers(self) -> Dict[str, str]:
+        """Functions transitively callable inside pool workers.
+
+        Maps each reachable ``module:qualname`` to the worker entry
+        point it is reached from (first found; breadth-first, so the
+        shortest chain wins).  Approximate by construction: calls
+        through local variables or subscripts do not traverse.
+        """
+        if self._worker_reachable is None:
+            graph = self.call_graph
+            origin: Dict[str, str] = {}
+            queue: List[Tuple[str, str]] = [
+                (entry, entry) for entry in sorted(
+                    self.worker_entry_points())]
+            while queue:
+                key, root = queue.pop(0)
+                if key in origin:
+                    continue
+                origin[key] = root
+                for callee in sorted(graph.get(key, ())):
+                    for nxt in self._expand_callee(key, callee):
+                        if nxt not in origin:
+                            queue.append((nxt, root))
+            self._worker_reachable = origin
+        return self._worker_reachable
+
+    def _normalize_target(self, target: str) -> str:
+        """Re-root ``pkg:sub.attr`` to ``pkg.sub:attr`` for submodules.
+
+        ``from repro.sim import cache as sim_cache`` aliases resolve
+        to ``repro.sim:cache``; traffic through the alias then renders
+        as ``repro.sim:cache.enabled`` while the call graph keys it as
+        ``repro.sim.cache:enabled``.
+        """
+        while ":" in target:
+            mod, _, rest = target.partition(":")
+            head, _, tail = rest.partition(".")
+            if tail and f"{mod}.{head}" in self.modules:
+                target = f"{mod}.{head}:{tail}"
+            else:
+                break
+        return target
+
+    def _expand_callee(self, caller_key: str, callee: str) -> List[str]:
+        """Graph keys a callee string may refer to (possibly none)."""
+        caller_mod = caller_key.partition(":")[0]
+        if ":" not in callee:
+            info = self.modules.get(caller_mod)
+            head = callee.split(".")[0]
+            if head == "self" and "." in caller_key.partition(":")[2]:
+                # self.method() inside a method: same class.
+                cls = caller_key.partition(":")[2].split(".")[0]
+                callee = f"{caller_mod}:{cls}.{callee.split('.', 1)[1]}"
+            elif info is not None and head in info.symbols:
+                callee = f"{caller_mod}:{callee}"
+            else:
+                return []
+        callee = self._normalize_target(callee)
+        graph = self.call_graph
+        out: List[str] = []
+        if callee in graph:
+            out.append(callee)
+        # Instantiating a class runs its __init__.
+        if f"{callee}.__init__" in graph:
+            out.append(f"{callee}.__init__")
+        return out
+
     def name_used_outside(self, module: str, name: str) -> bool:
         """Whether any *other* parsed file refers to ``name``.
 
@@ -405,3 +661,237 @@ def _iter_functions(tree: ast.Module
                 if isinstance(sub, (ast.FunctionDef,
                                     ast.AsyncFunctionDef)):
                     yield f"{node.name}.{sub.name}", sub
+
+
+# -- state-flow builders ----------------------------------------------------
+
+def _decorator_names(func: ast.AST) -> Set[str]:
+    return {_dotted(d).split(".")[-1]
+            for d in getattr(func, "decorator_list", [])}
+
+
+def _self_parameter(func: ast.AST) -> Optional[str]:
+    """The instance-receiver parameter name, or ``None``.
+
+    ``staticmethod``/``classmethod`` bodies have no instance receiver:
+    their attribute traffic must not be charged to the instance.
+    """
+    if _decorator_names(func) & {"staticmethod", "classmethod"}:
+        return None
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if not positional:
+        return None
+    return positional[0].arg
+
+
+def _self_attr_root(node: ast.expr, self_name: str) -> Optional[str]:
+    """``attr`` when ``node`` is ``self.attr`` (through subscripts)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == self_name:
+        return node.attr
+    return None
+
+
+def _build_class_model(module: str,
+                       cls_node: ast.ClassDef) -> ClassStateModel:
+    model = ClassStateModel(module=module, name=cls_node.name)
+    for method in cls_node.body:
+        if not isinstance(method, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+            continue
+        model.methods[method.name] = method
+        self_name = _self_parameter(method)
+        if self_name is None:
+            continue
+        writes: Set[str] = set()
+        reads: Set[str] = set()
+        attr_value_ids: Set[int] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == self_name:
+                attr_value_ids.add(id(node.value))
+                if isinstance(node.ctx, ast.Store):
+                    writes.add(node.attr)
+                elif isinstance(node.ctx, ast.Del):
+                    writes.add(node.attr)
+                else:
+                    reads.add(node.attr)
+            elif isinstance(node, (ast.Assign, ast.AugAssign,
+                                   ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = _self_attr_root(target, self_name)
+                        if attr is not None:
+                            writes.add(attr)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUTATOR_METHODS:
+                attr = _self_attr_root(node.func.value, self_name)
+                if attr is not None:
+                    writes.add(attr)
+        # A bare `self` load that is not the receiver of an attribute
+        # access escapes whole (deepcopy(self), vars(self), ...).
+        for node in ast.walk(method):
+            if isinstance(node, ast.Name) and node.id == self_name \
+                    and isinstance(node.ctx, ast.Load) \
+                    and id(node) not in attr_value_ids:
+                model.whole_self_methods.add(method.name)
+                break
+        if method.name == "__init__":
+            for node in ast.walk(method):
+                if isinstance(node, ast.Attribute) \
+                        and isinstance(node.value, ast.Name) \
+                        and node.value.id == self_name \
+                        and isinstance(node.ctx, ast.Store):
+                    model.init_assigned.setdefault(node.attr,
+                                                   node.lineno)
+        else:
+            if writes:
+                model.method_writes[method.name] = writes
+        if reads:
+            model.method_reads[method.name] = reads
+    return model
+
+
+def _merge_base_model(model: ClassStateModel,
+                      base: ClassStateModel) -> None:
+    """Fold a base-class model into ``model`` (derived wins)."""
+    for attr, lineno in base.init_assigned.items():
+        model.init_assigned.setdefault(attr, lineno)
+    for method, node in base.methods.items():
+        if method in model.methods:
+            continue                    # overridden: derived body wins
+        model.methods[method] = node
+        if method in base.method_writes:
+            model.method_writes.setdefault(method,
+                                           set(base.method_writes[method]))
+        if method in base.method_reads:
+            model.method_reads.setdefault(method,
+                                          set(base.method_reads[method]))
+        if method in base.whole_self_methods:
+            model.whole_self_methods.add(method)
+
+
+def _scope_local_names(func: ast.AST) -> Set[str]:
+    """Names bound locally inside a function (params, stores, loops)."""
+    out: Set[str] = set()
+    args = func.args
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])):
+        out.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    out.add(sub.id)
+        elif isinstance(node, ast.withitem) \
+                and node.optional_vars is not None:
+            for sub in ast.walk(node.optional_vars):
+                if isinstance(sub, ast.Name):
+                    out.add(sub.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not func:
+            out.add(node.name)
+    return out
+
+
+def _expr_root_name(node: ast.AST) -> str:
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _build_function_summary(key: str, info: "ModuleInfo",
+                            func: ast.AST) -> FunctionSummary:
+    summary = FunctionSummary(key=key, module=info.module or "",
+                              node=func)
+    declared_global: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    local = _scope_local_names(func) - declared_global
+    module_names = info.module_level_names
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                if name in module_names:
+                    summary.global_writes.setdefault(name, node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    root = _expr_root_name(target)
+                    if root and root not in local \
+                            and root in module_names \
+                            and root not in info.aliases:
+                        summary.global_writes.setdefault(root, node)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in MUTATOR_METHODS:
+            root = _expr_root_name(node.func.value)
+            if root and root not in local and root in module_names \
+                    and root not in info.aliases:
+                summary.global_writes.setdefault(root, node)
+        elif isinstance(node, ast.Name) \
+                and isinstance(node.ctx, ast.Load):
+            if node.id in module_names and node.id not in local \
+                    and node.id not in info.aliases:
+                summary.global_reads.setdefault(node.id, node)
+    return summary
+
+
+def _pool_dispatch_targets(info: "ModuleInfo",
+                           func: ast.AST) -> List[str]:
+    """Resolved ``module:name`` callables this function ships to pools."""
+    pool_names: Set[str] = set()
+    for node in ast.walk(func):
+        value: Optional[ast.expr] = None
+        bound: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            value, bound = node.value, node.targets[0]
+        elif isinstance(node, ast.withitem):
+            value, bound = node.context_expr, node.optional_vars
+        if value is None or not isinstance(bound, ast.Name):
+            continue
+        dotted = _dotted(value) if isinstance(value, ast.Call) else ""
+        if dotted.split(".")[-1] in _POOL_CONSTRUCTORS:
+            pool_names.add(bound.id)
+    if not pool_names:
+        return []
+    out: List[str] = []
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POOL_DISPATCH_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pool_names
+                and node.args):
+            continue
+        target = node.args[0]
+        resolved: Optional[str] = None
+        if isinstance(target, ast.Name):
+            if target.id in info.symbols:
+                resolved = f"{info.module}:{target.id}"
+            else:
+                resolved = info.resolve(target.id)
+        elif isinstance(target, ast.Attribute):
+            dotted = _dotted(target)
+            if dotted:
+                resolved = info.resolve_dotted(dotted)
+        if resolved is not None and ":" in resolved:
+            out.append(resolved)
+    return out

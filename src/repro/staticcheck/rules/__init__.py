@@ -21,6 +21,19 @@ from repro.staticcheck.rules.wholeprogram import (
     DeadPublicAPIRule,
     StatefulDisciplineRule,
 )
+from repro.staticcheck.rules.state import (
+    CacheKeyCompletenessRule,
+    EngineStatePicklingRule,
+    SnapshotCoverageRule,
+)
+from repro.staticcheck.rules.determinism import (
+    OrderedAggregationRule,
+    VariateContractRule,
+)
+from repro.staticcheck.rules.parallel import (
+    UnpicklableWorkerRule,
+    WorkerSharedStateRule,
+)
 
 __all__ = [
     "LayerDAGRule",
@@ -38,4 +51,11 @@ __all__ = [
     "UnguardedDomainCallRule",
     "DeadPublicAPIRule",
     "StatefulDisciplineRule",
+    "SnapshotCoverageRule",
+    "EngineStatePicklingRule",
+    "CacheKeyCompletenessRule",
+    "VariateContractRule",
+    "OrderedAggregationRule",
+    "WorkerSharedStateRule",
+    "UnpicklableWorkerRule",
 ]

@@ -173,9 +173,12 @@ class TestControlSpecsFor:
         # are a thinned process with unknown mean.
         assert self._specs(lossless=False) == []
 
-    def test_sized_policy_keeps_arrival_counts_only(self):
-        names = [s.name for s in self._specs(sized=True)]
-        assert names == ["arrivals[0]", "arrivals[1]", "arrivals[2]"]
+    def test_sized_policy_disables_everything(self):
+        # Sized mode couples batch boundaries to realized sizes: the
+        # arrival-count regressors carry ~no correlation and only burn
+        # degrees of freedom (the BENCH fair-queueing regression), so
+        # sized cells get no controls and fall back to plain stopping.
+        assert self._specs(sized=True) == []
 
     def test_non_exponential_service_keeps_arrival_counts_only(self):
         names = [s.name

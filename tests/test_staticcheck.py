@@ -40,6 +40,9 @@ ALL_RULE_IDS = [
     "GW101", "GW102", "GW103", "GW104", "GW105", "GW106",
     "GW201", "GW202",
     "GW301", "GW302",
+    "GW401", "GW402", "GW403",
+    "GW501", "GW502",
+    "GW601", "GW602",
 ]
 
 
@@ -1520,6 +1523,745 @@ class TestStatefulDiscipline:
         assert len(result.suppressed) == 1
 
 
+QUEUES_STUB = """\
+    import copy
+
+
+    class QueuePolicy:
+        def state_snapshot(self):
+            return copy.deepcopy(self)
+"""
+
+
+class TestSnapshotCoverage:
+    """GW401 (whole-program)."""
+
+    def _policy_tree(self, tmp_path, impl_src):
+        write_module(tmp_path, "src/repro/sim/queues.py", QUEUES_STUB)
+        return write_module(tmp_path, "src/repro/sim/impl.py",
+                            impl_src)
+
+    def test_inherited_deepcopy_passes(self, tmp_path):
+        self._policy_tree(tmp_path, """\
+            from repro.sim.queues import QueuePolicy
+
+
+            class PlainQueue(QueuePolicy):
+                def __init__(self):
+                    self._packets = []
+
+                def push(self, item):
+                    self._packets.append(item)
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW401")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_override_missing_attribute_fails(self, tmp_path):
+        impl = self._policy_tree(tmp_path, """\
+            from repro.sim.queues import QueuePolicy
+
+
+            class LeakyQueue(QueuePolicy):
+                def __init__(self):
+                    self._packets = []
+                    self._served = 0
+
+                def push(self, item):
+                    self._packets.append(item)
+
+                def complete(self):
+                    self._served += 1
+
+                def state_snapshot(self):
+                    clone = LeakyQueue()
+                    clone._packets = list(self._packets)
+                    return clone
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW401")],
+                            project_root=tmp_path)
+        assert len(result.findings) == 1
+        assert "_served" in result.findings[0].message
+        assert result.findings[0].path.endswith("impl.py")
+
+    def test_complete_override_passes(self, tmp_path):
+        self._policy_tree(tmp_path, """\
+            from repro.sim.queues import QueuePolicy
+
+
+            class CarefulQueue(QueuePolicy):
+                def __init__(self):
+                    self._packets = []
+                    self._served = 0
+
+                def push(self, item):
+                    self._packets.append(item)
+
+                def complete(self):
+                    self._served += 1
+
+                def state_snapshot(self):
+                    clone = CarefulQueue()
+                    clone._packets = list(self._packets)
+                    clone._served = self._served
+                    return clone
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW401")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_whole_self_deepcopy_override_passes(self, tmp_path):
+        self._policy_tree(tmp_path, """\
+            import copy
+
+            from repro.sim.queues import QueuePolicy
+
+
+            class CloningQueue(QueuePolicy):
+                def __init__(self):
+                    self._packets = []
+
+                def push(self, item):
+                    self._packets.append(item)
+
+                def state_snapshot(self):
+                    return copy.deepcopy(self)
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW401")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_engine_snapshot_and_resume_gaps_fail(self, tmp_path):
+        write_module(tmp_path, "src/repro/sim/miniengine.py", """\
+            class MiniEngine:
+                def __init__(self, horizon):
+                    self.horizon = horizon
+                    self.now = 0.0
+                    self.count = 0
+
+                def step(self):
+                    self.now += 1.0
+                    self.count += 1
+
+                def snapshot(self):
+                    return {"count": self.count,
+                            "horizon": self.horizon}
+
+                @classmethod
+                def resume(cls, state):
+                    engine = cls(state["horizon"])
+                    engine.count = state["count"]
+                    return engine
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW401")],
+                            project_root=tmp_path)
+        messages = sorted(f.message for f in result.findings)
+        assert len(messages) == 2
+        assert "MiniEngine.resume" in messages[0]
+        assert "now" in messages[0]
+        assert "MiniEngine.snapshot" in messages[1]
+        assert "now" in messages[1]
+
+    def test_suppressible_on_project_scope(self, tmp_path):
+        self._policy_tree(tmp_path, """\
+            from repro.sim.queues import QueuePolicy
+
+
+            class LeakyQueue(QueuePolicy):
+                def __init__(self):
+                    self._packets = []
+                    self._served = 0
+
+                def complete(self):
+                    self._served += 1
+
+                # greedwork: ignore[GW401] -- _served is recomputed
+                def state_snapshot(self):
+                    clone = LeakyQueue()
+                    clone._packets = list(self._packets)
+                    return clone
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW401")],
+                            project_root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+ENGINE_WITH_CARRIER = """\
+    from dataclasses import dataclass
+
+
+    @dataclass
+    class CarrierState:
+        now: float
+        count: int
+
+
+    class Engine:
+        def __init__(self):
+            self.now = 0.0
+            self.count = 0
+
+        def step(self):
+            self.now += 1.0
+            self.count += 1
+
+        def snapshot(self):
+            return CarrierState(now=self.now, count={count_expr})
+"""
+
+
+class TestEngineStatePickling:
+    """GW402 (whole-program)."""
+
+    def _tree(self, tmp_path, source):
+        return write_module(tmp_path, "src/repro/sim/engine.py",
+                            textwrap.dedent(source))
+
+    def test_full_capture_passes(self, tmp_path):
+        self._tree(tmp_path,
+                   ENGINE_WITH_CARRIER.format(count_expr="self.count"))
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW402")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_uncaptured_attribute_fails(self, tmp_path):
+        self._tree(tmp_path,
+                   ENGINE_WITH_CARRIER.format(count_expr="0"))
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW402")],
+                            project_root=tmp_path)
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert "count" in finding.message
+        assert "CarrierState" in finding.message
+
+    def test_unknown_carrier_field_fails(self, tmp_path):
+        source = ENGINE_WITH_CARRIER.format(
+            count_expr="self.count, horizon=9.0")
+        self._tree(tmp_path, source)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW402")],
+                            project_root=tmp_path)
+        assert len(result.findings) == 1
+        assert "'horizon'" in result.findings[0].message
+
+    def test_suppressible(self, tmp_path):
+        source = ENGINE_WITH_CARRIER.format(count_expr="0").replace(
+            "            return CarrierState",
+            "            # greedwork: ignore[GW402] -- count derived\n"
+            "            return CarrierState")
+        self._tree(tmp_path, source)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW402")],
+                            project_root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+CONFIG_STUB = """\
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True)
+    class SimulationConfig:
+        rates: tuple
+        policy: str
+        horizon: float
+        seed: int
+"""
+
+
+class TestCacheKeyCompleteness:
+    """GW403 (whole-program)."""
+
+    def _tree(self, tmp_path, cache_src):
+        write_module(tmp_path, "src/repro/sim/runner.py", CONFIG_STUB)
+        return write_module(tmp_path, "src/repro/sim/cache.py",
+                            cache_src)
+
+    def test_fields_loop_passes(self, tmp_path):
+        self._tree(tmp_path, """\
+            from dataclasses import fields
+
+
+            def config_key(config, version):
+                payload = {}
+                for spec in fields(config):
+                    payload[spec.name] = getattr(config, spec.name)
+                return repr(sorted(payload.items()))
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW403")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_explicit_reads_missing_field_fails(self, tmp_path):
+        self._tree(tmp_path, """\
+            def config_key(config, version):
+                return repr((config.rates, config.policy, version))
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW403")],
+                            project_root=tmp_path)
+        assert len(result.findings) == 1
+        message = result.findings[0].message
+        assert "horizon" in message and "seed" in message
+
+    def test_fields_loop_skip_typo_fails(self, tmp_path):
+        self._tree(tmp_path, """\
+            from dataclasses import fields
+
+
+            def state_key(config, version):
+                payload = {}
+                for spec in fields(config):
+                    if spec.name == "horzon":
+                        continue
+                    payload[spec.name] = getattr(config, spec.name)
+                return repr(sorted(payload.items()))
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW403")],
+                            project_root=tmp_path)
+        assert len(result.findings) == 1
+        assert "'horzon'" in result.findings[0].message
+
+    def test_fields_loop_valid_skip_passes(self, tmp_path):
+        self._tree(tmp_path, """\
+            from dataclasses import fields
+
+
+            def state_key(config, version):
+                payload = {}
+                for spec in fields(config):
+                    if spec.name == "horizon":
+                        continue
+                    payload[spec.name] = getattr(config, spec.name)
+                return repr(sorted(payload.items()))
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW403")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+
+class TestVariateContract:
+    """GW501."""
+
+    def test_direct_traffic_draw_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/engine2.py", """\
+            def service_time(rng, mu):
+                return float(rng.exponential(1.0 / mu))
+        """)
+        result = findings_for(path, "GW501", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "VariateStream" in result.findings[0].message
+
+    def test_loop_draw_from_shared_generator_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/network/mesh.py", """\
+            def jitter(rng, users):
+                out = []
+                for _user in users:
+                    out.append(rng.normal(0.0, 1.0))
+                return out
+        """)
+        result = findings_for(path, "GW501", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "CRN pairing" in result.findings[0].message
+
+    def test_arrivals_module_is_exempt(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/arrivals.py", """\
+            def draw(rng, mean):
+                return float(rng.exponential(mean))
+        """)
+        result = findings_for(path, "GW501", root=tmp_path)
+        assert result.findings == []
+
+    def test_game_layer_out_of_scope(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/sampler.py", """\
+            def sample(rng, n):
+                return [rng.exponential(1.0) for _ in range(n)]
+        """)
+        result = findings_for(path, "GW501", root=tmp_path)
+        assert result.findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/engine2.py", """\
+            def service_time(rng, mu):
+                # greedwork: ignore[GW501] -- legacy pinned draw order
+                return float(rng.exponential(1.0 / mu))
+        """)
+        result = findings_for(path, "GW501", root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestOrderedAggregation:
+    """GW502."""
+
+    def test_sum_over_set_literal_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/numerics/agg.py", """\
+            def total(weights):
+                return sum(weights[u] for u in {"a", "b", "c"})
+        """)
+        result = findings_for(path, "GW502", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "set-iteration" in result.findings[0].message
+
+    def test_loop_accumulation_over_set_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/mix.py", """\
+            def total(users, weights):
+                acc = 0.0
+                for u in set(users):
+                    acc += weights[u]
+                return acc
+        """)
+        result = findings_for(path, "GW502", root=tmp_path)
+        assert len(result.findings) == 1
+
+    def test_sorted_set_iteration_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/mix.py", """\
+            def total(users, weights):
+                return sum(weights[u] for u in sorted(set(users)))
+        """)
+        result = findings_for(path, "GW502", root=tmp_path)
+        assert result.findings == []
+
+    def test_unsorted_listing_fails_sorted_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/scan.py", """\
+            import os
+
+
+            def entries(root):
+                return [name for name in os.listdir(root)]
+
+
+            def entries_sorted(root):
+                return sorted(os.listdir(root))
+        """)
+        result = findings_for(path, "GW502", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "filesystem order" in result.findings[0].message
+        assert result.findings[0].line == 5
+
+    def test_wall_clock_in_numeric_layer_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/numerics/clock.py", """\
+            import time
+
+
+            def stamp():
+                return time.perf_counter()
+        """)
+        result = findings_for(path, "GW502", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "wall-clock" in result.findings[0].message
+
+    def test_wall_clock_in_presentation_layer_passes(self, tmp_path):
+        path = write_module(tmp_path,
+                            "src/repro/experiments/timing.py", """\
+            import time
+
+
+            def stamp():
+                return time.perf_counter()
+        """)
+        result = findings_for(path, "GW502", root=tmp_path)
+        assert result.findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/numerics/clock.py", """\
+            import time
+
+
+            def stamp():
+                # greedwork: ignore[GW502] -- diagnostic only
+                return time.perf_counter()
+        """)
+        result = findings_for(path, "GW502", root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestWorkerSharedState:
+    """GW601 (whole-program)."""
+
+    def _tree(self, tmp_path, task_src):
+        write_module(tmp_path, "src/repro/sim/workerpool.py", """\
+            from multiprocessing import Pool
+
+            from repro.sim.tasks import run_task
+
+
+            def run_all(items):
+                with Pool(2) as pool:
+                    return pool.map(run_task, items)
+        """)
+        return write_module(tmp_path, "src/repro/sim/tasks.py",
+                            task_src)
+
+    def test_worker_writing_module_state_fails(self, tmp_path):
+        self._tree(tmp_path, """\
+            _CALLS = 0
+
+
+            def run_task(item):
+                global _CALLS
+                _CALLS += 1
+                return item
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW601")],
+                            project_root=tmp_path)
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert "'_CALLS'" in finding.message
+        assert "run_task" in finding.message
+        assert finding.path.endswith("tasks.py")
+
+    def test_transitively_reachable_reader_fails(self, tmp_path):
+        self._tree(tmp_path, """\
+            _CALLS = 0
+
+
+            def _bump():
+                global _CALLS
+                _CALLS += 1
+
+
+            def _observe():
+                return _CALLS
+
+
+            def run_task(item):
+                _bump()
+                return _observe()
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW601")],
+                            project_root=tmp_path)
+        names = sorted(f.message.split(" is reachable")[0]
+                       for f in result.findings)
+        assert names == ["_bump", "_observe"]
+
+    def test_reading_module_constant_passes(self, tmp_path):
+        self._tree(tmp_path, """\
+            SCALE = {"a": 2.0}
+
+
+            def run_task(item):
+                return SCALE["a"] * item
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW601")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_unreachable_mutator_passes(self, tmp_path):
+        self._tree(tmp_path, """\
+            _CALLS = 0
+
+
+            def run_task(item):
+                return item
+
+
+            def bump_outside_pool():
+                global _CALLS
+                _CALLS += 1
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW601")],
+                            project_root=tmp_path)
+        assert result.findings == []
+
+    def test_suppressible_on_project_scope(self, tmp_path):
+        self._tree(tmp_path, """\
+            _CALLS = 0
+
+
+            def run_task(item):
+                # greedwork: ignore[GW601] -- per-process by design
+                global _CALLS
+                _CALLS += 1
+                return item
+        """)
+        result = run_checks([tmp_path / "src"],
+                            rules=[get_rule("GW601")],
+                            project_root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestUnpicklableWorker:
+    """GW602."""
+
+    def test_lambda_to_pool_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/fanout.py", """\
+            from multiprocessing import Pool
+
+
+            def run_all(items):
+                with Pool(2) as pool:
+                    return pool.map(lambda x: x + 1, items)
+        """)
+        result = findings_for(path, "GW602", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "lambda" in result.findings[0].message
+
+    def test_nested_function_to_pool_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/fanout.py", """\
+            from concurrent.futures import ProcessPoolExecutor
+
+
+            def run_all(items, scale):
+                def task(x):
+                    return x * scale
+
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(task, items))
+        """)
+        result = findings_for(path, "GW602", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "'task'" in result.findings[0].message
+
+    def test_lambda_binding_to_pool_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/fanout.py", """\
+            from multiprocessing import Pool
+
+
+            def run_all(items):
+                task = lambda x: x + 1
+                with Pool(2) as pool:
+                    return pool.map(task, items)
+        """)
+        result = findings_for(path, "GW602", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "'task'" in result.findings[0].message
+
+    def test_module_level_function_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/fanout.py", """\
+            from multiprocessing import Pool
+
+
+            def _task(x):
+                return x + 1
+
+
+            def run_all(items):
+                with Pool(2) as pool:
+                    return pool.map(_task, items)
+        """)
+        result = findings_for(path, "GW602", root=tmp_path)
+        assert result.findings == []
+
+    def test_thread_pool_out_of_scope(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/fanout.py", """\
+            from concurrent.futures import ThreadPoolExecutor
+
+
+            def run_all(items):
+                with ThreadPoolExecutor() as pool:
+                    return list(pool.map(lambda x: x + 1, items))
+        """)
+        result = findings_for(path, "GW602", root=tmp_path)
+        assert result.findings == []
+
+
+class TestStateFlowLayer:
+    """The attribute-level state model underlying GW4xx/GW6xx."""
+
+    def _project(self, tmp_path, files):
+        from repro.staticcheck.project import ProjectContext
+
+        for relpath, source in files.items():
+            write_module(tmp_path, relpath, source)
+        src = tmp_path / "src"
+        contexts = [FileContext(p, p.read_text(), project_root=tmp_path)
+                    for p in collect_files([src])]
+        return ProjectContext(contexts, project_root=tmp_path)
+
+    def test_class_state_merges_bases(self, tmp_path):
+        project = self._project(tmp_path, {
+            "src/repro/sim/base.py": """\
+                class Base:
+                    def __init__(self):
+                        self.a = 0
+
+                    def bump_a(self):
+                        self.a += 1
+            """,
+            "src/repro/sim/child.py": """\
+                from repro.sim.base import Base
+
+
+                class Child(Base):
+                    def __init__(self):
+                        super().__init__()
+                        self.b = 0
+
+                    def bump_b(self):
+                        self.b += 1
+            """,
+        })
+        model = project.class_state("repro.sim.child", "Child")
+        assert set(model.init_assigned) == {"a", "b"}
+        assert model.mutated_after_init == {"a", "b"}
+
+    def test_function_summaries_track_globals(self, tmp_path):
+        from repro.staticcheck.project import FunctionSummary
+
+        project = self._project(tmp_path, {
+            "src/repro/sim/mod.py": """\
+                _STATE = {}
+                LIMIT = 3
+
+
+                def poke(key):
+                    _STATE[key] = 1
+                    return LIMIT
+            """,
+        })
+        summary = project.function_summaries["repro.sim.mod:poke"]
+        assert isinstance(summary, FunctionSummary)
+        assert set(summary.global_writes) == {"_STATE"}
+        assert "LIMIT" in summary.global_reads
+        assert project.module_mutable_globals("repro.sim.mod") == \
+            {"_STATE"}
+
+    def test_worker_reachability_closure(self, tmp_path):
+        project = self._project(tmp_path, {
+            "src/repro/sim/pooling.py": """\
+                from multiprocessing import Pool
+
+                from repro.sim.leaf import entry
+
+
+                def fan(items):
+                    with Pool() as pool:
+                        return pool.map(entry, items)
+            """,
+            "src/repro/sim/leaf.py": """\
+                def entry(item):
+                    return _helper(item)
+
+
+                def _helper(item):
+                    return item + 1
+            """,
+        })
+        reachable = project.reachable_from_workers()
+        assert "repro.sim.leaf:entry" in reachable
+        assert "repro.sim.leaf:_helper" in reachable
+
+
 class TestIncrementalCache:
     def _tree(self, tmp_path):
         # Private helpers so the GW301 dead-API rule stays quiet and
@@ -1577,6 +2319,40 @@ class TestIncrementalCache:
         assert cached.files_from_cache == cached.files_checked
         assert [f.render() for f in cached.findings] == \
             [f.render() for f in fresh.findings]
+
+    def test_dependency_edit_invalidates_project_findings(self,
+                                                          tmp_path):
+        # A project-rule finding must react to edits in *other* files:
+        # removing the only reference to a public symbol makes GW301
+        # fire on a file that was itself served from the cache.
+        write_module(tmp_path, "src/repro/game/extra.py", """\
+            def used_helper():
+                return 1
+        """)
+        consumer = write_module(tmp_path, "src/repro/game/user.py", """\
+            from repro.game.extra import used_helper
+
+            VALUE = used_helper()
+        """)
+        src = tmp_path / "src"
+        cache_dir = tmp_path / ".cache"
+        rules = [get_rule("GW301")]
+        first = run_checks([src], rules=rules, project_root=tmp_path,
+                           cache=True, cache_dir=cache_dir)
+        assert first.findings == []
+        consumer.write_text("VALUE = 1\n")
+        second = run_checks([src], rules=rules, project_root=tmp_path,
+                            cache=True, cache_dir=cache_dir)
+        assert second.files_analyzed == 1      # only the edited file
+        assert [f.message for f in second.findings] != []
+        assert second.findings[0].path.endswith("extra.py")
+        # And the warm rerun serves the new project verdict entirely
+        # from cache.
+        third = run_checks([src], rules=rules, project_root=tmp_path,
+                           cache=True, cache_dir=cache_dir)
+        assert third.files_analyzed == 0
+        assert [f.render() for f in third.findings] == \
+            [f.render() for f in second.findings]
 
     def test_no_cache_flag_disables(self, tmp_path):
         src = self._tree(tmp_path)
@@ -1694,6 +2470,23 @@ class TestBaseline:
                             baseline=baseline)
         assert len(result.baselined) == 1
         assert len(result.findings) == 1
+
+    def test_rename_resurrects_baselined_finding(self, tmp_path):
+        # Fingerprints are path-sensitive by design: moving a file is
+        # a fresh review opportunity, so the debt does not follow it.
+        bad = write_module(tmp_path, "src/repro/sim/old_name.py",
+                           "import random\n")
+        baseline = tmp_path / "baseline.json"
+        rules = [get_rule("GW003")]
+        first = run_checks([bad], rules=rules, project_root=tmp_path)
+        write_baseline(baseline, first.findings)
+        renamed = bad.with_name("new_name.py")
+        bad.rename(renamed)
+        result = run_checks([renamed], rules=rules,
+                            project_root=tmp_path, baseline=baseline)
+        assert len(result.findings) == 1
+        assert result.baselined == []
+        assert result.findings[0].path.endswith("new_name.py")
 
     def test_load_baseline_rejects_junk(self, tmp_path):
         junk = tmp_path / "junk.json"
@@ -1814,6 +2607,42 @@ class TestCLI:
         assert code == 0
         assert "analyzed=0" in captured.err
         assert "cached=1" in captured.err
+
+
+class TestExplainCLI:
+    def test_explain_prints_docstring_sections(self, capsys):
+        code = cli_main(["explain", "GW401"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GW401 (snapshot-coverage, project-scope)" in out
+        for section in ("Rationale:", "Example::", "Fix:"):
+            assert section in out
+
+    def test_explain_family_prefix(self, capsys):
+        code = cli_main(["explain", "GW5xx"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GW501" in out and "GW502" in out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        code = cli_main(["explain", "GW999"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown rule selector" in err
+
+    def test_new_families_carry_full_explanations(self):
+        # ``explain`` renders the class docstring verbatim, so the
+        # documentation contract is: every GW4xx/5xx/6xx rule ships
+        # rationale, a minimal triggering example, and the approved
+        # fix or suppression pattern in its docstring.
+        import inspect
+
+        for rule_id in ALL_RULE_IDS:
+            if not rule_id.startswith(("GW4", "GW5", "GW6")):
+                continue
+            doc = inspect.getdoc(type(get_rule(rule_id)))
+            for section in ("Rationale:", "Example::", "Fix:"):
+                assert section in doc, (rule_id, section)
 
 
 class TestRepoIsClean:
