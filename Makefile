@@ -4,8 +4,8 @@ PYTHON ?= python
 STRICT_PKGS = -p repro.queueing -p repro.costsharing -p repro.disciplines
 
 .PHONY: install test test-fast bench bench-micro bench-solver \
-        bench-stats experiments report examples clean lint lint-ruff \
-        lint-mypy check check-sarif
+        bench-stats bench-staticcheck experiments report examples \
+        clean lint lint-ruff lint-mypy check check-sarif fix
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -29,12 +29,19 @@ lint-mypy:
 	fi
 
 check:
-	PYTHONPATH=src $(PYTHON) -m repro check src tests --stats
+	PYTHONPATH=src $(PYTHON) -m repro check src tests benchmarks \
+		examples --stats
 
 check-sarif:
-	PYTHONPATH=src $(PYTHON) -m repro check src tests \
-		--format sarif -o greedwork.sarif
+	PYTHONPATH=src $(PYTHON) -m repro check src tests benchmarks \
+		examples --format sarif -o greedwork.sarif
 	@echo "wrote greedwork.sarif"
+
+# Apply registered autofixers (transactional: every fix is re-verified
+# under the full rule suite and rolled back on any regression).
+fix:
+	PYTHONPATH=src $(PYTHON) -m repro fix src tests benchmarks \
+		examples --diff
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -60,6 +67,12 @@ bench-solver:
 bench-stats:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_stats.py -o BENCH_sim.json
 
+# Static-analysis wall time (cold/warm check + fix convergence);
+# appends to the BENCH_staticcheck.json trajectory.
+bench-staticcheck:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_staticcheck.py \
+		-o BENCH_staticcheck.json
+
 experiments:
 	$(PYTHON) -m repro run all --fast
 
@@ -72,5 +85,5 @@ examples:
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks \
 		.greedwork_cache greedwork.sarif BENCH_sim.json \
-		BENCH_solver.json
+		BENCH_solver.json BENCH_staticcheck.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

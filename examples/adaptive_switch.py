@@ -20,6 +20,7 @@ from repro import FairShareAllocation
 from repro.experiments.base import Table
 from repro.sim.queues import AdaptiveFairShareQueue
 from repro.sim.runner import SimulationConfig, simulate
+from repro.numerics.rng import default_rng
 
 RATES = np.array([0.1, 0.2, 0.3])
 
@@ -47,7 +48,7 @@ def static_comparison() -> None:
 
 def rate_change_tracking() -> None:
     """Drive the adaptive queue directly with a mid-run rate change."""
-    rng = np.random.default_rng(11)
+    rng = default_rng(11)
     queue = AdaptiveFairShareQueue(2, ewma=0.05, rebuild_every=100)
     from repro.sim.packet import Packet
 

@@ -76,7 +76,7 @@ def _betacf(a: float, b: float, x: float) -> float:
     # Lentz recurrences divide by partial denominators that the
     # `tiny` floor just above keeps away from zero; they are not
     # utilization terms.
-    d = 1.0 / d  # greedwork: ignore[GW201]
+    d = 1.0 / d  # greedwork: ignore[GW201] - tiny-floored above
     h = d
     for m in range(1, 300):
         m2 = 2 * m

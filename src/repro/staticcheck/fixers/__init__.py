@@ -1,0 +1,54 @@
+"""Autofixers: verified mechanical repairs for rule findings.
+
+Importing this package registers every builtin fixer, mirroring how
+:mod:`repro.staticcheck.rules` registers the rules.  The public
+surface re-exported here is everything the CLI, reporters, and tests
+need:
+
+* the model — :class:`Edit`, :class:`Fix`, :class:`Fixer`, and the
+  registry accessors (:func:`all_fixers`, :func:`fixer_for`,
+  :func:`fixable_rule_ids`, :func:`register_fixer`);
+* the engine — :func:`run_fix`, :class:`FixResult`,
+  :class:`AppliedFix`, and the terminal status constants.
+
+See :mod:`repro.staticcheck.fixers.engine` for the transaction and
+verification semantics, and ``docs/staticcheck.md`` ("Autofix") for
+how to write a fixer.
+"""
+
+from repro.staticcheck.fixers.model import (
+    Edit,
+    Fix,
+    Fixer,
+    all_fixers,
+    apply_edits,
+    fixable_rule_ids,
+    fixer_for,
+    insert_imports,
+    register_fixer,
+    unregister_fixer,
+)
+
+# Importing the fixer modules registers them (they self-register at
+# class-definition time, exactly like the rule modules).
+from repro.staticcheck.fixers import floats as _floats  # noqa: F401,E402
+from repro.staticcheck.fixers import hygiene as _hygiene  # noqa: F401,E402
+from repro.staticcheck.fixers import perf as _perf  # noqa: F401,E402
+from repro.staticcheck.fixers import rng as _rng  # noqa: F401,E402
+from repro.staticcheck.fixers import wholeprogram as _wholeprogram  # noqa: F401,E402
+
+from repro.staticcheck.fixers.engine import (  # noqa: E402
+    FIXED,
+    ROLLED_BACK,
+    SKIPPED_CONFLICT,
+    AppliedFix,
+    FixResult,
+    run_fix,
+)
+
+__all__ = [
+    "Edit", "Fix", "Fixer", "AppliedFix", "FixResult",
+    "FIXED", "SKIPPED_CONFLICT", "ROLLED_BACK",
+    "all_fixers", "apply_edits", "fixable_rule_ids", "fixer_for",
+    "insert_imports", "register_fixer", "unregister_fixer", "run_fix",
+]

@@ -1,0 +1,579 @@
+"""Transactional, self-verifying application of registered fixers.
+
+The engine never trusts a fixer.  Each round it re-checks the (in
+memory) tree, asks the registered fixer of each finding for a
+:class:`~repro.staticcheck.fixers.model.Fix`, and applies **at most
+one fix per file per round**, so every span is computed against the
+exact text it is applied to — no cross-fix offset bookkeeping, no
+stale coordinates.  Every accepted fix then survives two verification
+gates or is undone:
+
+1. **Per-fix (file rules)** — the patched file must re-parse, the
+   fix's own finding count must strictly drop, and no fingerprint of
+   *any* file rule may increase (a suppression pragma detached from
+   its statement shows up here too, as a newly active finding).
+2. **Round-end (whole program)** — the next round's full check,
+   project rules included, is compared fingerprint-by-fingerprint
+   against the round that decided the fixes.  Any fingerprint that
+   rose rolls back the implicated file (or, for cross-file effects,
+   every file patched that round); a project-scoped fix whose finding
+   failed to disappear is likewise rolled back.
+
+Fixes whose edits overlap another candidate's in the same file are
+*skipped* and reported — conflicting rewrites are never merged, and a
+skip is terminal for the run (review the survivors, then run ``repro
+fix`` again).  Rolled-back and skipped findings are remembered by
+fingerprint so a bad fixer cannot loop.
+
+The run converges when a round produces no applicable fix, which is
+exactly the idempotence guarantee: running ``repro fix`` again on the
+result starts at that same fixed point and rewrites nothing.  Only
+then does anything touch disk — changed files are written atomically
+(temp file + rename), their incremental-cache entries and the
+project digest are invalidated, and baseline entries whose findings
+no longer exist are pruned.  ``dry_run`` stops short of all three and
+just reports the diffs.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.staticcheck.baseline import (
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+)
+from repro.staticcheck.cache import (
+    CACHE_DIR_NAME,
+    CheckCache,
+    engine_signature,
+    file_digest,
+)
+from repro.staticcheck.core import (
+    CheckResult,
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    all_rules,
+)
+from repro.staticcheck.fixers.model import (
+    Fix,
+    Fixer,
+    all_fixers,
+    apply_edits,
+    insert_imports,
+)
+from repro.staticcheck.project import REFERENCE_ROOTS, ProjectContext
+from repro.staticcheck.runner import (
+    _read_error_finding,
+    _run_file_rules,
+    collect_files,
+    reference_sources,
+)
+
+#: Terminal statuses of one attempted fix.
+FIXED = "fixed"
+SKIPPED_CONFLICT = "skipped-conflict"
+ROLLED_BACK = "rolled-back"
+
+#: Hard ceiling on fix rounds; each round applies at most one fix per
+#: file, so this bounds per-file fixes, not total files fixed.
+DEFAULT_MAX_ROUNDS = 50
+
+
+@dataclass
+class AppliedFix:
+    """The terminal outcome of one finding's fix attempt."""
+
+    path: str
+    rule_id: str
+    line: int
+    col: int
+    description: str
+    fingerprint: str
+    status: str
+    detail: str = ""
+
+    def render(self) -> str:
+        """GCC-style ``path:line:col: RULE [status] description``."""
+        note = f": {self.detail}" if self.detail else ""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+                f"[{self.status}] {self.description}{note}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (the ``--format json`` fix records)."""
+        return {"rule": self.rule_id, "path": self.path,
+                "line": self.line, "col": self.col,
+                "description": self.description, "status": self.status,
+                "detail": self.detail}
+
+
+@dataclass
+class FixResult:
+    """Outcome of one :func:`run_fix` invocation."""
+
+    fixed: List[AppliedFix] = field(default_factory=list)
+    skipped: List[AppliedFix] = field(default_factory=list)
+    rolled_back: List[AppliedFix] = field(default_factory=list)
+    #: display path -> unified diff, original content vs final.
+    diffs: Dict[str, str] = field(default_factory=dict)
+    #: Full post-fix check of the tree (baseline applied when given).
+    check: CheckResult = field(default_factory=CheckResult)
+    files_changed: List[str] = field(default_factory=list)
+    rounds: int = 0
+    dry_run: bool = False
+    duration_s: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.files_changed)
+
+
+def run_fix(paths: Sequence[Union[str, Path]],
+            rules: Optional[Sequence[Rule]] = None,
+            project_root: Optional[Union[str, Path]] = None,
+            *,
+            fixers: Optional[Sequence[Fixer]] = None,
+            dry_run: bool = False,
+            cache: bool = False,
+            cache_dir: Optional[Union[str, Path]] = None,
+            baseline: Optional[Union[str, Path]] = None,
+            reference_roots: Sequence[str] = REFERENCE_ROOTS,
+            max_rounds: int = DEFAULT_MAX_ROUNDS,
+            ) -> FixResult:
+    """Fix every finding with a registered fixer under ``paths``.
+
+    ``rules`` narrows which findings are *eligible* (``--select`` /
+    ``--ignore`` flow through here); ``fixers`` overrides the fixer
+    registry (tests inject stubs).  The engine always checks without
+    the baseline — baselined findings are exactly the debt worth
+    draining — but applies ``baseline`` to the final
+    :attr:`FixResult.check` and prunes entries whose findings were
+    eliminated.  With ``cache`` set, patched files' incremental-cache
+    entries and the project digest are invalidated on write.
+    """
+    started = time.perf_counter()
+    run = _FixRun(paths, rules=rules, project_root=project_root,
+                  fixers=fixers, reference_roots=reference_roots,
+                  max_rounds=max_rounds)
+    result = run.execute()
+    result.dry_run = dry_run
+    if baseline is not None:
+        baseline_path = Path(baseline)
+        if baseline_path.is_file():
+            accepted = load_baseline(baseline_path)
+            result.check.findings, result.check.baselined = \
+                apply_baseline(result.check.findings, accepted)
+            result.check.baselined.sort(key=lambda f: f.sort_key())
+            if not dry_run and result.changed:
+                prune_baseline(baseline_path, run.final_findings)
+    if not dry_run and result.changed:
+        run.write_changes()
+        if cache:
+            _invalidate_cache(run, cache_dir, result.files_changed)
+    result.duration_s = time.perf_counter() - started
+    return result
+
+
+def _invalidate_cache(run: "_FixRun",
+                      cache_dir: Optional[Union[str, Path]],
+                      changed: Sequence[str]) -> None:
+    signature = engine_signature(
+        [r.rule_id for r in run.file_rules])
+    directory = Path(cache_dir) if cache_dir is not None \
+        else run.root / CACHE_DIR_NAME
+    check_cache = CheckCache(directory, signature)
+    for display_path in changed:
+        check_cache.invalidate_file(display_path)
+    check_cache.invalidate_project()
+    check_cache.save()
+
+
+class _FixRun:
+    """Mutable state of one fix run over an in-memory tree."""
+
+    def __init__(self, paths: Sequence[Union[str, Path]],
+                 rules: Optional[Sequence[Rule]],
+                 project_root: Optional[Union[str, Path]],
+                 fixers: Optional[Sequence[Fixer]],
+                 reference_roots: Sequence[str],
+                 max_rounds: int) -> None:
+        active = list(rules) if rules is not None else all_rules()
+        self.file_rules = [r for r in active
+                           if not isinstance(r, ProjectRule)]
+        self.project_rules = [r for r in active
+                              if isinstance(r, ProjectRule)]
+        chosen = list(fixers) if fixers is not None else all_fixers()
+        self.fixers: Dict[str, Fixer] = {f.rule_id: f for f in chosen}
+        self.root = Path(project_root) if project_root is not None \
+            else Path.cwd()
+        self.max_rounds = max_rounds
+
+        self.files: List[Path] = []
+        self.contents: Dict[Path, str] = {}
+        self.originals: Dict[Path, str] = {}
+        self.by_display: Dict[str, Path] = {}
+        self.read_errors: List[Finding] = []
+        for path in collect_files(paths):
+            self.files.append(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                self.read_errors.append(
+                    _read_error_finding(path, self.root, exc))
+                continue
+            self.contents[path] = source
+            self.originals[path] = source
+
+        self.reference_ctxs: List[FileContext] = []
+        if self.project_rules:
+            analyzed = {p.resolve() for p in self.contents}
+            for path, source in reference_sources(
+                    self.root, reference_roots, analyzed).items():
+                self.reference_ctxs.append(
+                    FileContext(path, source, project_root=self.root))
+
+        #: fingerprint -> conflict skip (terminal for the whole run).
+        self._conflicts: Dict[str, AppliedFix] = {}
+        #: (fingerprint, content digest) -> rollback.  Keyed by the
+        #: content the fix was computed against, so a rollback is
+        #: retried once some *other* fix changes the file (the failure
+        #: may have been an interaction, not the fix itself) but never
+        #: re-attempted against identical text.
+        self._blocked: Dict[Tuple[str, str], AppliedFix] = {}
+        self.fixed: List[AppliedFix] = []
+        self.skipped: List[AppliedFix] = []
+        self.rolled_back: List[AppliedFix] = []
+        #: Fixes applied in the current round, awaiting the round-end
+        #: whole-program verification: (record, content-before).
+        self._pending: List[Tuple[AppliedFix, str]] = []
+        self._last_counter: Counter = Counter()
+        self.rounds = 0
+        self.final_findings: List[Finding] = []
+        self._final_suppressed: List[Finding] = []
+        self._ctx_memo: Dict[Tuple[str, str], FileContext] = {}
+        self._finding_memo: Dict[
+            Tuple[str, str], Tuple[List[Finding], List[Finding]]] = {}
+
+    # -- the fixed-point loop -----------------------------------------------
+
+    def execute(self) -> FixResult:
+        while True:
+            findings, suppressed, ctxs, project = self._check()
+            counter = Counter(f.fingerprint() for f in findings)
+            if self._pending:
+                bad = self._regressed_paths(counter)
+                if bad:
+                    self._roll_back(bad)
+                    continue            # re-check the reverted tree
+                for record, _ in self._pending:
+                    self.fixed.append(record)
+                self._pending = []
+            self.final_findings = findings
+            self._final_suppressed = suppressed
+            if self.rounds >= self.max_rounds:
+                break
+            if not self._apply_round(findings, ctxs, project, counter):
+                break                   # fixed point: nothing applicable
+            self.rounds += 1
+        return self._result()
+
+    def _result(self) -> FixResult:
+        # A rollback later repaired on retry (after another fix changed
+        # the file) is resolution noise, not an outcome: report one
+        # record per fingerprint, and only for findings never fixed.
+        fixed_fingerprints = {r.fingerprint for r in self.fixed}
+        unresolved: Dict[str, AppliedFix] = {}
+        for record in self.rolled_back:
+            if record.fingerprint not in fixed_fingerprints:
+                unresolved[record.fingerprint] = record
+        result = FixResult(fixed=self.fixed, skipped=self.skipped,
+                           rolled_back=list(unresolved.values()),
+                           rounds=self.rounds)
+        for record_list in (result.fixed, result.skipped,
+                            result.rolled_back):
+            record_list.sort(key=lambda a: (a.path, a.line, a.col,
+                                            a.rule_id))
+        for path in self.files:
+            before = self.originals.get(path)
+            after = self.contents.get(path)
+            if before is None or after is None or before == after:
+                continue
+            display = self._display(path)
+            result.files_changed.append(display)
+            result.diffs[display] = "".join(difflib.unified_diff(
+                before.splitlines(keepends=True),
+                after.splitlines(keepends=True),
+                fromfile=f"a/{display}", tofile=f"b/{display}"))
+        check = CheckResult(
+            findings=sorted(self.final_findings,
+                            key=lambda f: f.sort_key()),
+            suppressed=sorted(self._final_suppressed,
+                              key=lambda f: f.sort_key()),
+            files_checked=len(self.files),
+            files_analyzed=len(self.contents))
+        result.check = check
+        return result
+
+    def write_changes(self) -> None:
+        """Atomically persist every changed file (temp + rename)."""
+        for path in self.files:
+            before = self.originals.get(path)
+            after = self.contents.get(path)
+            if before is None or after is None or before == after:
+                continue
+            tmp = path.with_name(path.name + ".gwfix.tmp")
+            tmp.write_text(after, encoding="utf-8")
+            try:
+                os.chmod(tmp, path.stat().st_mode)
+            except OSError:
+                pass
+            os.replace(tmp, path)
+
+    # -- checking the in-memory tree ----------------------------------------
+
+    def _display(self, path: Path) -> str:
+        ctx = self._context(path)
+        return ctx.display_path if ctx is not None else str(path)
+
+    def _context(self, path: Path) -> Optional[FileContext]:
+        source = self.contents.get(path)
+        if source is None:
+            return None
+        key = (str(path), file_digest(source))
+        ctx = self._ctx_memo.get(key)
+        if ctx is None:
+            ctx = FileContext(path, source, project_root=self.root)
+            self._ctx_memo[key] = ctx
+        return ctx
+
+    def _file_findings(self, ctx: FileContext
+                       ) -> Tuple[List[Finding], List[Finding]]:
+        key = (str(ctx.path), file_digest(ctx.source))
+        hit = self._finding_memo.get(key)
+        if hit is None:
+            hit = _run_file_rules(ctx, self.file_rules)
+            self._finding_memo[key] = hit
+        return hit
+
+    def _check(self) -> Tuple[List[Finding], List[Finding],
+                              Dict[Path, FileContext],
+                              Optional[ProjectContext]]:
+        """Full check of the current contents (no baseline, no disk)."""
+        findings: List[Finding] = list(self.read_errors)
+        suppressed: List[Finding] = []
+        ctxs: Dict[Path, FileContext] = {}
+        for path in self.files:
+            ctx = self._context(path)
+            if ctx is None:
+                continue
+            ctxs[path] = ctx
+            self.by_display[ctx.display_path] = path
+            found, kept = self._file_findings(ctx)
+            findings.extend(found)
+            suppressed.extend(kept)
+        project: Optional[ProjectContext] = None
+        if self.project_rules:
+            project = ProjectContext(list(ctxs.values()),
+                                     self.reference_ctxs,
+                                     project_root=self.root)
+            by_path = {ctx.display_path: ctx for ctx in ctxs.values()}
+            for rule in self.project_rules:
+                for finding in rule.check_project(project):
+                    ctx = by_path.get(finding.path)
+                    if ctx is None:
+                        continue        # anchored in a reference file
+                    if ctx.is_suppressed(finding):
+                        suppressed.append(finding)
+                    else:
+                        findings.append(finding)
+        return findings, suppressed, ctxs, project
+
+    # -- deciding and applying one round ------------------------------------
+
+    def _apply_round(self, findings: List[Finding],
+                     ctxs: Dict[Path, FileContext],
+                     project: Optional[ProjectContext],
+                     counter: Counter) -> bool:
+        per_file = self._candidates(findings, ctxs, project)
+        applied = False
+        for display_path in sorted(per_file):
+            accepted = self._drop_conflicts(per_file[display_path])
+            path = self.by_display[display_path]
+            for finding, fix in accepted:
+                before = self.contents[path]
+                patched, detail = self._verify_fix(path, ctxs[path],
+                                                   finding, fix)
+                if patched is None:
+                    self._record_failure(finding, ROLLED_BACK,
+                                         fix.description, detail,
+                                         file_digest(before))
+                    continue
+                self.contents[path] = patched
+                record = AppliedFix(
+                    path=display_path, rule_id=finding.rule_id,
+                    line=finding.line, col=finding.col,
+                    description=fix.description,
+                    fingerprint=finding.fingerprint(), status=FIXED)
+                self._pending.append((record, before))
+                applied = True
+                break                   # one fix per file per round
+        if applied:
+            self._last_counter = counter
+        return applied
+
+    def _candidates(self, findings: List[Finding],
+                    ctxs: Dict[Path, FileContext],
+                    project: Optional[ProjectContext]
+                    ) -> Dict[str, List[Tuple[Finding, Fix]]]:
+        per_file: Dict[str, List[Tuple[Finding, Fix]]] = {}
+        for finding in sorted(findings, key=lambda f: f.sort_key()):
+            fixer = self.fixers.get(finding.rule_id)
+            if fixer is None:
+                continue
+            path = self.by_display.get(finding.path)
+            if path is None:
+                continue
+            ctx = ctxs.get(path)
+            if ctx is None or ctx.parse_error is not None:
+                continue
+            fingerprint = finding.fingerprint()
+            digest = file_digest(ctx.source)
+            if fingerprint in self._conflicts \
+                    or (fingerprint, digest) in self._blocked:
+                continue
+            try:
+                fix = fixer.fix(
+                    ctx, finding,
+                    project=project if fixer.requires_project else None)
+            except Exception as exc:    # a fixer bug must not kill the run
+                self._record_failure(
+                    finding, ROLLED_BACK, fixer.description,
+                    f"fixer raised {type(exc).__name__}: {exc}",
+                    digest)
+                continue
+            if fix is None:
+                continue
+            if not fix.edits or not fix.self_consistent():
+                self._record_failure(finding, ROLLED_BACK,
+                                     fix.description,
+                                     "fix edits overlap each other",
+                                     digest)
+                continue
+            per_file.setdefault(finding.path, []).append((finding, fix))
+        return per_file
+
+    def _drop_conflicts(self, fixes: List[Tuple[Finding, Fix]]
+                        ) -> List[Tuple[Finding, Fix]]:
+        accepted: List[Tuple[Finding, Fix]] = []
+        for finding, fix in sorted(
+                fixes, key=lambda p: (p[1].span(), p[0].rule_id)):
+            if any(_fixes_conflict(fix, other)
+                   for _, other in accepted):
+                self._record_failure(
+                    finding, SKIPPED_CONFLICT, fix.description,
+                    "edits overlap another pending fix in this file",
+                    digest=None)
+                continue
+            accepted.append((finding, fix))
+        return accepted
+
+    def _verify_fix(self, path: Path, ctx: FileContext,
+                    finding: Finding, fix: Fix
+                    ) -> Tuple[Optional[str], str]:
+        """(patched source, "") when the fix verifies, else (None, why)."""
+        try:
+            patched = apply_edits(ctx.source, fix.edits)
+            if fix.imports:
+                patched = insert_imports(patched, fix.imports)
+        except (SyntaxError, ValueError) as exc:
+            return None, f"patched file does not parse: {exc}"
+        if patched == ctx.source:
+            return None, "fix produced no change"
+        new_ctx = FileContext(path, patched, project_root=self.root)
+        if new_ctx.parse_error is not None:
+            return None, ("patched file does not parse: "
+                          f"{new_ctx.parse_error.msg}")
+        old_counts = Counter(
+            f.fingerprint() for f in self._file_findings(ctx)[0])
+        new_findings = self._file_findings(new_ctx)[0]
+        new_counts = Counter(f.fingerprint() for f in new_findings)
+        fingerprint = finding.fingerprint()
+        if old_counts.get(fingerprint, 0) \
+                and new_counts.get(fingerprint, 0) \
+                >= old_counts[fingerprint]:
+            return None, "fix did not eliminate its finding"
+        for other, count in new_counts.items():
+            if count > old_counts.get(other, 0):
+                culprit = next(f for f in new_findings
+                               if f.fingerprint() == other)
+                return None, ("fix introduces a new finding: "
+                              f"{culprit.render()}")
+        return patched, ""
+
+    # -- round-end whole-program verification -------------------------------
+
+    def _regressed_paths(self, counter: Counter) -> List[str]:
+        """Display paths whose pending fix must be rolled back."""
+        pending_paths = {record.path for record, _ in self._pending}
+        bad = set()
+        for fingerprint, count in counter.items():
+            if count <= self._last_counter.get(fingerprint, 0):
+                continue
+            path = fingerprint.split("::", 2)[1]
+            if path in pending_paths:
+                bad.add(path)
+            else:
+                # A cross-file regression (project rules can do that);
+                # no fix of this round is provably innocent.
+                bad |= pending_paths
+        for record, _ in self._pending:
+            if counter.get(record.fingerprint, 0) \
+                    >= self._last_counter.get(record.fingerprint, 0):
+                record.detail = "fix did not eliminate its finding"
+                bad.add(record.path)
+        return sorted(bad)
+
+    def _roll_back(self, bad_paths: Sequence[str]) -> None:
+        survivors: List[Tuple[AppliedFix, str]] = []
+        for record, before in self._pending:
+            if record.path not in bad_paths:
+                survivors.append((record, before))
+                continue
+            self.contents[self.by_display[record.path]] = before
+            record.status = ROLLED_BACK
+            if not record.detail:
+                record.detail = ("whole-program verification found a "
+                                 "regression")
+            self._blocked[(record.fingerprint,
+                           file_digest(before))] = record
+            self.rolled_back.append(record)
+        self._pending = survivors
+
+    def _record_failure(self, finding: Finding, status: str,
+                        description: str, detail: str,
+                        digest: Optional[str]) -> None:
+        record = AppliedFix(
+            path=finding.path, rule_id=finding.rule_id,
+            line=finding.line, col=finding.col,
+            description=description,
+            fingerprint=finding.fingerprint(), status=status,
+            detail=detail)
+        if status == SKIPPED_CONFLICT:
+            self._conflicts[record.fingerprint] = record
+            self.skipped.append(record)
+        else:
+            self._blocked[(record.fingerprint, digest or "")] = record
+            self.rolled_back.append(record)
+
+
+def _fixes_conflict(a: Fix, b: Fix) -> bool:
+    return any(ea.overlaps(eb) for ea in a.edits for eb in b.edits)

@@ -1,0 +1,110 @@
+"""GW004 autofix — exact float ``==``/``!=`` comparisons.
+
+The sanctioned replacement is :mod:`repro.numerics.tolerances`:
+
+* ``x == 0.0``  →  ``is_zero(x)``   (and ``!=`` → ``not is_zero(x)``)
+* ``a == b``    →  ``isclose(a, b)``  (``!=`` → ``not isclose(a, b)``)
+
+The rewrite replaces exactly the ``Compare`` node's span, so any
+parentheses around the comparison survive and the expression keeps its
+place in the surrounding syntax (``if``/``while`` tests, boolean
+operands, ternaries, f-strings).  Chained comparisons are declined —
+splitting ``a == b == c`` into conjunctions is a semantic decision a
+human should review.  The negated form relies on ``not`` binding
+looser than any operand expression; a rewrite that would change
+parsing fails the engine's re-parse/re-check verification and is
+rolled back rather than applied.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+from repro.staticcheck.core import FileContext, Finding
+from repro.staticcheck.fixers.model import (
+    Edit,
+    Fix,
+    Fixer,
+    line_starts,
+    module_binds_name,
+    node_span,
+    register_fixer,
+)
+
+TOLERANCES_MODULE = "repro.numerics.tolerances"
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) \
+            and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_zero_literal(node.operand)
+    return isinstance(node, ast.Constant) \
+        and isinstance(node.value, float) \
+        and node.value == 0.0  # greedwork: ignore[GW004] -- detecting the literal 0.0 token; exact by construction
+
+
+@register_fixer
+class FloatEqualityFixer(Fixer):
+    """Rewrite exact float ==/!= through repro.numerics.tolerances."""
+
+    rule_id = "GW004"
+    name = "float-equality"
+    description = ("rewrite float ==/!= into tolerances.isclose / "
+                   "tolerances.is_zero comparisons")
+    example = """\
+        def settled(delta, target):
+            if delta == 0.0:
+                return True
+            return delta != target * 2.0
+    """
+
+    def fix(self, ctx: FileContext, finding: Finding,
+            project: Optional[object] = None) -> Optional[Fix]:
+        located = _compare_at(ctx.tree, finding.line, finding.col - 1)
+        if located is None:
+            return None
+        compare = located
+        if len(compare.ops) != 1:
+            return None                 # chained comparison: human work
+        op = compare.ops[0]
+        left, right = compare.left, compare.comparators[0]
+        starts = line_starts(ctx.source)
+        left_src = ctx.source[slice(*node_span(ctx.source, starts,
+                                               left))]
+        right_src = ctx.source[slice(*node_span(ctx.source, starts,
+                                                right))]
+        helper, call = self._rewrite(left, right, left_src, right_src)
+        if helper is None:
+            return None
+        if module_binds_name(ctx.tree, helper) not in (
+                None, f"{TOLERANCES_MODULE}:{helper}"):
+            return None                 # helper name taken locally
+        if isinstance(op, ast.NotEq):
+            call = f"not {call}"
+        start, end = node_span(ctx.source, starts, compare)
+        return Fix(rule_id=self.rule_id, finding=finding,
+                   description=f"rewrite exact float comparison via "
+                               f"tolerances.{helper}",
+                   edits=[Edit(start, end, call)],
+                   imports=[(TOLERANCES_MODULE, helper)])
+
+    @staticmethod
+    def _rewrite(left: ast.expr, right: ast.expr, left_src: str,
+                 right_src: str) -> Tuple[Optional[str], str]:
+        if "\n" in left_src or "\n" in right_src:
+            return None, ""             # multi-line operand: keep layout
+        if _is_zero_literal(right):
+            return "is_zero", f"is_zero({left_src})"
+        if _is_zero_literal(left):
+            return "is_zero", f"is_zero({right_src})"
+        return "isclose", f"isclose({left_src}, {right_src})"
+
+
+def _compare_at(tree: ast.Module, line: int,
+                col: int) -> Optional[ast.Compare]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare) and node.lineno == line \
+                and node.col_offset == col:
+            return node
+    return None

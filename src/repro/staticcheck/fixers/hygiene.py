@@ -1,0 +1,124 @@
+"""GW005 autofix — mutable default arguments.
+
+The canonical repair: the default becomes ``None`` and the function
+constructs a fresh container per call::
+
+    def f(history=[]):        →    def f(history=None):
+        ...                             if history is None:
+                                            history = []
+                                        ...
+
+Only the unambiguous shape is rewritten: a plain (unannotated)
+parameter of a ``def`` whose default is a mutable literal or a
+zero-argument constructor call.  Annotated parameters are declined
+(the annotation would need an ``Optional[...]`` rewrite), as are
+lambdas (no body to hold the guard) and comprehension defaults (their
+free variables may mean something different inside the function).
+
+Shadowed-builtin findings are declined entirely: renaming a binding is
+a scope-analysis problem, not a span rewrite, and a wrong rename is a
+silent behavior change — exactly what the verification loop exists to
+prevent, so we do not gamble against it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.staticcheck.core import FileContext, Finding
+from repro.staticcheck.fixers.model import (
+    Edit,
+    Fix,
+    Fixer,
+    line_starts,
+    node_span,
+    offset_of,
+    register_fixer,
+)
+
+_SAFE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+@register_fixer
+class MutableDefaultFixer(Fixer):
+    """Rewrite mutable defaults to the None-plus-guard idiom."""
+
+    rule_id = "GW005"
+    name = "mutable-default"
+    description = ("replace a mutable default argument with None and "
+                   "a construct-per-call guard in the body")
+    example = """\
+        def record(value, history=[]):
+            history.append(value)
+            return history
+    """
+
+    def fix(self, ctx: FileContext, finding: Finding,
+            project: Optional[object] = None) -> Optional[Fix]:
+        if "mutable default argument" not in finding.message:
+            return None                 # shadowed builtins: human work
+        located = _owner_of_default(ctx.tree, finding.line,
+                                    finding.col - 1)
+        if located is None:
+            return None
+        func, param, default = located
+        if param.annotation is not None:
+            return None                 # would need Optional[...] too
+        if not _safe_default(default):
+            return None
+        starts = line_starts(ctx.source)
+        body = func.body
+        insert_at = 1 if _is_docstring(body[0]) else 0
+        if len(body) <= insert_at:
+            return None
+        anchor = body[insert_at]
+        if anchor.lineno <= func.lineno:
+            return None                 # one-line def: no body lines
+        default_src = ctx.source[slice(*node_span(ctx.source, starts,
+                                                  default))]
+        indent = " " * anchor.col_offset
+        guard = (f"if {param.arg} is None:\n"
+                 f"{indent}    {param.arg} = {default_src}\n{indent}")
+        insert = offset_of(ctx.source, starts, anchor.lineno,
+                           anchor.col_offset)
+        start, end = node_span(ctx.source, starts, default)
+        return Fix(rule_id=self.rule_id, finding=finding,
+                   description=f"default {param.arg}=None with a "
+                               f"construct-per-call guard",
+                   edits=[Edit(start, end, "None"),
+                          Edit(insert, insert, guard)])
+
+
+def _safe_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _SAFE_CONSTRUCTORS
+            and not node.args and not node.keywords)
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, ast.Expr) \
+        and isinstance(stmt.value, ast.Constant) \
+        and isinstance(stmt.value.value, str)
+
+
+def _owner_of_default(tree: ast.Module, line: int, col: int):
+    """(function, parameter, default-node) owning the flagged default."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        owners = positional[len(positional) - len(args.defaults):]
+        pairs = list(zip(owners, args.defaults)) + [
+            (arg, default) for arg, default
+            in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None]
+        for param, default in pairs:
+            if default.lineno == line and default.col_offset == col:
+                return node, param, default
+    return None

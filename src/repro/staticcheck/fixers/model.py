@@ -1,0 +1,304 @@
+"""Span-anchored fix model and the fixer registry.
+
+A *fix* is a pure description of a source rewrite: an ordered list of
+:class:`Edit` replacements over one file's current text, plus the
+``from``-imports the rewritten code needs.  Fixers never touch the
+filesystem — the engine (:mod:`repro.staticcheck.fixers.engine`)
+applies fixes transactionally, re-verifies the result under the full
+rule suite, and rolls back anything that fails, so a fixer only has to
+be *usually* right, never trusted.
+
+Spans are character offsets into the file's source string.  AST
+``col_offset`` values are UTF-8 *byte* offsets into the line, so the
+helpers here (:func:`node_span`, :func:`offset_of`) do the conversion
+once and fixers work purely in character coordinates.
+
+A fixer registers against one rule id with :func:`register_fixer`,
+mirroring the rule registry in :mod:`repro.staticcheck.core`; the
+engine routes each finding to the fixer for its rule (if any) and a
+fixer declines any individual finding by returning ``None`` from
+:meth:`Fixer.fix`.  Every fixer also carries a minimal ``example``
+snippet that must trigger its rule and be cleanly, idempotently fixed
+— the property tests in ``tests/test_staticcheck_fix.py`` run every
+registered fixer against its own example, so an unfixable example is a
+test failure, not latent debt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.staticcheck.core import FileContext, Finding
+
+
+@dataclass(frozen=True)
+class Edit:
+    """Replace ``source[start:end]`` with ``replacement``.
+
+    Offsets are character positions in the file's *current* text (the
+    text the fixer's :class:`~repro.staticcheck.core.FileContext` was
+    built from).  ``start == end`` is a pure insertion.
+    """
+
+    start: int
+    end: int
+    replacement: str
+
+    def overlaps(self, other: "Edit") -> bool:
+        """Whether the two spans intersect (shared insertion points
+        count: two insertions at one offset have no defined order)."""
+        if self.start == self.end or other.start == other.end:
+            return other.start <= self.start <= other.end \
+                if self.start == self.end \
+                else self.start <= other.start <= self.end
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class Fix:
+    """One verified-appliable rewrite for one finding in one file."""
+
+    rule_id: str
+    finding: Finding
+    description: str
+    edits: List[Edit]
+    #: ``(module, name)`` pairs to ensure are imported at module level.
+    imports: List[Tuple[str, str]] = field(default_factory=list)
+
+    def span(self) -> Tuple[int, int]:
+        """Covering span of every edit (for conflict ordering)."""
+        return (min(e.start for e in self.edits),
+                max(e.end for e in self.edits))
+
+    def self_consistent(self) -> bool:
+        """Edits in-order appliable: pairwise non-overlapping."""
+        edits = sorted(self.edits, key=lambda e: (e.start, e.end))
+        return all(not a.overlaps(b) for a, b in zip(edits, edits[1:]))
+
+
+class Fixer:
+    """Base class for autofixers; subclasses set the class attributes."""
+
+    #: The rule whose findings this fixer repairs.
+    rule_id: str = "GW000"
+    name: str = "unnamed-fixer"
+    description: str = ""
+    #: Whether :meth:`fix` needs the whole-program
+    #: :class:`~repro.staticcheck.project.ProjectContext`.
+    requires_project: bool = False
+    #: Minimal source that triggers the rule and that this fixer must
+    #: fix cleanly and idempotently (exercised by the property tests).
+    example: str = ""
+    #: Project-relative path the example should be materialized at
+    #: (some rules only fire in particular packages).
+    example_path: str = "src/repro/sim/fixture_mod.py"
+
+    def fix(self, ctx: FileContext, finding: Finding,
+            project: Optional[object] = None) -> Optional[Fix]:
+        """A :class:`Fix` for one finding, or ``None`` to decline."""
+        raise NotImplementedError
+
+
+_FIXERS: Dict[str, Type[Fixer]] = {}
+
+
+def register_fixer(cls: Type[Fixer]) -> Type[Fixer]:
+    """Class decorator adding a fixer to the global registry."""
+    if cls.rule_id in _FIXERS:
+        raise ValueError(f"duplicate fixer for rule {cls.rule_id}")
+    _FIXERS[cls.rule_id] = cls
+    return cls
+
+
+def unregister_fixer(rule_id: str) -> None:
+    """Remove a fixer registration (tests install temporary fixers)."""
+    _FIXERS.pop(rule_id, None)
+
+
+def all_fixers() -> List[Fixer]:
+    """Fresh instances of every registered fixer, ordered by rule id."""
+    _load_builtin_fixers()
+    return [_FIXERS[rule_id]() for rule_id in sorted(_FIXERS)]
+
+
+def fixer_for(rule_id: str) -> Optional[Fixer]:
+    """Instantiate the fixer registered for ``rule_id``, if any."""
+    _load_builtin_fixers()
+    cls = _FIXERS.get(rule_id)
+    return cls() if cls is not None else None
+
+
+def fixable_rule_ids() -> List[str]:
+    """Rule ids for which an autofixer is registered."""
+    _load_builtin_fixers()
+    return sorted(_FIXERS)
+
+
+def _load_builtin_fixers() -> None:
+    # Imported lazily to avoid a cycle (fixer modules import this one).
+    import repro.staticcheck.fixers  # noqa: F401
+
+
+# -- span helpers ------------------------------------------------------------
+
+def line_starts(source: str) -> List[int]:
+    """Character offset of the start of each (1-based) line."""
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def offset_of(source: str, starts: Sequence[int],
+              lineno: int, byte_col: int) -> int:
+    """Character offset of a ``(lineno, col_offset)`` AST location."""
+    base = starts[lineno - 1]
+    if byte_col <= 0:
+        return base
+    line_end = starts[lineno] - 1 if lineno < len(starts) else len(source)
+    line = source[base:line_end]
+    raw = line.encode("utf-8")[:byte_col]
+    return base + len(raw.decode("utf-8", errors="ignore"))
+
+
+def node_span(source: str, starts: Sequence[int],
+              node: ast.AST) -> Tuple[int, int]:
+    """``(start, end)`` character span of an AST node."""
+    start = offset_of(source, starts, node.lineno, node.col_offset)
+    end = offset_of(source, starts, node.end_lineno,
+                    node.end_col_offset)
+    return start, end
+
+
+def apply_edits(source: str, edits: Sequence[Edit]) -> str:
+    """Apply non-overlapping edits (validated by the caller)."""
+    out = source
+    for edit in sorted(edits, key=lambda e: e.start, reverse=True):
+        out = out[:edit.start] + edit.replacement + out[edit.end:]
+    return out
+
+
+# -- import insertion --------------------------------------------------------
+
+def module_binds_name(tree: ast.Module, name: str) -> Optional[str]:
+    """Dotted origin of a module-level binding of ``name``, if any.
+
+    Returns ``"pkg.mod:attr"`` for a from-import, ``"pkg.mod"`` for a
+    module import bound to ``name``, the sentinel ``"<local>"`` for a
+    def/class/assignment, and ``None`` when the name is unbound.
+    """
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module is not None:
+            for alias in node.names:
+                if (alias.asname or alias.name) == name:
+                    return f"{node.module}:{alias.name}"
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound == name:
+                    return alias.name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            if node.name == name:
+                return "<local>"
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return "<local>"
+    return None
+
+
+def _missing_imports(tree: ast.Module,
+                    wanted: Sequence[Tuple[str, str]]
+                    ) -> List[Tuple[str, str]]:
+    """The subset of ``(module, name)`` pairs not already imported."""
+    out = []
+    seen = set()
+    for module, name in wanted:
+        if module_binds_name(tree, name) != f"{module}:{name}" \
+                and (module, name) not in seen:
+            seen.add((module, name))
+            out.append((module, name))
+    return out
+
+
+def _char_col(line: str, byte_col: int) -> int:
+    """Character column for a UTF-8 byte column within one line."""
+    raw = line.encode("utf-8")[:byte_col]
+    return len(raw.decode("utf-8", errors="ignore"))
+
+
+def insert_imports(source: str,
+                   wanted: Sequence[Tuple[str, str]]) -> str:
+    """Ensure ``from module import name`` bindings exist in ``source``.
+
+    Pairs already imported are skipped.  A module that already has a
+    single-line ``from module import ...`` statement gets the new
+    names merged into it (existing names keep their order and any
+    trailing comment survives); remaining modules get fresh import
+    lines after the leading import block, or after the module
+    docstring when there are no imports at all.  Returns ``source``
+    unchanged when nothing is missing.
+    """
+    tree = ast.parse(source)
+    needed = _missing_imports(tree, wanted)
+    if not needed:
+        return source
+    by_module: Dict[str, List[str]] = {}
+    for module, name in needed:
+        by_module.setdefault(module, [])
+        if name not in by_module[module]:
+            by_module[module].append(name)
+    source_lines = source.splitlines(True)
+    fresh: List[str] = []
+    for module, names in sorted(by_module.items()):
+        target = None
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom) \
+                    and node.module == module and node.level == 0 \
+                    and node.lineno == node.end_lineno \
+                    and all(alias.name != "*" for alias in node.names):
+                target = node
+                break
+        if target is None:
+            fresh.append(f"from {module} import "
+                         f"{', '.join(sorted(names))}")
+            continue
+        line = source_lines[target.lineno - 1]
+        start = _char_col(line, target.col_offset)
+        end = _char_col(line, target.end_col_offset)
+        rendered = [alias.name if alias.asname is None
+                    else f"{alias.name} as {alias.asname}"
+                    for alias in target.names] + sorted(names)
+        source_lines[target.lineno - 1] = (
+            line[:start] + f"from {module} import "
+            + ", ".join(rendered) + line[end:])
+    if not fresh:
+        return "".join(source_lines)
+    insert_after = 0                    # line number (1-based) to follow
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            insert_after = max(insert_after, node.end_lineno)
+        elif isinstance(node, ast.Expr) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str) \
+                and insert_after == 0:
+            insert_after = node.end_lineno      # module docstring
+        else:
+            break
+    text = "".join(line + "\n" for line in fresh)
+    if insert_after == 0:
+        if source and not source.startswith("\n"):
+            text += "\n"                # keep imports a distinct block
+        return text + source
+    head = "".join(source_lines[:insert_after])
+    tail = "".join(source_lines[insert_after:])
+    if not head.endswith("\n"):
+        head += "\n"
+    return head + text + tail

@@ -1,0 +1,110 @@
+"""GW106 autofix — fixed-horizon ``simulate()`` in experiments.
+
+The rewrite scaffolds the adaptive-precision form::
+
+    simulate(cfg)   →   simulate_to_precision(
+                            cfg, target_halfwidth=0.05).result
+
+``simulate_to_precision`` runs the same engine in growing horizon
+chunks and stops once every per-user CI half-width meets the target,
+and ``PrecisionResult.result`` is the plain ``SimulationResult`` of
+the final chunk — so the rewritten call site keeps its type and only
+trades a pessimistic fixed horizon for a sequential stopping rule.
+The 0.05 delay-unit default is a *scaffold*: experiments with a
+principled target should tighten it, and sites with no CI target at
+all (divergent queues, loss fractions) should suppress GW106 with
+that reason instead of taking this rewrite.
+
+Only the unambiguous call shape is rewritten — exactly one positional
+argument (the config) and no keywords.  Keyword-bearing or multi-arg
+``simulate`` calls are some other API and are declined.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.staticcheck.core import FileContext, Finding
+from repro.staticcheck.fixers.model import (
+    Edit,
+    Fix,
+    Fixer,
+    line_starts,
+    module_binds_name,
+    node_span,
+    register_fixer,
+)
+
+RUNNER_MODULE = "repro.sim.runner"
+PRECISION_NAME = "simulate_to_precision"
+
+#: Scaffold CI half-width (delay units) when the experiment has not
+#: chosen one; tighten per-experiment after the rewrite.
+DEFAULT_SCAFFOLD_TARGET = 0.05
+
+
+@register_fixer
+class PrecisionScaffoldFixer(Fixer):
+    """Scaffold simulate() into simulate_to_precision(...).result."""
+
+    rule_id = "GW106"
+    name = "precision-scaffold"
+    description = ("rewrite fixed-horizon simulate(cfg) into a "
+                   "simulate_to_precision(cfg, target_halfwidth=...) "
+                   ".result scaffold")
+    example = """\
+        from repro.sim.runner import SimulationConfig, simulate
+
+
+        def run(config: SimulationConfig):
+            result = simulate(config)
+            return result.mean_delays
+    """
+    example_path = "src/repro/experiments/fixture_exp.py"
+
+    def fix(self, ctx: FileContext, finding: Finding,
+            project: Optional[object] = None) -> Optional[Fix]:
+        call = _simulate_call_at(ctx.tree, finding.line,
+                                 finding.col - 1)
+        if call is None:
+            return None
+        if len(call.args) != 1 or call.keywords \
+                or isinstance(call.args[0], ast.Starred):
+            return None                 # not the bare simulate(cfg) shape
+        starts = line_starts(ctx.source)
+        arg_src = ctx.source[slice(*node_span(ctx.source, starts,
+                                              call.args[0]))]
+        if "\n" in arg_src:
+            return None                 # multi-line config expr: keep layout
+        imports = []
+        if isinstance(call.func, ast.Attribute):
+            prefix_src = ctx.source[slice(*node_span(
+                ctx.source, starts, call.func.value))]
+            if "\n" in prefix_src:
+                return None
+            callee = f"{prefix_src}.{PRECISION_NAME}"
+        else:
+            bound = module_binds_name(ctx.tree, PRECISION_NAME)
+            if bound not in (None, f"{RUNNER_MODULE}:{PRECISION_NAME}"):
+                return None             # name taken by something else
+            callee = PRECISION_NAME
+            imports = [(RUNNER_MODULE, PRECISION_NAME)]
+        replacement = (f"{callee}({arg_src}, target_halfwidth="
+                       f"{DEFAULT_SCAFFOLD_TARGET}).result")
+        start, end = node_span(ctx.source, starts, call)
+        return Fix(rule_id=self.rule_id, finding=finding,
+                   description=("scaffold simulate_to_precision with "
+                                f"target_halfwidth="
+                                f"{DEFAULT_SCAFFOLD_TARGET}"),
+                   edits=[Edit(start, end, replacement)],
+                   imports=imports)
+
+
+def _simulate_call_at(tree: ast.Module, line: int,
+                      col: int) -> Optional[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and node.lineno == line \
+                and node.col_offset == col:
+            return node
+    return None

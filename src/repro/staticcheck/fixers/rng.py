@@ -1,0 +1,118 @@
+"""GW003 autofix — raw ``np.random.default_rng`` construction.
+
+The only GW003 shape with a mechanically safe rewrite is the raw
+``default_rng`` construction: the call's *arguments* are already a
+valid seed for :func:`repro.numerics.rng.default_rng`, so routing the
+construction through the sanctioned helper preserves behavior exactly
+(the helper is a pass-through around ``np.random.default_rng`` plus
+the documented ``None``-seed policy).  Two spellings are handled:
+
+* dotted calls (``np.random.default_rng(s)``, ``numpy.random.
+  default_rng(s)``, aliased modules) — the callee expression is
+  replaced by ``default_rng`` and the sanctioned import added;
+* bare calls under ``from numpy.random import default_rng`` — the
+  *import* is retargeted at ``repro.numerics.rng``, repairing every
+  call site in the file at once.
+
+Legacy global-state calls (``np.random.seed``/``uniform``/...) and
+stdlib ``random`` imports have no safe rewrite — they need a
+``Generator`` threaded through the caller — so the fixer declines
+those findings and they stay human work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.staticcheck.core import FileContext, Finding
+from repro.staticcheck.fixers.model import (
+    Edit,
+    Fix,
+    Fixer,
+    line_starts,
+    module_binds_name,
+    node_span,
+    register_fixer,
+)
+
+#: The sanctioned construction helper the rewrite routes through.
+SANCTIONED_MODULE = "repro.numerics.rng"
+SANCTIONED_NAME = "default_rng"
+
+
+@register_fixer
+class RawDefaultRNGFixer(Fixer):
+    """Route raw default_rng construction through repro.numerics.rng."""
+
+    rule_id = "GW003"
+    name = "raw-default-rng"
+    description = ("rewrite np.random.default_rng(...) to the "
+                   "sanctioned repro.numerics.rng.default_rng(...)")
+    example = """\
+        import numpy as np
+
+
+        def sample(seed):
+            rng = np.random.default_rng(seed)
+            return rng.uniform()
+    """
+
+    def fix(self, ctx: FileContext, finding: Finding,
+            project: Optional[object] = None) -> Optional[Fix]:
+        if "raw np.random.default_rng" not in finding.message:
+            return None                 # legacy/stdlib shapes: no rewrite
+        call = _call_at(ctx.tree, finding.line, finding.col - 1)
+        if call is None:
+            return None
+        starts = line_starts(ctx.source)
+        bound = module_binds_name(ctx.tree, SANCTIONED_NAME)
+        if isinstance(call.func, ast.Name):
+            # Bare call: retarget the `from numpy.random import
+            # default_rng` binding at the sanctioned module.
+            import_edit = _retarget_import(ctx, starts, call.func.id)
+            if import_edit is None:
+                return None
+            edits = [import_edit]
+            imports = []
+        else:
+            if bound not in (None, f"{SANCTIONED_MODULE}:"
+                                   f"{SANCTIONED_NAME}"):
+                return None             # name taken by something else
+            start, end = node_span(ctx.source, starts, call.func)
+            edits = [Edit(start, end, SANCTIONED_NAME)]
+            imports = [(SANCTIONED_MODULE, SANCTIONED_NAME)]
+        return Fix(rule_id=self.rule_id, finding=finding,
+                   description=("route default_rng construction "
+                                "through repro.numerics.rng"),
+                   edits=edits, imports=imports)
+
+
+def _call_at(tree: ast.Module, line: int,
+             col: int) -> Optional[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and node.lineno == line \
+                and node.col_offset == col:
+            return node
+    return None
+
+
+def _retarget_import(ctx: FileContext, starts, bound_name: str
+                     ) -> Optional[Edit]:
+    """Edit turning ``from numpy.random import X`` into the sanctioned
+    import, or ``None`` when the import is shared or aliased oddly."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ImportFrom) \
+                or node.module != "numpy.random":
+            continue
+        for alias in node.names:
+            if (alias.asname or alias.name) != bound_name:
+                continue
+            if alias.name != "default_rng" or len(node.names) != 1:
+                return None             # shared import line: too risky
+            start, end = node_span(ctx.source, starts, node)
+            asname = f" as {alias.asname}" if alias.asname else ""
+            return Edit(start, end,
+                        f"from {SANCTIONED_MODULE} import "
+                        f"default_rng{asname}")
+    return None

@@ -1,0 +1,218 @@
+"""GW301 autofix — privatize dead public API.
+
+The rule's verdict is whole-program ("no *other* module references
+this name"), so the repair is local to the defining module: rename the
+symbol ``name`` → ``_name`` at its definition, at every in-module
+reference, and drop it from ``__all__`` if listed.  The engine's
+verification pass re-runs the *project* rules over the patched tree,
+so a rename that somehow left an external reference dangling would
+surface as a new finding and be rolled back.
+
+The rename is plain token surgery over ``Name`` nodes, so the fixer
+declines whenever identifier identity is not syntactically obvious:
+
+* the name is bound inside any function scope (a shadowing local or
+  parameter would be captured by a blind rename);
+* the name appears as an attribute (``obj.name``) — almost certainly
+  unrelated, but not provably so without type inference;
+* the name appears in a string constant outside ``__all__`` (dynamic
+  ``getattr``-style dispatch);
+* ``_name`` is already bound in the module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Tuple
+
+from repro.staticcheck.core import FileContext, Finding
+from repro.staticcheck.fixers.model import (
+    Edit,
+    Fix,
+    Fixer,
+    line_starts,
+    node_span,
+    offset_of,
+    register_fixer,
+)
+
+_NAME_RE = re.compile(r"'([^']+)'")
+_DEF_RE = re.compile(r"(?:async[ \t]+def|def|class)[ \t]+(\w+)")
+
+
+@register_fixer
+class PrivatizeDeadAPIFixer(Fixer):
+    """Rename an unreferenced public symbol to its private form."""
+
+    rule_id = "GW301"
+    name = "privatize-dead-api"
+    description = ("rename a dead public function/class to '_name' at "
+                   "its definition and every in-module reference")
+    requires_project = True
+    example = """\
+        def orphan_helper(x):
+            return x + 1
+    """
+
+    def fix(self, ctx: FileContext, finding: Finding,
+            project: Optional[object] = None) -> Optional[Fix]:
+        match = _NAME_RE.search(finding.message)
+        if match is None:
+            return None
+        name = match.group(1)
+        new_name = f"_{name}"
+        tree = ctx.tree
+        definition = _module_level_def(tree, name)
+        if definition is None:
+            return None
+        if _module_binds(tree, new_name):
+            return None                 # privatized name already taken
+        if _bound_in_function_scope(tree, name):
+            return None                 # shadowing local: rename unsafe
+        if any(isinstance(node, ast.Attribute) and node.attr == name
+               for node in ast.walk(tree)):
+            return None                 # obj.name: not provably unrelated
+        dunder_all = _dunder_all(tree)
+        if _string_use_outside_all(tree, name, dunder_all):
+            return None                 # dynamic dispatch by string
+        if project is not None and getattr(ctx, "module", None):
+            used_outside = getattr(project, "name_used_outside", None)
+            if used_outside is not None \
+                    and used_outside(ctx.module, name):
+                return None             # stale finding: now referenced
+        starts = line_starts(ctx.source)
+        edits = [_def_token_edit(ctx.source, starts, definition,
+                                 name, new_name)]
+        if edits[0] is None:
+            return None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and node.id == name:
+                edits.append(Edit(*node_span(ctx.source, starts, node),
+                                  replacement=new_name))
+        if dunder_all is not None:
+            all_edit = _drop_from_all(ctx.source, starts, dunder_all,
+                                      name)
+            if all_edit is False:
+                return None             # listed, but layout too fancy
+            if all_edit is not None:
+                edits.append(all_edit)
+        return Fix(rule_id=self.rule_id, finding=finding,
+                   description=f"privatize {name!r} as {new_name!r}",
+                   edits=edits)
+
+
+def _module_level_def(tree: ast.Module, name: str) -> Optional[ast.AST]:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)) and node.name == name:
+            return node
+    return None
+
+
+def _module_binds(tree: ast.Module, name: str) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)) and node.name == name:
+            return True
+        if isinstance(node, ast.Name) and node.id == name:
+            return True
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound == name:
+                    return True
+    return False
+
+
+def _bound_in_function_scope(tree: ast.Module, name: str) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            args = node.args
+            params = (args.posonlyargs + args.args + args.kwonlyargs
+                      + ([args.vararg] if args.vararg else [])
+                      + ([args.kwarg] if args.kwarg else []))
+            if any(arg.arg == name for arg in params):
+                return True
+            body = node.body if isinstance(node.body, list) \
+                else [node.body]
+            # A global declaration makes stores refer to the module
+            # symbol — renamed consistently.
+            is_global = _declared_global(node, name)
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Name) and sub.id == name \
+                            and isinstance(sub.ctx,
+                                           (ast.Store, ast.Del)):
+                        if not is_global:
+                            return True
+        elif isinstance(node, ast.comprehension):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+    return False
+
+
+def _declared_global(func: ast.AST, name: str) -> bool:
+    return any(isinstance(sub, ast.Global) and name in sub.names
+               for sub in ast.walk(func))
+
+
+def _dunder_all(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == "__all__":
+            return node
+    return None
+
+
+def _string_use_outside_all(tree: ast.Module, name: str,
+                            dunder_all: Optional[ast.Assign]) -> bool:
+    exempt = set()
+    if dunder_all is not None:
+        exempt = {id(sub) for sub in ast.walk(dunder_all.value)}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and node.value == name \
+                and id(node) not in exempt:
+            return True
+    return False
+
+
+def _def_token_edit(source: str, starts, definition: ast.AST,
+                    name: str, new_name: str) -> Optional[Edit]:
+    start = offset_of(source, starts, definition.lineno,
+                      definition.col_offset)
+    match = _DEF_RE.match(source, start)
+    if match is None or match.group(1) != name:
+        return None
+    return Edit(match.start(1), match.end(1), new_name)
+
+
+def _drop_from_all(source: str, starts, dunder_all: ast.Assign,
+                   name: str):
+    """Edit removing ``name`` from a single-line ``__all__`` literal.
+
+    ``None`` when the name is not listed; ``False`` when it is listed
+    but the literal is multi-line (decline rather than mangle layout).
+    """
+    value = dunder_all.value
+    if not isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+        return None
+    keep: List[Tuple[int, int]] = []
+    listed = False
+    for element in value.elts:
+        if isinstance(element, ast.Constant) and element.value == name:
+            listed = True
+        else:
+            keep.append(node_span(source, starts, element))
+    if not listed:
+        return None
+    if value.lineno != value.end_lineno:
+        return False
+    open_ch, close_ch = {ast.List: ("[", "]"), ast.Tuple: ("(", ")"),
+                         ast.Set: ("{", "}")}[type(value)]
+    body = ", ".join(source[s:e] for s, e in keep)
+    start, end = node_span(source, starts, value)
+    return Edit(start, end, f"{open_ch}{body}{close_ch}")

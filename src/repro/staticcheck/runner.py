@@ -98,6 +98,36 @@ def _read_error_finding(path: Path, root: Path, exc: Exception) -> Finding:
                    line=1, col=1, message=f"cannot read file: {exc}")
 
 
+def reference_sources(root: Path, reference_roots: Sequence[str],
+                      analyzed_resolved: Iterable[Path]
+                      ) -> Dict[Path, str]:
+    """Sources of reference-only files for whole-program rules.
+
+    Scans each ``reference_roots`` subdirectory of ``root`` for
+    ``.py`` files not already in ``analyzed_resolved`` (resolved
+    paths), skipping build/VCS internals; unreadable files are
+    silently dropped (reference context is best-effort).  Shared by
+    :func:`run_checks` and the fix engine so both see the same
+    whole-program scope.
+    """
+    analyzed = set(analyzed_resolved)
+    out: Dict[Path, str] = {}
+    for root_name in reference_roots:
+        ref_root = root / root_name
+        if not ref_root.is_dir():
+            continue
+        for path in sorted(ref_root.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            if path.resolve() in analyzed:
+                continue
+            try:
+                out[path] = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue
+    return out
+
+
 def _parse_error_finding(ctx: FileContext) -> Finding:
     exc = ctx.parse_error
     assert exc is not None
@@ -258,21 +288,8 @@ def run_checks(paths: Sequence[Union[str, Path]],
 
     # -- 4. project rules ---------------------------------------------------
     if project_rules:
-        reference: Dict[Path, str] = {}
-        analyzed_resolved = {p.resolve() for p in sources}
-        for root_name in reference_roots:
-            ref_root = root / root_name
-            if not ref_root.is_dir():
-                continue
-            for path in sorted(ref_root.rglob("*.py")):
-                if any(part in _SKIP_DIRS for part in path.parts):
-                    continue
-                if path.resolve() in analyzed_resolved:
-                    continue
-                try:
-                    reference[path] = path.read_text(encoding="utf-8")
-                except (OSError, UnicodeDecodeError):
-                    continue
+        reference = reference_sources(root, reference_roots,
+                                      (p.resolve() for p in sources))
         scope_hashes = dict(hashes)
         for path, source in reference.items():
             scope_hashes[display_path_for(path, root)] = \

@@ -1,0 +1,305 @@
+"""The autofix engine: fixer property tests, conflicts, rollbacks.
+
+Every registered fixer carries a minimal ``example`` snippet; the
+property tests materialize each example in a synthetic package tree
+and assert the engine fixes it cleanly (its rule's finding is
+eliminated, the tree checks clean afterwards) and idempotently (a
+second run rewrites nothing).  The same invariant is asserted against
+the real repository: ``repro fix`` over ``src/`` + ``tests/`` must be
+a byte-for-byte no-op, which is exactly the CI fix-clean gate.
+
+Stub fixers injected through ``run_fix(fixers=...)`` exercise the
+failure paths a well-behaved fixer never takes: overlapping edits in
+one file are skipped (never merged), a fix that fails to eliminate
+its finding is rejected by per-fix verification, and a fix that
+regresses a *whole-program* rule in another file is rolled back by
+the round-end check.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    get_rule,
+    load_baseline,
+    run_checks,
+    write_baseline,
+)
+from repro.staticcheck.fixers import (
+    Edit,
+    Fix,
+    Fixer,
+    all_fixers,
+    apply_edits,
+    fixable_rule_ids,
+    insert_imports,
+    register_fixer,
+    run_fix,
+)
+from repro.staticcheck.fixers.model import line_starts, offset_of
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FIXABLE = ["GW003", "GW004", "GW005", "GW106", "GW301"]
+
+
+def materialize_example(root: Path, fixer: Fixer) -> Path:
+    """Write the fixer's example at its example_path, with packages."""
+    path = root / fixer.example_path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    for parent in path.parents:
+        if parent == root:
+            break
+        if parent.name != "src":
+            (parent / "__init__.py").touch()
+    path.write_text(textwrap.dedent(fixer.example))
+    return path
+
+
+class TestRegistry:
+    def test_fixable_rule_ids(self):
+        assert fixable_rule_ids() == FIXABLE
+
+    def test_every_fixer_targets_a_registered_rule(self):
+        for fixer in all_fixers():
+            rule = get_rule(fixer.rule_id)
+            assert rule.rule_id == fixer.rule_id
+            assert fixer.example.strip(), fixer.rule_id
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate(Fixer):
+            rule_id = "GW003"
+
+        with pytest.raises(ValueError):
+            register_fixer(Duplicate)
+
+
+class TestSpanHelpers:
+    def test_overlap_detection(self):
+        assert Edit(0, 5, "x").overlaps(Edit(4, 8, "y"))
+        assert not Edit(0, 5, "x").overlaps(Edit(5, 8, "y"))
+        # Two insertions at one offset have no defined order.
+        assert Edit(3, 3, "a").overlaps(Edit(3, 3, "b"))
+        assert Edit(3, 3, "a").overlaps(Edit(1, 3, "b"))
+
+    def test_apply_edits_is_order_independent(self):
+        source = "abcdef"
+        edits = [Edit(0, 2, "X"), Edit(4, 6, "Y")]
+        assert apply_edits(source, edits) == "XcdY"
+        assert apply_edits(source, list(reversed(edits))) == "XcdY"
+
+    def test_offset_of_converts_utf8_byte_columns(self):
+        source = "x = 'héllo'\ny = 1\n"
+        starts = line_starts(source)
+        # 'é' is two bytes: byte column 8 is character column 7.
+        assert source[offset_of(source, starts, 1, 8)] == "l"
+        assert offset_of(source, starts, 2, 0) == source.index("y")
+
+    def test_insert_imports_merges_existing_line(self):
+        source = ("from repro.sim.runner import SimulationConfig, "
+                  "simulate  # noqa\n\nsimulate(SimulationConfig())\n")
+        merged = insert_imports(
+            source, [("repro.sim.runner", "simulate_to_precision")])
+        assert ("from repro.sim.runner import SimulationConfig, "
+                "simulate, simulate_to_precision  # noqa\n") in merged
+        assert merged.count("from repro.sim.runner") == 1
+
+    def test_insert_imports_fresh_line_after_import_block(self):
+        source = "import numpy as np\n\nx = np.zeros(3)\n"
+        patched = insert_imports(
+            source, [("repro.numerics.rng", "default_rng")])
+        assert patched.startswith(
+            "import numpy as np\n"
+            "from repro.numerics.rng import default_rng\n")
+
+    def test_insert_imports_tops_bare_module_with_blank_line(self):
+        patched = insert_imports(
+            "x = 1\n", [("repro.numerics.rng", "default_rng")])
+        assert patched == ("from repro.numerics.rng import "
+                           "default_rng\n\nx = 1\n")
+
+    def test_insert_imports_noop_when_already_bound(self):
+        source = "from repro.numerics.rng import default_rng\n"
+        assert insert_imports(
+            source, [("repro.numerics.rng", "default_rng")]) is source
+
+
+class TestFixerExamples:
+    """Every registered fixer fixes its own example, idempotently."""
+
+    @pytest.mark.parametrize("rule_id", FIXABLE)
+    def test_example_fixed_cleanly(self, tmp_path, rule_id):
+        fixer = next(f for f in all_fixers() if f.rule_id == rule_id)
+        path = materialize_example(tmp_path, fixer)
+        result = run_fix([tmp_path / "src"], project_root=tmp_path)
+        assert any(r.rule_id == rule_id for r in result.fixed), \
+            [r.render() for r in
+             result.fixed + result.skipped + result.rolled_back]
+        assert result.skipped == []
+        assert result.rolled_back == []
+        assert result.check.findings == []
+        assert path.read_text() != textwrap.dedent(fixer.example)
+
+    @pytest.mark.parametrize("rule_id", FIXABLE)
+    def test_second_run_is_a_noop(self, tmp_path, rule_id):
+        fixer = next(f for f in all_fixers() if f.rule_id == rule_id)
+        path = materialize_example(tmp_path, fixer)
+        run_fix([tmp_path / "src"], project_root=tmp_path)
+        settled = path.read_text()
+        again = run_fix([tmp_path / "src"], project_root=tmp_path)
+        assert not again.changed
+        assert again.fixed == []
+        assert path.read_text() == settled
+
+    def test_repo_tree_is_a_fixed_point(self):
+        """The committed tree has nothing left for the fixers to do."""
+        result = run_fix([REPO_ROOT / "src", REPO_ROOT / "tests"],
+                         project_root=REPO_ROOT, dry_run=True)
+        assert not result.changed, result.diffs
+        assert result.fixed == []
+        assert result.skipped == []
+        assert result.rolled_back == []
+
+
+class _WholeLineFixer(Fixer):
+    """Replaces the whole line of every GW004 finding (stub)."""
+
+    rule_id = "GW004"
+    description = "rewrite the comparison's whole line"
+
+    def __init__(self, replacement: str) -> None:
+        self.replacement = replacement
+
+    def fix(self, ctx, finding, project=None):
+        starts = line_starts(ctx.source)
+        start = starts[finding.line - 1]
+        end = starts[finding.line] if finding.line < len(starts) \
+            else len(ctx.source)
+        return Fix(rule_id=self.rule_id, finding=finding,
+                   description=self.description,
+                   edits=[Edit(start, end, self.replacement)],
+                   imports=[("repro.numerics.tolerances", "is_zero")])
+
+
+class TestConflicts:
+    def test_overlapping_fixes_skip_never_merge(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def run(x, y):\n"
+                       "    return x == 0.0 and y == 0.0\n")
+        stub = _WholeLineFixer(
+            "    return is_zero(x) and is_zero(y)\n")
+        result = run_fix([mod], project_root=tmp_path,
+                         rules=[get_rule("GW004")], fixers=[stub])
+        # Both findings sit on one line; the two whole-line rewrites
+        # overlap, so exactly one is applied and one is skipped.
+        assert len(result.fixed) == 1
+        assert len(result.skipped) == 1
+        assert result.skipped[0].status == "skipped-conflict"
+        assert "overlap" in result.skipped[0].detail
+        assert result.check.findings == []
+        assert "is_zero(x) and is_zero(y)" in mod.read_text()
+
+
+class _IneffectiveFixer(Fixer):
+    """Rewrites ``0.0`` to ``0.00`` — the finding survives (stub)."""
+
+    rule_id = "GW004"
+    description = "cosmetic rewrite that fixes nothing"
+
+    def fix(self, ctx, finding, project=None):
+        start = ctx.source.index("0.0")
+        return Fix(rule_id=self.rule_id, finding=finding,
+                   description=self.description,
+                   edits=[Edit(start, start + 3, "0.00")])
+
+
+class _HelperDroppingFixer(Fixer):
+    """Fixes GW004 by deleting the branch that uses ``helper`` (stub).
+
+    The rewrite is clean under every file rule but orphans the helper
+    module's only caller, so the round-end whole-program check sees a
+    new GW301 finding in the *other* file and must roll it back.
+    """
+
+    rule_id = "GW004"
+    description = "drop the zero branch (and the helper call in it)"
+
+    def fix(self, ctx, finding, project=None):
+        import_line = "from repro.sim.dep import helper\n"
+        imp = ctx.source.index(import_line)
+        branch = ctx.source.index("    if x == 0.0:")
+        branch_end = ctx.source.index("    return x\n")
+        return Fix(rule_id=self.rule_id, finding=finding,
+                   description=self.description,
+                   edits=[Edit(imp, imp + len(import_line), ""),
+                          Edit(branch, branch_end, "")])
+
+
+class TestRollback:
+    def test_ineffective_fix_rejected_per_fix(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        before = "def run(x):\n    return x == 0.0\n"
+        mod.write_text(before)
+        result = run_fix([mod], project_root=tmp_path,
+                         rules=[get_rule("GW004")],
+                         fixers=[_IneffectiveFixer()])
+        assert result.fixed == []
+        assert len(result.rolled_back) == 1
+        assert "did not eliminate" in result.rolled_back[0].detail
+        assert not result.changed
+        assert mod.read_text() == before
+
+    def test_whole_program_regression_rolled_back(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        for parent in (pkg, pkg.parent):
+            (parent / "__init__.py").touch()
+        caller = pkg / "caller.py"
+        before = ("from repro.sim.dep import helper\n"
+                  "\n"
+                  "\n"
+                  "def run(x):\n"
+                  "    if x == 0.0:\n"
+                  "        return helper(x)\n"
+                  "    return x\n")
+        caller.write_text(before)
+        (pkg / "dep.py").write_text("def helper(x):\n    return x\n")
+        result = run_fix([tmp_path / "src"], project_root=tmp_path,
+                         rules=[get_rule("GW004"), get_rule("GW301")],
+                         fixers=[_HelperDroppingFixer()])
+        # The rewrite passes every file rule, so it is provisionally
+        # applied — then the round-end check finds dep.helper newly
+        # dead (GW301, a different file) and reverts the fix.
+        assert result.fixed == []
+        assert len(result.rolled_back) == 1
+        assert result.rolled_back[0].status == "rolled-back"
+        assert not result.changed
+        assert caller.read_text() == before
+        # The original GW004 finding is still reported, un-fixed.
+        assert [f.rule_id for f in result.check.findings] == ["GW004"]
+
+
+class TestBaselinePruning:
+    def test_fixed_findings_drain_from_the_baseline(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        for parent in (pkg, pkg.parent):
+            (parent / "__init__.py").touch()
+        mod = pkg / "mod.py"
+        mod.write_text("import numpy as np\n"
+                       "\n"
+                       "\n"
+                       "def run(seed):\n"
+                       "    return np.random.default_rng(seed)\n")
+        baseline = tmp_path / "baseline.json"
+        first = run_checks([tmp_path / "src"], project_root=tmp_path)
+        assert len(first.findings) == 1
+        write_baseline(baseline, first.findings)
+        assert load_baseline(baseline)
+        result = run_fix([tmp_path / "src"], project_root=tmp_path,
+                         baseline=baseline)
+        assert any(r.rule_id == "GW003" for r in result.fixed)
+        # The accepted-debt entry died with the finding it covered.
+        assert load_baseline(baseline) == {}
