@@ -12,8 +12,10 @@ disciplines with two utilizations and four protocols:
     the cell's target, so its ratio is 1.0 by construction.
 
 ``control-variate``
-    Restart protocol with the analytically-known controls (per-user
-    arrival counts, the M/M/1 total-queue law) regressed out: fresh
+    Restart protocol with the analytically-known controls regressed
+    out (per-user arrival counts and the M/M/1 total-queue law in
+    memoryless cells; per-user *arrived work* — the compound-Poisson
+    statistic SFQ's virtual time integrates — in sized cells): fresh
     runs walk the geometric horizon ladder from scratch until the
     adjusted CI certifies the target.  Events count every restart.
 
@@ -111,12 +113,14 @@ def measure_fixed(config: SimulationConfig):
 
 
 def measure_plain_sequential(config: SimulationConfig, target: float):
-    """Fallback for sized cells: delta-only ladder, raw batch CIs.
+    """Fallback for sized CRN cells: delta-only ladder, raw batch CIs.
 
-    Sized mode (SFQ) admits no analytically-known control and no CRN
-    pairing against the FIFO baseline (the size draws desynchronize
-    the legs), so the honest protocol is plain sequential stopping —
-    resumable chunks, Student-t batch means, nothing regressed out.
+    Sized mode (SFQ) admits no CRN pairing against the FIFO baseline
+    (the size draws desynchronize the legs), so that protocol's honest
+    fallback is plain sequential stopping — resumable chunks,
+    Student-t batch means, nothing regressed out.  (The
+    control-variate protocol no longer falls back here: sized cells
+    regress on the exactly-known per-user arrived work.)
     """
     precision = simulate_to_precision(
         config, target_halfwidth=target, growth=GROWTH,
@@ -126,9 +130,11 @@ def measure_plain_sequential(config: SimulationConfig, target: float):
 
 
 def measure_control_variate(config: SimulationConfig, target: float):
-    """Restart ladder with control-variate-adjusted CIs."""
-    if config_sized(config):
-        return measure_plain_sequential(config, target)
+    """Restart ladder with control-variate-adjusted CIs.
+
+    Applies to every cell: memoryless cells regress on arrival counts
+    plus the total-queue law, sized (SFQ) cells on arrived work.
+    """
     events = 0
     for horizon in ladder(config):
         result = simulate(replace(config, horizon=horizon))

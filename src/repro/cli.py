@@ -66,6 +66,14 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="pool N independent replications "
                                  "(Student-t CI across seeds; N=1 "
                                  "reports its CI as n/a)")
+    sim_parser.add_argument("--backend",
+                            choices=["auto", "scalar", "chunked"],
+                            default=None,
+                            help="engine backend for this run "
+                                 "(default: the GREEDWORK_ENGINE_"
+                                 "BACKEND environment variable, else "
+                                 "auto); both produce byte-identical "
+                                 "measurements")
     sim_parser.add_argument("--antithetic", action="store_true",
                             help="run replications as mirrored "
                                  "antithetic pairs (N must be even)")
@@ -247,11 +255,15 @@ def _cmd_run(experiment: str, seed: int, fast: bool, jobs: int,
 def _cmd_simulate(rates: List[float], policy: str, horizon: float,
                   seed: int, target_halfwidth: Optional[float] = None,
                   replications: Optional[int] = None,
-                  antithetic: bool = False) -> int:
+                  antithetic: bool = False,
+                  backend: Optional[str] = None) -> int:
     from repro.experiments.base import Table
-    from repro.sim.runner import (SimulationConfig, replicate, simulate,
+    from repro.sim.runner import (ENV_ENGINE_BACKEND, SimulationConfig,
+                                  replicate, simulate,
                                   simulate_to_precision)
 
+    if backend is not None:
+        os.environ[ENV_ENGINE_BACKEND] = backend
     config = SimulationConfig(rates=rates, policy=policy,
                               horizon=horizon, warmup=horizon * 0.05,
                               seed=seed)
@@ -608,7 +620,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "simulate":
         return _cmd_simulate(args.rates, args.policy, args.horizon,
                              args.seed, args.target_halfwidth,
-                             args.replications, args.antithetic)
+                             args.replications, args.antithetic,
+                             args.backend)
     if args.command == "nash":
         return _cmd_nash(args.gammas, args.discipline)
     if args.command == "protect":

@@ -34,6 +34,39 @@ CLAIM = ("Fair Share's envy-freeness, uniqueness, nilpotency, and "
          "protection hold in induced subsystems with frozen users")
 
 
+def _fifo_envy_witness(allocation, profile, rng,
+                       loads=(0.35, 0.6, 0.85)) -> float:
+    """Vectorized-grid multistart search for positive FIFO envy.
+
+    FIFO hands every user the same congestion, so a best responder
+    envies exactly the users sending faster than her best response —
+    a witness needs an opponent whose rate *exceeds* it.  A single
+    random low-load probe misses that easily; instead, build the whole
+    grid of opponent vectors at once (corner-heavy directions, where
+    one user dominates the load, crossed with load levels, topped up
+    with random Dirichlet starts) and best-respond every free user
+    against each, returning the worst envy found.
+    """
+    free_count = len(profile)
+    if free_count < 2:
+        return -np.inf
+    corners = (0.9 * np.eye(free_count)
+               + 0.1 / free_count)          # one dominant sender each
+    uniform = np.full((1, free_count), 1.0 / free_count)
+    random_dirs = rng.dirichlet(np.ones(free_count), size=4)
+    directions = np.vstack([corners, uniform, random_dirs])
+    grid = (directions[None, :, :]
+            * np.asarray(loads)[:, None, None]).reshape(-1, free_count)
+    worst = -np.inf
+    for opponents in grid:
+        for i in range(free_count):
+            outcome = unilateral_envy(allocation, profile, opponents, i)
+            worst = max(worst, outcome.envy)
+            if worst > 1e-6:
+                return worst
+    return worst
+
+
 def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
     """Randomized subsystem verification."""
     rng = default_rng(seed)
@@ -101,12 +134,13 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentReport:
                 and protected_ok):
             all_ok = False
 
-        # FIFO contrast on the same freezing pattern.
-        fifo_sub = fifo.subsystem(frozen)
-        fifo_envy = unilateral_envy(fifo_sub, free_profile, opponents,
-                                    0).envy
-        if fifo_envy > 1e-6:
-            fifo_envy_seen = True
+        # FIFO contrast on the same freezing pattern: an adversarial
+        # witness search, not a single probe (stop once one is found).
+        if not fifo_envy_seen:
+            fifo_sub = fifo.subsystem(frozen)
+            fifo_envy = _fifo_envy_witness(fifo_sub, free_profile, rng)
+            if fifo_envy > 1e-6:
+                fifo_envy_seen = True
 
     passed = all_ok and fifo_envy_seen
     return ExperimentReport(

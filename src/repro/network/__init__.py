@@ -13,10 +13,21 @@ package builds that model:
 * :func:`repro.network.tandem.simulate_tandem` is a packet-level
   two-switch tandem simulator used to probe the Poisson approximation:
   exact for FIFO tandems (Burke/Jackson), approximate for priority
-  ladders.
+  ladders;
+* :func:`repro.network.sharded.simulate_sharded` scales the
+  packet-level view to arbitrary switch graphs: each switch runs its
+  own chunked event engine (optionally in a worker process), with
+  deterministic inter-switch handoff via conservative time windows.
 """
 
 from repro.network.model import NetworkAllocation, Route
+from repro.network.sharded import (
+    ShardedResult,
+    ShardedSimulation,
+    ShardedState,
+    SwitchGraphConfig,
+    simulate_sharded,
+)
 from repro.network.tandem import TandemConfig, TandemResult, simulate_tandem
 
 __all__ = [
@@ -25,4 +36,9 @@ __all__ = [
     "TandemConfig",
     "TandemResult",
     "simulate_tandem",
+    "SwitchGraphConfig",
+    "ShardedSimulation",
+    "ShardedResult",
+    "ShardedState",
+    "simulate_sharded",
 ]

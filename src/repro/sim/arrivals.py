@@ -193,9 +193,53 @@ class VariateStream:
         if n < 0:
             raise SimulationError(f"cannot take {n} variates")
         out = np.empty(n)
+        # greedwork: ignore[GW503] -- test/diagnostic accessor, not an
+        # engine hot path; the chunked engine uses peek_block/consume.
         for k in range(n):
             out[k] = self.draw()
         return out
+
+    # -- chunked bulk access (the chunked engine backend) ---------------
+    #
+    # The chunked event kernels consume variates in arrays instead of
+    # one ``draw()`` call per event.  The protocol below is exactly
+    # equivalent to a sequence of ``draw()`` calls — same refill
+    # points, same generator state, same ``draws`` counter — which is
+    # what keeps the chunked backend bit-identical to the scalar one:
+    #
+    # * :meth:`buffered` exposes the not-yet-served tail of the
+    #   current block *without* touching the generator;
+    # * :meth:`peek_block` does the same but refills first when the
+    #   buffer is exhausted (only call it when at least one more
+    #   variate is genuinely needed, or the extra refill desyncs the
+    #   generator from the scalar backend's);
+    # * :meth:`consume` commits ``k`` of the exposed variates, exactly
+    #   like ``k`` ``draw()`` calls would have.
+
+    def buffered(self) -> np.ndarray:
+        """Remaining buffered variates; never touches the generator."""
+        return np.asarray(self._buf[self._pos:], dtype=float)
+
+    def peek_block(self) -> np.ndarray:
+        """Remaining buffered variates, refilling an empty buffer.
+
+        The refill happens at exactly the point a ``draw()`` call
+        would have triggered it, so callers must only invoke this when
+        the next variate is actually needed.
+        """
+        if self._pos >= len(self._buf):
+            self._buf = self._refill()
+            self._pos = 0
+        return np.asarray(self._buf[self._pos:], dtype=float)
+
+    def consume(self, n: int) -> None:
+        """Commit ``n`` previously peeked variates as served."""
+        if n < 0 or self._pos + n > len(self._buf):
+            raise SimulationError(
+                f"cannot consume {n} variates "
+                f"({len(self._buf) - self._pos} buffered)")
+        self._pos += n
+        self.draws += n
 
 
 def interarrival_sampler(process: str, rate: float,

@@ -65,6 +65,8 @@ class QueueTracker:
         self._segment_areas: List[np.ndarray] = []
         self._segment_arrival_acc = [0] * n_users
         self._segment_arrivals: List[np.ndarray] = []
+        self._segment_size_acc = [0.0] * n_users
+        self._segment_sizes: List[np.ndarray] = []
         self._departures = [0] * n_users
         self._sojourn_sums = [0.0] * n_users
         self._sojourn_counts = [0] * n_users
@@ -118,6 +120,9 @@ class QueueTracker:
         self._segment_arrivals.append(
             np.asarray(self._segment_arrival_acc, dtype=float))
         self._segment_arrival_acc = [0] * self.n_users
+        self._segment_sizes.append(
+            np.asarray(self._segment_size_acc, dtype=float))
+        self._segment_size_acc = [0.0] * self.n_users
 
     def advance(self, now: float) -> None:
         """Move the clock to ``now`` (crossing batch boundaries).
@@ -137,12 +142,19 @@ class QueueTracker:
             self._next_boundary = boundary
         self._last_time = now
 
-    def on_arrival(self, user: int) -> None:
-        """A packet of ``user`` entered the system (after advance)."""
+    def on_arrival(self, user: int, size: float = 0.0) -> None:
+        """A packet of ``user`` entered the system (after advance).
+
+        ``size`` is the packet's service requirement (0 in memoryless
+        mode, where sizes are never materialized); post-warmup sizes
+        accumulate into the per-batch arrived-work channel that the
+        sized-mode control variates regress on.
+        """
         self._fold(user, self._last_time)
         self._counts[user] += 1
         if self._last_time >= self.warmup:
             self._segment_arrival_acc[user] += 1
+            self._segment_size_acc[user] += size
 
     def on_departure(self, user: int,
                      sojourn: Optional[float] = None) -> None:
@@ -241,6 +253,7 @@ class QueueTracker:
                           per_batch=per_batch,
                           per_batch_arrivals=np.vstack(
                               self._segment_arrivals),
+                          per_batch_sizes=np.vstack(self._segment_sizes),
                           quota=self._quota,
                           confidence=confidence)
 
@@ -260,6 +273,7 @@ class BatchMeans:
     n_batches: int
     per_batch: Optional[np.ndarray] = None
     per_batch_arrivals: Optional[np.ndarray] = None
+    per_batch_sizes: Optional[np.ndarray] = None
     quota: float = math.inf
     confidence: float = 0.95
 

@@ -71,6 +71,7 @@ from __future__ import annotations
 import copy
 import heapq
 import math
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple, Union
@@ -91,8 +92,49 @@ from repro.sim.stats import (ControlVariateSummary, control_specs_for,
 #: Version tag of the event core *and* of the RNG draw-order contract.
 #: Bump it whenever either changes: golden-sequence tests must be
 #: re-pinned and every persistent cache entry becomes stale (the tag
-#: is part of the cache key).
-ENGINE_VERSION = "2026.08-adaptive-2"
+#: is part of the cache key).  The ``-chunked-3`` bump marks the
+#: per-batch arrived-work measurement channel and the chunked backend;
+#: the realized RNG sequences themselves are unchanged, but snapshots
+#: and cached results now carry the extra channel.
+ENGINE_VERSION = "2026.08-chunked-3"
+
+#: Environment variable selecting the event-engine backend (see
+#: :func:`engine_backend`).
+ENV_ENGINE_BACKEND = "GREEDWORK_ENGINE_BACKEND"
+
+#: Recognized backend names.  ``auto`` (the default) runs the chunked
+#: backend wherever a compiled kernel covers the configuration and
+#: falls back to the scalar loop elsewhere; both backends are
+#: bit-identical, so the choice never affects results — only speed.
+ENGINE_BACKENDS = ("scalar", "chunked", "auto")
+
+
+def engine_backend() -> str:
+    """The engine backend selected by ``GREEDWORK_ENGINE_BACKEND``.
+
+    Read per call so tests and benchmarks can flip backends without
+    re-importing.  ``scalar`` forces the pure-Python event loop;
+    ``chunked`` and ``auto`` use the chunk-kernel engine
+    (:mod:`repro.sim.chunked`), which itself falls back to the scalar
+    loop for uncovered configurations or when no C compiler is
+    available.  The backend is deliberately *not* part of the
+    simulation cache key: the bit-identity contract makes outputs
+    indistinguishable across backends.
+    """
+    value = os.environ.get(ENV_ENGINE_BACKEND, "auto").strip().lower()
+    if value not in ENGINE_BACKENDS:
+        raise SimulationError(
+            f"unknown engine backend {value!r} (from "
+            f"{ENV_ENGINE_BACKEND}); known: {', '.join(ENGINE_BACKENDS)}")
+    return value
+
+
+def _engine_class():
+    """The :class:`SimulationEngine` subclass for the active backend."""
+    if engine_backend() == "scalar":
+        return SimulationEngine
+    from repro.sim.chunked import ChunkedSimulationEngine
+    return ChunkedSimulationEngine
 
 
 @dataclass
@@ -424,6 +466,10 @@ class SimulationEngine:
         n_departures = self.n_departures
         events_before = n_arrivals + n_departures
 
+        # greedwork: ignore[GW503] -- the scalar reference backend:
+        # this loop *defines* the event order and draw order that the
+        # chunked kernels are golden-tested against, so it stays in
+        # per-event form on purpose.
         while True:
             next_arrival = arrivals_heap[0][0]
             if next_arrival >= horizon and next_completion >= horizon:
@@ -439,9 +485,9 @@ class SimulationEngine:
                 outcome = push(packet, rng=policy_rng)
                 n_arrivals += 1
                 if outcome is None:
-                    on_arrival(user)
+                    on_arrival(user, packet.size)
                 elif outcome.get("admitted", True):
-                    on_arrival(user)
+                    on_arrival(user, packet.size)
                     evicted = outcome.get("evicted_user")
                     if evicted is not None:
                         on_drop(evicted)
@@ -531,10 +577,10 @@ def simulate(config: SimulationConfig) -> SimulationResult:
         if (state is not None
                 and getattr(state, "horizon", math.inf) <= config.horizon
                 and getattr(state, "engine_version", "") == ENGINE_VERSION):
-            engine = SimulationEngine.resume(state, config)
+            engine = _engine_class().resume(state, config)
             resumed_from = state.horizon
     if engine is None:
-        engine = SimulationEngine(config, rates)
+        engine = _engine_class()(config, rates)
     fresh = engine.run_to(config.horizon)
     sim_cache.record_fresh_events(fresh)
     result = engine.result(config)
@@ -549,7 +595,7 @@ def simulate(config: SimulationConfig) -> SimulationResult:
 def _simulate_fresh(config: SimulationConfig,
                     rates: np.ndarray) -> SimulationResult:
     """The event core without any caching (tests and benchmarks)."""
-    engine = SimulationEngine(config, rates)
+    engine = _engine_class()(config, rates)
     engine.run_to(config.horizon)
     return engine.result(config)
 
@@ -627,7 +673,10 @@ def control_variate_summary(result: SimulationResult,
             arrival_process=result.config.arrival_process.strip().lower(),
             service_process=result.config.service_process.strip().lower(),
             sized=sized,
-            lossless=int(np.sum(result.losses)) == 0)
+            lossless=int(np.sum(result.losses)) == 0,
+            # getattr: results pickled before the size channel existed
+            # deserialize without per_batch_sizes.
+            per_batch_sizes=getattr(batch, "per_batch_sizes", None))
     return control_variate_adjust(batch.per_batch, specs,
                                   confidence=confidence)
 
@@ -702,10 +751,10 @@ def _chunk_simulate(chunk: SimulationConfig,
         if (state is not None
                 and getattr(state, "horizon", math.inf) <= chunk.horizon
                 and getattr(state, "engine_version", "") == ENGINE_VERSION):
-            engine = SimulationEngine.resume(state, chunk)
+            engine = _engine_class().resume(state, chunk)
             resumed_from = state.horizon
     if engine is None:
-        engine = SimulationEngine(chunk, rates)
+        engine = _engine_class()(chunk, rates)
     fresh = engine.run_to(chunk.horizon)
     sim_cache.record_fresh_events(fresh)
     result = engine.result(chunk)

@@ -22,7 +22,9 @@ buys each digit of confidence with as few events as possible:
   is used only where its mean is *exactly* known: arrival counts need
   Poisson input; the total-queue law additionally needs exponential
   service, a size-blind (non-``sized``) policy, no losses, and a
-  stable load.
+  stable load; sized-mode (SFQ) runs regress on per-batch *arrived
+  work* instead, whose compound-Poisson mean ``r_i * quota / mu`` is
+  exact for every supported size law.
 
 The adjusted estimator is the classic linear-control form
 
@@ -296,7 +298,9 @@ def control_specs_for(per_batch: np.ndarray,
                       arrival_process: str,
                       service_process: str,
                       sized: bool,
-                      lossless: bool) -> List[ControlSpec]:
+                      lossless: bool,
+                      per_batch_sizes: Optional[np.ndarray] = None,
+                      ) -> List[ControlSpec]:
     """Build the exactly-known controls valid for one simulation.
 
     * Per-user arrival counts: mean ``r_i * quota`` per batch —
@@ -308,18 +312,35 @@ def control_specs_for(per_batch: np.ndarray,
       size-blind policy (the jump-chain disciplines; SFQ orders by
       realized sizes, which breaks the conservation argument), and a
       stable load.
+    * Per-user *arrived work* (sized mode): mean ``r_i * quota / mu``
+      per batch — the compound-Poisson expectation of the service
+      demand admitted in one quota window, exact because every
+      supported size law is parameterized at mean ``1/mu``.  SFQ's
+      virtual time advances with exactly this arrived work, so the
+      regressor tracks the size-induced queue fluctuations the plain
+      arrival *counts* cannot see.
 
-    Sized mode disables *all* controls, not just the queue law: with
-    per-arrival size draws the batch boundaries couple to the realized
-    sizes, so the arrival-count regressors carry almost no correlation
-    with the batch means — they burn regression degrees of freedom
-    and inflate the adjusted CI (the BENCH_sim.json fair-queueing
-    regression, ratios 0.51/0.26 vs fixed-horizon).  Sized cells fall
-    back to plain sequential stopping instead.
+    Sized mode uses *only* the arrived-work controls: with per-arrival
+    size draws the batch boundaries couple to the realized sizes, so
+    the size-blind count regressors carry almost no correlation with
+    the batch means — they burn regression degrees of freedom and
+    inflate the adjusted CI (the BENCH_sim.json fair-queueing
+    regression, ratios 0.51/0.26 vs fixed-horizon) — and the
+    total-queue law's conservation argument breaks outright.
     """
     specs: List[ControlSpec] = []
-    if (arrival_process != "poisson" or quota <= 0.0 or not lossless
-            or sized):
+    if arrival_process != "poisson" or quota <= 0.0 or not lossless:
+        return specs
+    if sized:
+        if per_batch_sizes is None:
+            return specs
+        work = np.asarray(per_batch_sizes, dtype=float)
+        if work.shape == per_batch.shape:
+            specs.extend(
+                ControlSpec(name=f"arrived-work[{i}]",
+                            values=work[:, i],
+                            mean=float(rates[i]) * quota / service_rate)
+                for i in range(work.shape[1]))
         return specs
     if per_batch_arrivals is not None:
         counts = np.asarray(per_batch_arrivals, dtype=float)
@@ -332,7 +353,7 @@ def control_specs_for(per_batch: np.ndarray,
                             mean=float(rates[i]) * quota)
                 for i in range(counts.shape[1]))
     total_load = float(np.sum(rates))
-    if (service_process == "exponential" and not sized and lossless
+    if (service_process == "exponential" and lossless
             and total_load < service_rate):
         rho = total_load / service_rate
         specs.append(ControlSpec(

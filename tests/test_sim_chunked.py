@@ -1,0 +1,231 @@
+"""Chunked-backend goldens: the kernels ARE the scalar engine.
+
+The chunked engine's contract is byte-for-byte equality with the
+scalar reference backend — not statistical agreement.  Every test
+here asserts exact equality of measurements, draw counters, and RNG
+generator states across policy families, arrival/service processes,
+and variate modes, plus the interoperability guarantees (snapshots
+resume across backends, incremental ``run_to`` chunks arbitrarily).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sim import kernels
+from repro.sim.chunked import ChunkedSimulationEngine
+from repro.sim.runner import (
+    ENV_ENGINE_BACKEND,
+    SimulationConfig,
+    SimulationEngine,
+    engine_backend,
+    simulate,
+)
+
+RATES = (0.08, 0.16, 0.24, 0.32)
+
+HAVE_KERNELS = kernels.kernels_available()
+needs_kernels = pytest.mark.skipif(
+    not HAVE_KERNELS, reason="no C toolchain: chunked backend falls "
+    "back to the scalar loop, making equality trivial")
+
+
+def config_for(policy, arrival="poisson", service="exponential",
+               mode="default", horizon=3000.0, seed=7):
+    return SimulationConfig(rates=RATES, policy=policy, horizon=horizon,
+                            warmup=100.0, seed=seed, batch_quota=190.0,
+                            arrival_process=arrival,
+                            service_process=service, variate_mode=mode)
+
+
+def run_engine(engine_cls, config, horizons=None):
+    engine = engine_cls(config)
+    for horizon in horizons or (config.horizon,):
+        engine.run_to(horizon)
+    return engine
+
+
+def state_fingerprint(engine):
+    """Everything observable: results, counters, generator states."""
+    result = engine.result()
+    stream_states = tuple(
+        (stream.draws, stream._pos, tuple(stream._buf),
+         stream._rng.bit_generator.state["state"]["state"])
+        for stream in engine.arrival_streams)
+    service = engine.service_stream
+    return (result.mean_queues.tobytes(),
+            result.batch.per_batch.tobytes(),
+            result.batch.per_batch_arrivals.tobytes(),
+            result.batch.per_batch_sizes.tobytes(),
+            result.mean_delays.tobytes(),
+            result.throughputs.tobytes(),
+            result.arrivals, result.departures,
+            result.variate_draws,
+            stream_states,
+            (service.draws, service._pos, tuple(service._buf),
+             service._rng.bit_generator.state["state"]["state"]),
+            engine.policy_rng.bit_generator.state["state"]["state"],
+            engine.now, engine.next_completion,
+            tuple(sorted(engine.arrivals_heap)))
+
+
+#: Policy/process/mode matrix covering all three kernels, every
+#: arrival process, non-exponential service, and the inversion modes.
+MATRIX = [
+    ("fifo", "poisson", "exponential", "default"),
+    ("fifo", "deterministic", "exponential", "default"),
+    ("fifo", "hyperexponential", "exponential", "inverse"),
+    ("fair-share", "poisson", "exponential", "default"),
+    ("fair-share", "hyperexponential", "exponential", "default"),
+    ("fair-share", "deterministic", "exponential", "antithetic"),
+    ("fq", "poisson", "exponential", "default"),
+    ("fq", "poisson", "hyperexponential", "default"),
+    ("fq", "hyperexponential", "deterministic", "default"),
+    ("fq", "poisson", "exponential", "inverse"),
+]
+
+
+@needs_kernels
+class TestBitIdentity:
+    @pytest.mark.parametrize("policy,arrival,service,mode", MATRIX)
+    def test_chunked_equals_scalar(self, policy, arrival, service,
+                                   mode):
+        config = config_for(policy, arrival, service, mode)
+        scalar = run_engine(SimulationEngine, config)
+        chunked = run_engine(ChunkedSimulationEngine, config)
+        assert state_fingerprint(scalar) == state_fingerprint(chunked)
+
+    @pytest.mark.parametrize("policy", ["fifo", "fair-share", "fq"])
+    def test_incremental_run_to_matches_single_call(self, policy):
+        config = config_for(policy)
+        whole = run_engine(ChunkedSimulationEngine, config)
+        pieces = run_engine(ChunkedSimulationEngine, config,
+                            horizons=(400.0, 800.0, 1700.0, 3000.0))
+        assert state_fingerprint(whole) == state_fingerprint(pieces)
+
+    def test_single_user_and_seed_sweep(self):
+        for seed in (0, 3, 123):
+            config = SimulationConfig(
+                rates=(0.55,), policy="fifo", horizon=2000.0,
+                warmup=50.0, seed=seed, batch_quota=130.0)
+            scalar = run_engine(SimulationEngine, config)
+            chunked = run_engine(ChunkedSimulationEngine, config)
+            assert state_fingerprint(scalar) == \
+                state_fingerprint(chunked)
+
+    def test_n_batches_layout_matches(self):
+        # The horizon-tied batch layout (no batch_quota) must also
+        # reproduce, including the discarded partial batch.
+        config = SimulationConfig(rates=RATES, policy="fair-share",
+                                  horizon=2500.0, warmup=100.0,
+                                  seed=9, n_batches=12)
+        scalar = run_engine(SimulationEngine, config)
+        chunked = run_engine(ChunkedSimulationEngine, config)
+        assert state_fingerprint(scalar) == state_fingerprint(chunked)
+
+
+@needs_kernels
+class TestGoldenDrawCounts:
+    """Pin the realized per-stream draw counts for one golden config.
+
+    These counters are the draw-order contract made visible: if a
+    refactor of the chunk protocol consumes even one extra variate,
+    these exact numbers change.
+    """
+
+    @pytest.mark.parametrize("policy", ["fifo", "fair-share", "fq"])
+    def test_draws_match_scalar_exactly(self, policy):
+        config = config_for(policy)
+        scalar = run_engine(SimulationEngine, config)
+        chunked = run_engine(ChunkedSimulationEngine, config)
+        assert chunked.result().variate_draws == \
+            scalar.result().variate_draws
+
+    def test_golden_fifo_draw_counts(self):
+        # Golden sequence counts at seed 7 / horizon 3000 (pinned):
+        # a change here means the engine's RNG contract changed and
+        # ENGINE_VERSION must be bumped.
+        chunked = run_engine(ChunkedSimulationEngine,
+                             config_for("fifo"))
+        assert chunked.result().variate_draws == (204, 541, 699, 952,
+                                                  4351)
+
+
+@needs_kernels
+class TestCrossBackendSnapshots:
+    @pytest.mark.parametrize("first,second", [
+        (SimulationEngine, ChunkedSimulationEngine),
+        (ChunkedSimulationEngine, SimulationEngine),
+    ])
+    @pytest.mark.parametrize("policy", ["fifo", "fair-share", "fq"])
+    def test_snapshot_resumes_across_backends(self, first, second,
+                                              policy):
+        config = config_for(policy)
+        straight = run_engine(first, config)
+        partial = run_engine(first, config, horizons=(1300.0,))
+        state = pickle.loads(pickle.dumps(partial.snapshot()))
+        resumed = second.resume(state, config)
+        resumed.run_to(config.horizon)
+        assert state_fingerprint(straight) == \
+            state_fingerprint(resumed)
+
+
+class TestBackendSelection:
+    def test_default_backend_is_auto(self, monkeypatch):
+        monkeypatch.delenv(ENV_ENGINE_BACKEND, raising=False)
+        assert engine_backend() == "auto"
+
+    @pytest.mark.parametrize("backend", ["scalar", "chunked", "auto"])
+    def test_env_selects_backend(self, monkeypatch, backend):
+        monkeypatch.setenv(ENV_ENGINE_BACKEND, backend)
+        assert engine_backend() == backend
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        from repro.exceptions import SimulationError
+
+        monkeypatch.setenv(ENV_ENGINE_BACKEND, "vectorized")
+        with pytest.raises(SimulationError):
+            engine_backend()
+
+    def test_simulate_identical_across_backends(self, monkeypatch):
+        config = config_for("fair-share")
+        monkeypatch.setenv(ENV_ENGINE_BACKEND, "scalar")
+        scalar = simulate(config)
+        monkeypatch.setenv(ENV_ENGINE_BACKEND, "chunked")
+        chunked = simulate(config)
+        np.testing.assert_array_equal(scalar.mean_queues,
+                                      chunked.mean_queues)
+        np.testing.assert_array_equal(scalar.batch.per_batch,
+                                      chunked.batch.per_batch)
+        assert scalar.variate_draws == chunked.variate_draws
+
+    def test_unsupported_policy_falls_back_to_scalar(self):
+        # Processor sharing has no kernel: the chunked engine must
+        # delegate to the inherited scalar loop and still be exact.
+        config = SimulationConfig(rates=RATES, policy="ps",
+                                  horizon=1500.0, warmup=100.0,
+                                  seed=5, batch_quota=130.0)
+        scalar = run_engine(SimulationEngine, config)
+        chunked = run_engine(ChunkedSimulationEngine, config)
+        assert state_fingerprint(scalar) == state_fingerprint(chunked)
+
+
+class TestKernelToolchain:
+    def test_kernel_dir_honors_environment(self, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv(kernels.ENV_KERNEL_DIR,
+                           str(tmp_path / "kcache"))
+        assert kernels.kernel_dir() == str(tmp_path / "kcache")
+
+    def test_kernels_available_is_boolean(self):
+        assert kernels.kernels_available() in (True, False)
+
+    @needs_kernels
+    def test_shared_object_is_cached_on_disk(self):
+        from pathlib import Path
+
+        lib = kernels.load_kernels()
+        assert lib is not None
+        cached = list(Path(kernels.kernel_dir()).glob("gw-*.so"))
+        assert cached, "compiled kernel missing from the cache dir"

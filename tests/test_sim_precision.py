@@ -149,6 +149,18 @@ class TestControlVariateSummaryAPI:
         summary = control_variate_summary(result)
         assert "total-queue-law" not in summary.control_names
 
+    def test_sized_policy_gains_from_arrived_work_controls(self):
+        # SFQ's virtual time integrates the arrived work, so the
+        # compound-Poisson regressors must engage AND pay: strictly
+        # better than the raw estimator on this config.
+        result = simulate(replace(BASE, policy="fair-queueing",
+                                  horizon=30000.0, seed=3))
+        summary = control_variate_summary(result)
+        assert summary.applied
+        assert all(name.startswith("arrived-work")
+                   for name in summary.control_names)
+        assert summary.events_equivalent_factor > 1.0
+
 
 class TestReplicationCI:
     def test_student_t_replaces_the_normal_hardcode(self):

@@ -173,12 +173,38 @@ class TestControlSpecsFor:
         # are a thinned process with unknown mean.
         assert self._specs(lossless=False) == []
 
-    def test_sized_policy_disables_everything(self):
+    def test_sized_policy_disables_size_blind_controls(self):
         # Sized mode couples batch boundaries to realized sizes: the
         # arrival-count regressors carry ~no correlation and only burn
-        # degrees of freedom (the BENCH fair-queueing regression), so
-        # sized cells get no controls and fall back to plain stopping.
+        # degrees of freedom (the BENCH fair-queueing regression), and
+        # the total-queue conservation argument breaks.  Without the
+        # size channel (results pickled before it existed) sized cells
+        # get no controls at all.
         assert self._specs(sized=True) == []
+
+    def test_sized_regresses_on_arrived_work(self):
+        specs = self._specs(sized=True,
+                            per_batch_sizes=np.ones((20, 3)))
+        names = [s.name for s in specs]
+        assert names == ["arrived-work[0]", "arrived-work[1]",
+                         "arrived-work[2]"]
+        # Compound-Poisson batch mean: r_i * quota * E[size].
+        assert specs[0].mean == pytest.approx(0.1 * 500.0 / 1.0)
+        specs_mu2 = self._specs(sized=True, service_rate=2.0,
+                                per_batch_sizes=np.ones((20, 3)))
+        assert specs_mu2[2].mean == pytest.approx(0.3 * 500.0 / 2.0)
+
+    def test_sized_work_shape_mismatch_disables_everything(self):
+        assert self._specs(sized=True,
+                           per_batch_sizes=np.ones((20, 2))) == []
+
+    def test_memoryless_cells_ignore_the_size_channel(self):
+        # The sizes matrix is all-zero in memoryless mode; it must not
+        # leak into the regression even when present.
+        names = [s.name for s in self._specs(
+            per_batch_sizes=np.zeros((20, 3)))]
+        assert names == ["arrivals[0]", "arrivals[1]", "arrivals[2]",
+                         "total-queue-law"]
 
     def test_non_exponential_service_keeps_arrival_counts_only(self):
         names = [s.name

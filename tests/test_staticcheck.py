@@ -41,7 +41,7 @@ ALL_RULE_IDS = [
     "GW201", "GW202",
     "GW301", "GW302",
     "GW401", "GW402", "GW403",
-    "GW501", "GW502",
+    "GW501", "GW502", "GW503",
     "GW601", "GW602",
 ]
 
@@ -1986,6 +1986,73 @@ class TestOrderedAggregation:
                 return time.perf_counter()
         """)
         result = findings_for(path, "GW502", root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestChunkedHotPath:
+    """GW503."""
+
+    def test_per_event_heap_loop_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/engine2.py", """\
+            import heapq
+
+
+            def drain(heap, tracker):
+                while heap:
+                    t, user = heapq.heappop(heap)
+                    tracker.advance(t)
+                    tracker.on_arrival(user)
+        """)
+        result = findings_for(path, "GW503", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "per-event loop" in result.findings[0].message
+
+    def test_per_iteration_draw_loop_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/engine2.py", """\
+            def gaps(stream, n):
+                out = []
+                for _ in range(n):
+                    out.append(stream.draw())
+                return out
+        """)
+        result = findings_for(path, "GW503", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "peek_block" in result.findings[0].message
+
+    def test_heap_loop_without_event_calls_passes(self, tmp_path):
+        # A policy's internal heap maintenance is not an event loop.
+        path = write_module(tmp_path, "src/repro/sim/policy2.py", """\
+            import heapq
+
+
+            def drain(heap):
+                out = []
+                while heap:
+                    out.append(heapq.heappop(heap))
+                return out
+        """)
+        result = findings_for(path, "GW503", root=tmp_path)
+        assert result.findings == []
+
+    def test_game_layer_out_of_scope(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/walk.py", """\
+            def walk(stream, n):
+                return [stream.draw() for _ in range(n)]
+        """)
+        result = findings_for(path, "GW503", root=tmp_path)
+        assert result.findings == []
+
+    def test_suppressible(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/engine2.py", """\
+            def gaps(stream, n):
+                out = []
+                # greedwork: ignore[GW503] -- scalar reference loop
+                for _ in range(n):
+                    out.append(stream.draw())
+                return out
+        """)
+        result = findings_for(path, "GW503", root=tmp_path)
         assert result.findings == []
         assert len(result.suppressed) == 1
 
