@@ -84,6 +84,19 @@ def _build_parser() -> argparse.ArgumentParser:
                              required=True,
                              help="congestion sensitivities")
     nash_parser.add_argument("--discipline", default="fair-share")
+    nash_parser.add_argument("--counts", type=int, nargs="+",
+                             default=None,
+                             help="users per gamma (one count per "
+                                  "--gammas entry); solves the K-class "
+                                  "reduced game, so N can be huge")
+    nash_parser.add_argument("--mode",
+                             choices=("exact", "class", "mean-field"),
+                             default="exact",
+                             help="solver: per-user ('exact'), "
+                                  "symmetry-class reduction ('class') "
+                                  "or the N->inf limit ('mean-field'); "
+                                  "--counts implies 'class' unless "
+                                  "overridden")
 
     protect_parser = sub.add_parser(
         "protect",
@@ -314,25 +327,57 @@ def _cmd_simulate(rates: List[float], policy: str, horizon: float,
     return 0
 
 
-def _cmd_nash(gammas: List[float], discipline: str) -> int:
+def _cmd_nash(gammas: List[float], discipline: str,
+              counts: Optional[List[int]] = None,
+              mode: str = "exact") -> int:
     from repro.disciplines.registry import make_discipline
     from repro.experiments.base import Table
+    from repro.game.classes import solve_nash_classes
+    from repro.game.meanfield import solve_nash_meanfield
     from repro.game.nash import solve_nash
     from repro.users.families import LinearUtility
 
     allocation = make_discipline(discipline)
+    if counts is not None and len(counts) != len(gammas):
+        print(f"error: {len(counts)} counts for {len(gammas)} gammas",
+              file=sys.stderr)
+        return 2
+    if counts is not None and mode == "exact":
+        mode = "class"              # counts say 'solve in class space'
     profile = [LinearUtility(gamma=g) for g in gammas]
-    result = solve_nash(allocation, profile)
-    table = Table(title=f"Nash equilibrium under {allocation.name}",
-                  headers=["user", "gamma", "rate", "congestion",
-                           "utility"])
-    for i, gamma in enumerate(gammas):
-        table.add_row(i, float(gamma), float(result.rates[i]),
-                      float(result.congestion[i]),
-                      float(result.utilities[i]))
+
+    if mode == "exact":
+        result = solve_nash(allocation, profile)
+        table = Table(title=f"Nash equilibrium under {allocation.name}",
+                      headers=["user", "gamma", "rate", "congestion",
+                               "utility"])
+        for i, gamma in enumerate(gammas):
+            table.add_row(i, float(gamma), float(result.rates[i]),
+                          float(result.congestion[i]),
+                          float(result.utilities[i]))
+        print(table.render())
+        print(f"converged: {result.converged}  "
+              f"max unilateral gain: {result.max_gain:.2e}")
+        return 0
+
+    class_counts = counts if counts is not None else [1] * len(gammas)
+    solver = (solve_nash_meanfield if mode == "mean-field"
+              else solve_nash_classes)
+    outcome = solver(allocation, profile, counts=class_counts)
+    table = Table(
+        title=f"{mode} equilibrium under {allocation.name} "
+              f"(N={outcome.n_users}, K={len(gammas)})",
+        headers=["class", "gamma", "users", "rate", "congestion",
+                 "utility"])
+    for k, gamma in enumerate(gammas):
+        table.add_row(k, float(gamma), int(outcome.counts[k]),
+                      float(outcome.class_rates[k]),
+                      float(outcome.class_congestion[k]),
+                      float(outcome.class_utilities[k]))
     print(table.render())
-    print(f"converged: {result.converged}  "
-          f"max unilateral gain: {result.max_gain:.2e}")
+    print(f"converged: {outcome.converged}  "
+          f"max class gain: {outcome.max_gain:.2e}  "
+          f"per-user spot gain: {outcome.spot_gain:.2e}")
     return 0
 
 
@@ -623,7 +668,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              args.replications, args.antithetic,
                              args.backend)
     if args.command == "nash":
-        return _cmd_nash(args.gammas, args.discipline)
+        return _cmd_nash(args.gammas, args.discipline,
+                         counts=args.counts, mode=args.mode)
     if args.command == "protect":
         return _cmd_protect(args.rate, args.users, args.discipline,
                             args.samples, args.seed)

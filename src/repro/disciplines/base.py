@@ -28,16 +28,40 @@ The defaults fall back to scalar loops (bit-identical to calling
 :meth:`congestion_i` per point) and numeric differences; disciplines
 with closed forms override them and set :attr:`vectorized_grid` so
 solvers know a batched call is genuinely one numpy pass.
+
+Symmetry-class evaluation (the class-space solver core)
+-------------------------------------------------------
+
+Profiles of interest almost always contain a handful of *distinct*
+utility types, so the N-user game collapses to a K-class game with
+multiplicities.  Because acceptable allocations are symmetric under
+user permutation, users sharing a rate receive identical congestion,
+and the whole congestion vector is a function of ``(class_rates,
+counts)`` alone.  The base class exposes
+
+* :meth:`AllocationFunction.class_congestion` — per-class congestion
+  for a class-symmetric profile;
+* :meth:`AllocationFunction.class_deviation_evaluator` — a reusable
+  grid evaluator for one member of a class deviating unilaterally
+  (``include_self=True`` keeps the deviator's class mass intact, the
+  mean-field closure where a single agent is infinitesimal);
+* :meth:`AllocationFunction.class_congestion_many` — a batch of
+  class-rate profiles sharing one multiplicity vector.
+
+The defaults expand classes to the full N-vector and delegate to the
+per-user paths (exact, but O(N)); disciplines with closed forms
+override them with O(K) passes and set :attr:`vectorized_class_grid`.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.numerics.diff import diff_step
 from repro.numerics.diff import gradient as numeric_gradient
 from repro.numerics.diff import partial_derivative, second_partial
 from repro.numerics.rng import default_rng
@@ -46,6 +70,37 @@ from repro.queueing.service_curves import MM1Curve, ServiceCurve
 
 #: A prepared batched objective: candidate own-rates -> ``C_i`` values.
 GridEvaluator = Callable[[Sequence[float]], np.ndarray]
+
+
+def expand_class_rates(class_rates: Sequence[float],
+                       counts: Sequence[int]) -> np.ndarray:
+    """The full N-vector for a class-symmetric profile (class-block order).
+
+    User order is class 0's members first, then class 1's, and so on —
+    the canonical expansion the class-space solvers certify against.
+    """
+    c, m = check_classes(class_rates, counts)
+    return np.repeat(c, m)
+
+
+def check_classes(class_rates: Sequence[float], counts: Sequence[int]
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and normalize a ``(class_rates, counts)`` pair.
+
+    Returns ``(rates, counts)`` as float/int arrays.  Counts must be
+    positive integers; rates must be nonnegative; lengths must match.
+    """
+    c = np.asarray(class_rates, dtype=float)
+    m = np.asarray(counts, dtype=int)
+    if c.ndim != 1 or m.ndim != 1 or c.size != m.size:
+        raise ValueError(
+            f"class_rates and counts must be 1-D of equal length, got "
+            f"shapes {c.shape} and {m.shape}")
+    if m.size and int(m.min()) < 1:
+        raise ValueError(f"class counts must be positive, got {m}")
+    if c.size and float(c.min()) < 0.0:
+        raise ValueError(f"rates must be nonnegative, got {c}")
+    return c, m
 
 
 class AllocationFunction(ABC):
@@ -68,6 +123,18 @@ class AllocationFunction(ABC):
     #: fallback.  Solvers use it to decide whether a batched scan is
     #: worth routing through the grid path.
     vectorized_grid: bool = False
+
+    #: True when the class-space paths (:meth:`class_congestion`,
+    #: :meth:`class_deviation_evaluator`) are real O(K)
+    #: implementations rather than the expand-to-N fallback.
+    vectorized_class_grid: bool = False
+
+    #: Smallest user count at which the batched grid path beats the
+    #: scalar scan for this discipline (the auto-mode cost model,
+    #: ``GREEDWORK_SOLVER_VECTOR=auto``).  0 means the grid always
+    #: wins once implemented; disciplines whose scalar ``congestion_i``
+    #: is a single cheap reduction (FIFO) set a measured crossover.
+    grid_min_users: int = 0
 
     def __init__(self, curve: Optional[ServiceCurve] = None) -> None:
         self.curve = curve if curve is not None else MM1Curve()
@@ -129,6 +196,90 @@ class AllocationFunction(ABC):
 
     def __call__(self, rates: Sequence[float]) -> np.ndarray:
         return self.congestion(rates)
+
+    # -- symmetry-class evaluation -------------------------------------------
+
+    def class_congestion(self, class_rates: Sequence[float],
+                         counts: Sequence[int]) -> np.ndarray:
+        """Per-class congestion of the class-symmetric profile.
+
+        Entry ``k`` is the congestion of *each* of the ``counts[k]``
+        users sending ``class_rates[k]`` (symmetry makes them equal).
+        The default expands to the N-vector and reads one
+        representative per class — exact but O(N); disciplines with
+        closed forms override it with an O(K) pass and advertise
+        :attr:`vectorized_class_grid`.
+        """
+        c, m = check_classes(class_rates, counts)
+        full = self.congestion(np.repeat(c, m))
+        starts = np.concatenate(([0], np.cumsum(m)[:-1]))
+        return np.asarray(full[starts], dtype=float)
+
+    def class_deviation_evaluator(self, class_rates: Sequence[float],
+                                  counts: Sequence[int], i: int,
+                                  include_self: bool = False
+                                  ) -> "GridEvaluator":
+        """Grid evaluator for one member of class ``i`` deviating.
+
+        The returned closure maps candidate own-rates ``xs`` to the
+        deviator's congestion with every other user pinned at their
+        class rate.  With ``include_self=False`` (the exact game) the
+        deviator is removed from class ``i``, leaving ``counts[i]-1``
+        opponents there; with ``include_self=True`` the full profile
+        stays in place and the deviator rides on top as an extra
+        infinitesimal-mass user — the mean-field closure, whose error
+        against the exact game is O(1/N).
+
+        The default expands the opponents to a full vector and
+        delegates to :meth:`grid_evaluator` (exact, O(N) setup);
+        vectorized disciplines override it with O(K) setup.
+        """
+        c, m = check_classes(class_rates, counts)
+        opp = m.copy()
+        if not include_self:
+            if opp[i] < 1:
+                raise ValueError(f"class {i} is empty")
+            opp[i] -= 1
+        full = np.concatenate((np.repeat(c, opp), [0.0]))
+        return self.grid_evaluator(full, full.size - 1)
+
+    def class_own_derivative(self, class_rates: Sequence[float],
+                             counts: Sequence[int], i: int,
+                             include_self: bool = False) -> float:
+        """``dC/dx`` of a class-``i`` member's deviation at her class rate.
+
+        The slope entering the class-space Nash first-derivative
+        condition ``M_i(s_i, C_i) + dC/dx = 0``.  The default is a
+        central difference on :meth:`class_deviation_evaluator` with
+        the same curvature-aware step as
+        :func:`repro.numerics.diff.partial_derivative`; disciplines
+        with analytic own-derivatives override it in O(K).
+        """
+        c, _ = check_classes(class_rates, counts)
+        evaluator = self.class_deviation_evaluator(
+            c, counts, i, include_self=include_self)
+        x = float(c[i])
+        h = diff_step(x)
+        lo = max(x - h, 0.0)
+        pair = evaluator(np.asarray([lo, x + h]))
+        return float((pair[1] - pair[0]) / (x + h - lo))
+
+    def class_congestion_many(self, class_profiles: Sequence[Sequence[float]],
+                              counts: Sequence[int]) -> np.ndarray:
+        """Per-class congestion for a batch of class-rate profiles.
+
+        Row ``b`` equals ``class_congestion(class_profiles[b],
+        counts)``; the multiplicity vector is shared by the whole
+        batch.  The default is a row loop; vectorized disciplines
+        evaluate the batch in one pass.
+        """
+        batch = np.asarray(class_profiles, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"class_profiles must be 2-D (batch, classes), got "
+                f"{batch.shape}")
+        return np.stack([self.class_congestion(row, counts)
+                         for row in batch])
 
     # -- derivatives -----------------------------------------------------
 
@@ -284,6 +435,17 @@ class Subsystem:
     def vectorized_grid(self) -> bool:
         """Whether the parent discipline has a one-pass grid path."""
         return self.parent.vectorized_grid
+
+    @property
+    def grid_min_users(self) -> int:
+        """Auto-mode crossover for subsystems: always take the grid.
+
+        The scalar path re-embeds the full vector (a Python loop) on
+        every candidate evaluation, while :meth:`grid_evaluator`
+        hoists the embedding once — so the batched path wins here even
+        for parents whose flat-profile scalar scan is cheaper.
+        """
+        return 0
 
     def congestion_grid(self, free_rates: Sequence[float], i: int,
                         xs: Sequence[float]) -> np.ndarray:

@@ -35,7 +35,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.disciplines.base import AllocationFunction
+from repro.disciplines.base import (AllocationFunction, GridEvaluator,
+                                    check_classes)
 
 
 class FairShareAllocation(AllocationFunction):
@@ -43,6 +44,7 @@ class FairShareAllocation(AllocationFunction):
 
     name = "fair-share"
     vectorized_grid = True
+    vectorized_class_grid = True
 
     # -- ladder geometry ---------------------------------------------------
 
@@ -202,6 +204,167 @@ class FairShareAllocation(AllocationFunction):
             increments = np.diff(g_clipped, prepend=0.0, axis=1)
             sorted_c = np.cumsum(
                 np.where(finite, increments / mult, 0.0), axis=1)
+            overloaded = np.maximum.accumulate(~finite, axis=1)
+            sorted_c = np.where(overloaded, math.inf, sorted_c)
+        out = np.empty_like(sorted_c)
+        np.put_along_axis(out, order, sorted_c, axis=1)
+        return out
+
+    # -- symmetry-class evaluation -------------------------------------------
+
+    def class_congestion(self, class_rates: Sequence[float],
+                         counts: Sequence[int]) -> np.ndarray:
+        """Per-class Fair Share congestion in O(K log K).
+
+        Users tied at a class rate contribute zero ``g``-increments
+        within their tie block, so the N-user ladder collapses to one
+        rung per class: with classes sorted ascending, ``M_k`` users in
+        earlier blocks and prefix rate mass ``P_k``, the block-start
+        load is ``R_k = (N - M_k) s_k + P_k`` and every member of the
+        block gets ``C_k = C_{k-1} + [g(R_k) - g(R_{k-1})] / (N - M_k)``.
+        """
+        c, m = check_classes(class_rates, counts)
+        order = np.argsort(c, kind="stable")
+        s = c[order]
+        w = m[order].astype(float)
+        n_total = float(w.sum())
+        before = np.concatenate(([0.0], np.cumsum(w)[:-1]))
+        prefix = np.concatenate(([0.0], np.cumsum(w * s)[:-1]))
+        rem = n_total - before
+        loads = rem * s + prefix
+        cap = self.curve.capacity
+        unstable = loads >= cap
+        k_bad = int(np.searchsorted(unstable, True)) if unstable.any() \
+            else s.size
+        g_vals = self.curve.values(loads[:k_bad])
+        increments = np.diff(g_vals, prepend=0.0) / rem[:k_bad]
+        sorted_c = np.full(s.size, math.inf)
+        sorted_c[:k_bad] = np.cumsum(increments)
+        out = np.empty(c.size)
+        out[order] = sorted_c
+        return out
+
+    def class_deviation_evaluator(self, class_rates: Sequence[float],
+                                  counts: Sequence[int], i: int,
+                                  include_self: bool = False
+                                  ) -> GridEvaluator:
+        """The insertion trick against class-aggregated opponents.
+
+        Identical structure to :meth:`grid_evaluator`, with the
+        opponent ladder carrying one rung per class weighted by its
+        multiplicity — O(K) setup, O(log K) per candidate.  With
+        ``include_self`` the deviator's own class keeps its full count
+        and the candidate inserts as an extra (N+1)-th user.
+        """
+        c, m = check_classes(class_rates, counts)
+        w = m.astype(float)
+        if not include_self:
+            if m[i] < 1:
+                raise ValueError(f"class {i} is empty")
+            w[i] -= 1.0
+        keep = w > 0.0
+        order = np.argsort(c[keep], kind="stable")
+        s = c[keep][order]
+        w = w[keep][order]
+        n = float(w.sum()) + 1.0          # opponents plus the deviator
+        cap = self.curve.capacity
+        before = np.concatenate(([0.0], np.cumsum(w)))
+        prefix = np.concatenate(([0.0], np.cumsum(w * s)))
+        opp_loads = (n - before[:-1]) * s + prefix[:-1]
+        unstable = opp_loads >= cap
+        k_bad = int(np.searchsorted(unstable, True)) if unstable.any() \
+            else s.size
+        g_opp = np.full(s.size, math.inf)
+        g_opp[:k_bad] = self.curve.values(opp_loads[:k_bad])
+        shares = np.diff(g_opp[:k_bad], prepend=0.0) / (n - before[:k_bad])
+        h = np.full(s.size + 1, math.inf)
+        h[:k_bad + 1] = np.concatenate(([0.0], np.cumsum(shares)))
+        g_prev = np.concatenate(([0.0], g_opp))
+
+        def evaluate(xs: Sequence[float]) -> np.ndarray:
+            cand = np.asarray(xs, dtype=float)
+            if cand.size and float(cand.min()) < 0.0:
+                raise ValueError("rates must be nonnegative")
+            p = np.searchsorted(s, cand, side="left")
+            users_below = before[p]
+            own_loads = (n - users_below) * cand + prefix[p]
+            out = np.full(cand.shape, math.inf)
+            ok = (p <= k_bad) & (own_loads < cap)
+            out[ok] = h[p[ok]] + (
+                (self.curve.values(own_loads[ok]) - g_prev[p[ok]])
+                / (n - users_below[ok]))
+            return out
+
+        return evaluate
+
+    def class_own_derivative(self, class_rates: Sequence[float],
+                             counts: Sequence[int], i: int,
+                             include_self: bool = False) -> float:
+        """``dC/dx = g'(R)`` with ``R`` the deviator's block-start load.
+
+        Differentiating the insertion formula: the candidate's share is
+        ``[g((n - u) x + P) - g_prev] / (n - u)`` with ``u`` users
+        strictly below, so the slope telescopes to ``g'`` at the
+        deviator's own ladder load — the class-space twin of the
+        per-user :meth:`own_derivative`.
+        """
+        c, m = check_classes(class_rates, counts)
+        w = m.astype(float)
+        if not include_self:
+            if m[i] < 1:
+                raise ValueError(f"class {i} is empty")
+            w[i] -= 1.0
+        x = float(c[i])
+        keep = w > 0.0
+        order = np.argsort(c[keep], kind="stable")
+        s = c[keep][order]
+        w = w[keep][order]
+        n = float(w.sum()) + 1.0
+        p = int(np.searchsorted(s, x, side="left"))
+        users_below = float(np.sum(w[:p]))
+        own_load = (n - users_below) * x + float(np.dot(w[:p], s[:p]))
+        if own_load >= self.curve.capacity:
+            return math.inf
+        return self.curve.derivative(own_load)
+
+    def class_congestion_many(self, class_profiles: Sequence[Sequence[float]],
+                              counts: Sequence[int]) -> np.ndarray:
+        """Whole-batch class congestion: row-wise weighted ladders."""
+        batch = np.asarray(class_profiles, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"class_profiles must be 2-D (batch, classes), got "
+                f"{batch.shape}")
+        m = np.asarray(counts, dtype=int)
+        if m.ndim != 1 or m.size != batch.shape[1]:
+            raise ValueError(
+                f"counts must be 1-D of length {batch.shape[1]}, got "
+                f"shape {m.shape}")
+        if m.size and int(m.min()) < 1:
+            raise ValueError(f"class counts must be positive, got {m}")
+        if batch.size and float(batch.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        order = np.argsort(batch, axis=1, kind="stable")
+        s = np.take_along_axis(batch, order, axis=1)
+        w = m.astype(float)[order]
+        n_total = float(m.sum())
+        zeros = np.zeros((batch.shape[0], 1))
+        before = np.concatenate(
+            (zeros, np.cumsum(w, axis=1)[:, :-1]), axis=1)
+        prefix = np.concatenate(
+            (zeros, np.cumsum(w * s, axis=1)[:, :-1]), axis=1)
+        rem = n_total - before
+        loads = rem * s + prefix
+        g = self.curve.values(loads)
+        finite = np.isfinite(g)
+        if finite.all():
+            increments = np.diff(g, prepend=0.0, axis=1)
+            sorted_c = np.cumsum(increments / rem, axis=1)
+        else:
+            g_clipped = np.where(finite, g, 0.0)
+            increments = np.diff(g_clipped, prepend=0.0, axis=1)
+            sorted_c = np.cumsum(
+                np.where(finite, increments / rem, 0.0), axis=1)
             overloaded = np.maximum.accumulate(~finite, axis=1)
             sorted_c = np.where(overloaded, math.inf, sorted_c)
         out = np.empty_like(sorted_c)

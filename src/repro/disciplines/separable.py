@@ -23,7 +23,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.disciplines.base import AllocationFunction
+from repro.disciplines.base import (AllocationFunction, GridEvaluator,
+                                    check_classes)
 from repro.queueing.service_curves import QuadraticCurve
 
 
@@ -70,6 +71,7 @@ class SeparableAllocation(AllocationFunction):
 
     name = "separable"
     vectorized_grid = True
+    vectorized_class_grid = True
 
     def __init__(self, constraint: SumOfSquaresConstraint = None) -> None:
         self.constraint = (constraint if constraint is not None
@@ -102,6 +104,48 @@ class SeparableAllocation(AllocationFunction):
         if batch.size and float(batch.min()) < 0.0:
             raise ValueError("rates must be nonnegative")
         return self.constraint.a * batch * batch
+
+    # -- symmetry-class evaluation -------------------------------------------
+
+    def class_congestion(self, class_rates: Sequence[float],
+                         counts: Sequence[int]) -> np.ndarray:
+        """``C_k = a s_k^2``: fully decoupled, multiplicities irrelevant."""
+        c, _ = check_classes(class_rates, counts)
+        return self.constraint.a * c * c
+
+    def class_deviation_evaluator(self, class_rates: Sequence[float],
+                                  counts: Sequence[int], i: int,
+                                  include_self: bool = False
+                                  ) -> GridEvaluator:
+        """``C(x) = a x^2`` — opponents (and multiplicities) don't matter."""
+        check_classes(class_rates, counts)
+        coefficient = self.constraint.a
+
+        def evaluate(xs: Sequence[float]) -> np.ndarray:
+            cand = np.asarray(xs, dtype=float)
+            if cand.size and float(cand.min()) < 0.0:
+                raise ValueError("rates must be nonnegative")
+            return coefficient * cand * cand
+
+        return evaluate
+
+    def class_congestion_many(self, class_profiles: Sequence[Sequence[float]],
+                              counts: Sequence[int]) -> np.ndarray:
+        batch = np.asarray(class_profiles, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"class_profiles must be 2-D (batch, classes), got "
+                f"{batch.shape}")
+        if batch.size and float(batch.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        return self.constraint.a * batch * batch
+
+    def class_own_derivative(self, class_rates: Sequence[float],
+                             counts: Sequence[int], i: int,
+                             include_self: bool = False) -> float:
+        """``dC/dx = 2 a x`` — decoupled, like everything else here."""
+        c, _ = check_classes(class_rates, counts)
+        return 2.0 * self.constraint.a * float(c[i])
 
     def gradient_i(self, rates: Sequence[float], i: int) -> np.ndarray:
         r = np.asarray(rates, dtype=float)

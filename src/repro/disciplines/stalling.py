@@ -32,7 +32,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.disciplines.base import AllocationFunction
+from repro.disciplines.base import (AllocationFunction, GridEvaluator,
+                                    check_classes)
 
 
 class PivotAllocation(AllocationFunction):
@@ -40,6 +41,7 @@ class PivotAllocation(AllocationFunction):
 
     name = "stalling-pivot"
     vectorized_grid = True
+    vectorized_class_grid = True
 
     def congestion(self, rates: Sequence[float]) -> np.ndarray:
         r = np.asarray(rates, dtype=float)
@@ -85,6 +87,79 @@ class PivotAllocation(AllocationFunction):
         out[ok] = g_totals[:, None] - self.curve.values(
             totals[ok, None] - batch[ok])
         return out
+
+    # -- symmetry-class evaluation -------------------------------------------
+
+    def class_congestion(self, class_rates: Sequence[float],
+                         counts: Sequence[int]) -> np.ndarray:
+        """``C_k = g(S) - g(S - s_k)`` with ``S = sum m_k s_k`` — O(K)."""
+        c, m = check_classes(class_rates, counts)
+        total = float(np.dot(m.astype(float), c))
+        if total >= self.curve.capacity:
+            return np.full(c.shape, math.inf)
+        return self.curve.value(total) - self.curve.values(total - c)
+
+    def class_deviation_evaluator(self, class_rates: Sequence[float],
+                                  counts: Sequence[int], i: int,
+                                  include_self: bool = False
+                                  ) -> GridEvaluator:
+        """``C(x) = g(S_opp + x) - g(S_opp)`` with a weighted opponent
+        total hoisted out."""
+        c, m = check_classes(class_rates, counts)
+        w = m.astype(float)
+        if not include_self:
+            if m[i] < 1:
+                raise ValueError(f"class {i} is empty")
+            w[i] -= 1.0
+        opponent_total = float(np.dot(w, c))
+        cap = self.curve.capacity
+
+        def evaluate(xs: Sequence[float]) -> np.ndarray:
+            cand = np.asarray(xs, dtype=float)
+            if cand.size and float(cand.min()) < 0.0:
+                raise ValueError("rates must be nonnegative")
+            totals = opponent_total + cand
+            out = np.full(cand.shape, math.inf)
+            ok = totals < cap
+            if np.any(ok):
+                g_absent = self.curve.value(opponent_total)
+                out[ok] = self.curve.values(totals[ok]) - g_absent
+            return out
+
+        return evaluate
+
+    def class_congestion_many(self, class_profiles: Sequence[Sequence[float]],
+                              counts: Sequence[int]) -> np.ndarray:
+        batch = np.asarray(class_profiles, dtype=float)
+        if batch.ndim != 2:
+            raise ValueError(
+                f"class_profiles must be 2-D (batch, classes), got "
+                f"{batch.shape}")
+        if batch.size and float(batch.min()) < 0.0:
+            raise ValueError("rates must be nonnegative")
+        weights = np.asarray(counts, dtype=float)
+        totals = batch @ weights
+        out = np.full(batch.shape, math.inf)
+        ok = totals < self.curve.capacity
+        g_totals = self.curve.values(totals[ok])
+        out[ok] = g_totals[:, None] - self.curve.values(
+            totals[ok, None] - batch[ok])
+        return out
+
+    def class_own_derivative(self, class_rates: Sequence[float],
+                             counts: Sequence[int], i: int,
+                             include_self: bool = False) -> float:
+        """``dC/dx = g'(S)`` — the Pareto marginal, in class space too."""
+        c, m = check_classes(class_rates, counts)
+        w = m.astype(float)
+        if not include_self:
+            if m[i] < 1:
+                raise ValueError(f"class {i} is empty")
+            w[i] -= 1.0
+        total = float(np.dot(w, c)) + float(c[i])
+        if total >= self.curve.capacity:
+            return math.inf
+        return self.curve.derivative(total)
 
     def own_derivative(self, rates: Sequence[float], i: int) -> float:
         """``dC_i/dr_i = g'(S)`` — the Pareto marginal, by design."""

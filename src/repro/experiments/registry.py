@@ -31,6 +31,7 @@ from repro.experiments import (
     mg1_generality,
     network_extension,
     poa_sweep,
+    scaling_regimes,
     sim_validation,
     stalling_pivot,
     subsystem_properties,
@@ -69,6 +70,7 @@ _MODULES = (
     ablation_arrivals,
     subsystem_properties,
     finite_buffers,
+    scaling_regimes,
 )
 
 _REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {
@@ -116,7 +118,7 @@ def _failure_report(experiment_id: str, trace: str) -> ExperimentReport:
 
 def _run_one(experiment_id: str, seed: int, fast: bool,
              cache_enabled: Optional[bool] = None,
-             solver_vectorized: Optional[bool] = None,
+             solver_vectorized: Optional[str] = None,
              ) -> Tuple[Optional[ExperimentReport], Optional[str],
                         Dict[str, int]]:
     """Run one experiment; the pool-safe unit of work.
@@ -128,7 +130,8 @@ def _run_one(experiment_id: str, seed: int, fast: bool,
     total).  ``cache_enabled`` / ``solver_vectorized`` pin the
     sim-cache and solver-vectorization overrides inside a worker
     process, where the parent's in-memory overrides are not inherited;
-    ``None`` (the serial path) leaves them untouched.
+    ``solver_vectorized`` is a mode string (``"on"``/``"off"``/
+    ``"auto"``) and ``None`` (the serial path) leaves both untouched.
 
     Experiments that exercise the analytic solvers gain deterministic
     ``solver_*`` evaluation counts in their summary (never wall time —
@@ -181,7 +184,7 @@ def run_experiments(experiment_ids: Sequence[str], seed: int = 0,
             outcomes = list(pool.map(
                 _run_one, ids, [seed] * len(ids), [fast] * len(ids),
                 [sim_cache.enabled()] * len(ids),
-                [instrumentation.vectorized()] * len(ids)))
+                [instrumentation.mode()] * len(ids)))
         for experiment_id, (report, trace, delta) in zip(ids, outcomes):
             sim_cache.merge_stats(delta)
             reports.append(report if report is not None

@@ -6,9 +6,26 @@ optimality (weighted-sum frontier and FDC residuals), envy-freeness,
 Stackelberg leadership, Newton relaxation dynamics and the relaxation
 matrix, generalized hill climbing (iterated elimination of dominated
 rates), revelation mechanisms, and protectiveness.
+
+Large populations go through the symmetry-class reduction
+(:mod:`repro.game.classes`) and its N→∞ limit
+(:mod:`repro.game.meanfield`): K-class solves at O(K) per step with
+expansion certificates back in the exact N-user game.
 """
 
 from repro.game.best_response import best_response, best_response_map
+from repro.game.classes import (
+    ClassNashResult,
+    ClassProfile,
+    class_best_response,
+    detect_classes,
+    solve_nash_classes,
+    solve_nash_classes_fdc,
+)
+from repro.game.meanfield import (
+    meanfield_error,
+    solve_nash_meanfield,
+)
 from repro.game.nash import (
     NashResult,
     find_all_nash,
@@ -66,6 +83,14 @@ from repro.game.protection import (
 __all__ = [
     "best_response",
     "best_response_map",
+    "ClassNashResult",
+    "ClassProfile",
+    "class_best_response",
+    "detect_classes",
+    "solve_nash_classes",
+    "solve_nash_classes_fdc",
+    "meanfield_error",
+    "solve_nash_meanfield",
     "NashResult",
     "solve_nash",
     "solve_nash_fdc",

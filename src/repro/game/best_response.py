@@ -50,10 +50,22 @@ def _default_rate_cap(allocation) -> float:
 
 def _grid_objective(allocation, utility: Utility, rates: np.ndarray,
                     i: int) -> Optional[GridFunc]:
-    """Batched objective for :func:`multistart_maximize`, if available."""
-    if not instrumentation.vectorized():
+    """Batched objective for :func:`multistart_maximize`, if available.
+
+    In ``auto`` mode the discipline's
+    :attr:`~repro.disciplines.base.AllocationFunction.grid_min_users`
+    cost hint arbitrates: below that population the scalar scan beats
+    the grid's fixed numpy overhead (FIFO's scalar objective is a
+    single ``sum``), so the call returns ``None`` and the maximizer
+    takes the scalar path — same bracket, same result, less time.
+    """
+    solver_mode = instrumentation.mode()
+    if solver_mode == "off":
         return None
     if not getattr(allocation, "vectorized_grid", False):
+        return None
+    if (solver_mode == "auto"
+            and rates.size < getattr(allocation, "grid_min_users", 0)):
         return None
     # One evaluator per best response: the opponent-side precomputation
     # (sort, ladder, prefix sums) is shared by every grid-zoom round.
@@ -106,7 +118,7 @@ def best_response(allocation, utility: Utility, rates: Sequence[float],
 def best_response_map(allocation, profile: Sequence[Utility],
                       rates: Sequence[float],
                       r_max: Optional[float] = None,
-                      n_scan: int = 65) -> np.ndarray:
+                      n_scan: int = 65, tol: float = 1e-11) -> np.ndarray:
     """Simultaneous best responses: ``B(r)_i = argmax_x U_i(x, C_i)``.
 
     Fixed points of this map are exactly the Nash equilibria.
@@ -118,7 +130,7 @@ def best_response_map(allocation, profile: Sequence[Utility],
     out = np.empty_like(r)
     for i, utility in enumerate(profile):
         out[i] = best_response(allocation, utility, r, i, r_max=r_max,
-                               n_scan=n_scan).x
+                               n_scan=n_scan, tol=tol).x
     return out
 
 

@@ -28,9 +28,16 @@ from repro.game.best_response import (
     best_response_map,
     utility_improvement,
 )
+from repro.game.classes import ClassProfile, detect_classes
 from repro.numerics.iterate import damped_fixed_point
 from repro.numerics.rng import default_rng
 from repro.users.utility import Utility
+
+#: Population above which :func:`find_all_nash` seeds starts per class
+#: by default.  An N-dimensional Dirichlet concentrates as N grows
+#: (every start degenerates to the equal split), so large-N multistart
+#: needs the class structure to stay diverse.
+CLASS_START_MIN_USERS = 100
 
 
 @dataclass
@@ -160,30 +167,69 @@ def is_nash(allocation, profile: Sequence[Utility],
     return _certify(allocation, profile, r) <= tol
 
 
+def _class_seeded_start(generator: np.random.Generator,
+                        grouping: ClassProfile,
+                        max_total: float) -> np.ndarray:
+    """One random start with class-level diversity.
+
+    The total load and its split *across classes* come from
+    low-dimensional draws (K-dim Dirichlet), so distinct starts place
+    genuinely different masses on each utility class even at N=10^4;
+    the split *within* a class is a further Dirichlet so the start is
+    not artificially class-symmetric.
+    """
+    load = generator.uniform(0.05, max_total)
+    totals = generator.dirichlet(np.ones(grouping.n_classes)) * load
+    start = np.empty(grouping.n_users)
+    for k, indices in enumerate(grouping.members):
+        share = generator.dirichlet(np.ones(len(indices)))
+        start[list(indices)] = totals[k] * share
+    return start
+
+
 def find_all_nash(allocation, profile: Sequence[Utility],
                   n_starts: int = 12,
                   rng: Optional[np.random.Generator] = None,
                   gain_tol: float = 1e-6,
                   distinct_tol: float = 1e-3,
-                  max_iter: int = 400) -> List[NashResult]:
+                  max_iter: int = 400,
+                  class_starts: Optional[bool] = None) -> List[NashResult]:
     """Multistart equilibrium search with clustering.
 
     Runs damped best-response iteration from ``n_starts`` random
     interior points, keeps runs that certify as equilibria, and merges
     points closer than ``distinct_tol`` in sup norm.  Returns the
     distinct equilibria found (possibly empty if nothing certified).
+
+    ``class_starts`` controls the start distribution: ``True`` seeds
+    per utility class (:func:`_class_seeded_start`), ``False`` uses
+    the flat N-dimensional Dirichlet, and ``None`` (default) picks
+    class seeding exactly when ``len(profile) >=``
+    :data:`CLASS_START_MIN_USERS` and the profile actually has fewer
+    classes than users — below the threshold the RNG draw sequence is
+    byte-identical to the historical behaviour.
     """
     generator = default_rng(rng if rng is not None else 0)
     n = len(profile)
     capacity = getattr(getattr(allocation, "curve", None), "capacity",
                        math.inf)
     max_total = 0.95 * capacity if math.isfinite(capacity) else 2.0
+    use_classes = (n >= CLASS_START_MIN_USERS if class_starts is None
+                   else bool(class_starts))
+    grouping: Optional[ClassProfile] = None
+    if use_classes:
+        grouping = detect_classes(profile)
+        if grouping.n_classes >= n:
+            grouping = None         # no symmetry to exploit
     found: List[NashResult] = []
     alpha = np.ones(n)
     for trial in range(n_starts):
-        direction = generator.dirichlet(alpha)
-        load = generator.uniform(0.05, max_total)
-        start = direction * load
+        if grouping is not None:
+            start = _class_seeded_start(generator, grouping, max_total)
+        else:
+            direction = generator.dirichlet(alpha)
+            load = generator.uniform(0.05, max_total)
+            start = direction * load
         result = solve_nash(allocation, profile, r0=start,
                             max_iter=max_iter)
         if not result.is_equilibrium(gain_tol):

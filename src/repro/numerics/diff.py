@@ -31,6 +31,16 @@ def _step_for(x: float, rel: float) -> float:
     return rel * max(abs(x), 1.0)
 
 
+def diff_step(x: float) -> float:
+    """The default first-derivative step at ``x`` (public helper).
+
+    Exposed so callers that differentiate through evaluator closures
+    (e.g. the class-space FDC residuals) use the same step policy as
+    :func:`partial_derivative`.
+    """
+    return _step_for(float(x), DEFAULT_STEP)
+
+
 def partial_derivative(func: VectorFunc, x: np.ndarray, i: int,
                        step: Optional[float] = None) -> float:
     """Central-difference estimate of ``d func / d x_i`` at ``x``.

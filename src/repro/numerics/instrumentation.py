@@ -13,8 +13,23 @@ Mirrors the toggle idiom of :mod:`repro.sim.cache`:
 
 * environment: ``GREEDWORK_SOLVER_VECTOR=off`` (or ``0``/``false``/
   ``no``) disables the vectorized paths for the whole process;
+  ``GREEDWORK_SOLVER_VECTOR=auto`` selects per-call between the grid
+  and scalar paths from the discipline's measured cost model;
 * programmatic: :func:`set_vectorized` overrides the environment for
   the current process (``None`` restores environment control).
+
+The switch is tri-state (:func:`mode`): ``"on"`` always uses the
+batched grid when a discipline advertises one, ``"off"`` always scans
+scalar, and ``"auto"`` consults the discipline's
+:attr:`~repro.disciplines.base.AllocationFunction.grid_min_users`
+cost hint — disciplines whose scalar objective is a single reduction
+(FIFO's one ``sum``) beat the fixed numpy call overhead of the grid
+path at small N, and auto keeps them on the faster path without
+giving up the grid at scale.  Auto is a pure cost decision: its
+output is bit-identical to whichever pure mode it selects (``"off"``
+below the hint, ``"on"`` at or above it), and the two pure paths
+themselves agree to within the maximizer tolerance (both refine
+inside the same scan bracket).
 
 Counters nest: :func:`track_solver` pushes a fresh
 :class:`SolverCounters` onto a stack and :func:`record` adds to every
@@ -34,26 +49,55 @@ from typing import Dict, Iterator, List, Optional
 
 ENV_TOGGLE = "GREEDWORK_SOLVER_VECTOR"
 _DISABLING_VALUES = {"0", "off", "false", "no"}
+_AUTO_VALUES = {"auto", "cost", "adaptive"}
 
-_vector_override: Optional[bool] = None
+_vector_override: Optional[str] = None
 
 
-def vectorized() -> bool:
-    """Whether solvers should use the batched grid evaluation core."""
+def mode() -> str:
+    """The solver-vectorization mode: ``"on"``, ``"off"`` or ``"auto"``."""
     if _vector_override is not None:
         return _vector_override
     raw = os.environ.get(ENV_TOGGLE)
     if raw is None:
-        return True
-    return raw.strip().lower() not in _DISABLING_VALUES
+        return "on"
+    cleaned = raw.strip().lower()
+    if cleaned in _DISABLING_VALUES:
+        return "off"
+    if cleaned in _AUTO_VALUES:
+        return "auto"
+    return "on"
 
 
-def set_vectorized(value: Optional[bool]) -> None:
-    """Force the vectorization switch on/off; ``None`` defers to the env."""
+def vectorized() -> bool:
+    """Whether solvers may use the batched grid evaluation core.
+
+    True in both ``"on"`` and ``"auto"`` modes; ``"auto"`` additionally
+    lets the call site fall back to the scalar path when the
+    discipline's cost hint says the grid loses at the problem size.
+    """
+    return mode() != "off"
+
+
+def set_vectorized(value) -> None:
+    """Force the vectorization switch; ``None`` defers to the env.
+
+    Accepts the historical booleans (``True`` → ``"on"``, ``False`` →
+    ``"off"``) as well as the mode strings ``"on"``/``"off"``/
+    ``"auto"``.
+    """
     # greedwork: ignore[GW601] -- deliberately per-process: each worker
     # re-applies the parent's flag from its payload (registry._run_one).
     global _vector_override
-    _vector_override = value
+    if value is None:
+        _vector_override = None
+    elif isinstance(value, bool):
+        _vector_override = "on" if value else "off"
+    elif value in ("on", "off", "auto"):
+        _vector_override = value
+    else:
+        raise ValueError(
+            f"expected True/False/None or 'on'/'off'/'auto', got {value!r}")
 
 
 @dataclass

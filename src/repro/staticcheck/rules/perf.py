@@ -26,10 +26,17 @@ numpy code quietly degrades to interpreter speed:
            fraction of the events; fixed horizons are only right when
            no CI target exists (divergent queues, loss fractions), and
            such sites must say so in a suppression.
+``GW107``  a per-user API call (``congestion_i``, ``best_response``,
+           ``utility_improvement``, ...) inside a loop in the
+           class-space modules (``repro.game.classes`` /
+           ``repro.game.meanfield``) — those modules exist to keep
+           every path O(K); an O(N) per-user loop silently destroys
+           the reduction.  Deliberately bounded spot checks carry a
+           suppression saying so.
 
 All apply only to ``repro`` modules (GW105 to ``repro.game``, GW106 to
-``repro.experiments``): tests and examples may trade speed for
-clarity.
+``repro.experiments``, GW107 to the class-space modules): tests and
+examples may trade speed for clarity.
 """
 
 from __future__ import annotations
@@ -543,6 +550,66 @@ class ScalarCandidateScanRule(Rule):
                     isinstance(sub.target, ast.Name):
                 out.add(sub.target.id)
         return out
+
+
+#: Per-user evaluation entry points.  Each call costs O(N) (it walks a
+#: full rate vector, or drives an O(N) congestion evaluation), so any
+#: loop around one re-introduces exactly the per-user cost the
+#: class-space reduction exists to remove.
+PER_USER_API = frozenset({
+    "congestion_i", "congestion", "congestion_grid", "grid_evaluator",
+    "best_response", "best_response_map", "utility_improvement",
+    "own_derivative", "gradient_i", "jacobian",
+})
+
+#: Modules contractually O(K): class-space solving and its mean-field
+#: limit.
+CLASS_SPACE_MODULES = frozenset({
+    "repro.game.classes", "repro.game.meanfield",
+})
+
+
+@register_rule
+class PerUserLoopInClassSpaceRule(Rule):
+    """Flag O(N) per-user loops in class-space modules (GW107)."""
+
+    rule_id = "GW107"
+    name = "per-user-loop-in-class-space"
+    description = ("the class-space modules promise O(K) solves; a "
+                   "per-user API call (congestion_i, best_response, "
+                   "utility_improvement, ...) inside a loop there is "
+                   "an O(N) regression — use the class_* counterpart, "
+                   "or suppress with the reason the loop is bounded")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None or ctx.module not in CLASS_SPACE_MODULES:
+            return
+        for scope in _scopes(ctx.tree):
+            # One report per call, anchored to the outermost loop that
+            # contains it (_loops yields outer loops first), so a
+            # suppression above the loop covers the whole nest.
+            reported: Set[int] = set()
+            for loop in _loops(scope):
+                for node in ast.walk(loop):
+                    if not isinstance(node, ast.Call) \
+                            or id(node) in reported:
+                        continue
+                    func = node.func
+                    if isinstance(func, ast.Attribute):
+                        name = func.attr
+                    elif isinstance(func, ast.Name):
+                        name = func.id
+                    else:
+                        continue
+                    if name not in PER_USER_API:
+                        continue
+                    reported.add(id(node))
+                    yield self.finding(
+                        ctx, loop,
+                        f"per-user call {name}(...) inside a loop in a "
+                        f"class-space module re-introduces O(N) work; "
+                        f"use the O(K) class_* path, or suppress with "
+                        f"the reason the loop is bounded")
 
 
 @register_rule

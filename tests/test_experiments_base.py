@@ -68,7 +68,7 @@ class TestRegistry:
         ids = all_experiments()
         assert "table1" in ids
         assert "t8_protection" in ids
-        assert len(ids) == 22
+        assert len(ids) == 23
         assert "network_extension" in ids
 
     def test_get_and_claim(self):

@@ -37,7 +37,7 @@ SARIF_SUBSET_SCHEMA = (Path(__file__).resolve().parent / "data"
 
 ALL_RULE_IDS = [
     "GW001", "GW002", "GW003", "GW004", "GW005",
-    "GW101", "GW102", "GW103", "GW104", "GW105", "GW106",
+    "GW101", "GW102", "GW103", "GW104", "GW105", "GW106", "GW107",
     "GW201", "GW202",
     "GW301", "GW302",
     "GW401", "GW402", "GW403",
@@ -152,7 +152,8 @@ class TestFramework:
     def test_select_rules_by_family_prefix(self):
         rules = select_rules(all_rules(), select=["GW1"])
         assert [r.rule_id for r in rules] == \
-            ["GW101", "GW102", "GW103", "GW104", "GW105", "GW106"]
+            ["GW101", "GW102", "GW103", "GW104", "GW105", "GW106",
+             "GW107"]
 
     def test_select_rules_normalizes_family_suffix(self):
         rules = select_rules(all_rules(), select=["GW2xx"])
@@ -162,7 +163,7 @@ class TestFramework:
         rules = select_rules(all_rules(), select=["GW1"],
                              ignore=["GW103"])
         assert [r.rule_id for r in rules] == ["GW101", "GW102", "GW104",
-                                             "GW105", "GW106"]
+                                             "GW105", "GW106", "GW107"]
 
     def test_select_rules_unknown_selector_raises(self):
         with pytest.raises(KeyError):
@@ -1175,6 +1176,88 @@ class TestFixedHorizonSimulate:
                     return simulate(config)
         """)
         result = findings_for(path, "GW106")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestPerUserLoopInClassSpace:
+    """GW107 — per-user API loops in the O(K) class-space modules."""
+
+    def test_per_user_loop_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/classes.py", """\
+            import numpy as np
+
+
+            def certify(allocation, utilities, expanded):
+                worst = -np.inf
+                for i, utility in enumerate(utilities):
+                    gain = utility_improvement(allocation, utility,
+                                               expanded, i)
+                    worst = max(worst, gain)
+                return worst
+        """)
+        result = findings_for(path, "GW107")
+        assert len(result.findings) == 1
+        assert "utility_improvement" in result.findings[0].message
+
+    def test_finding_anchors_at_outer_loop(self, tmp_path):
+        # A nested loop reports once, at the outermost ``for`` — so a
+        # single pragma above the nest covers the whole certification
+        # block (the shape ``certify_expansion`` ships with).
+        path = write_module(tmp_path, "src/repro/game/meanfield.py", """\
+            def spot(allocation, utilities, expanded, per_class):
+                worst = 0.0
+                for k, utility in enumerate(utilities):
+                    for j in range(per_class):
+                        gain = utility_improvement(
+                            allocation, utility, expanded, k + j)
+                        worst = max(worst, gain)
+                return worst
+        """)
+        result = findings_for(path, "GW107")
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 3
+
+    def test_class_space_calls_pass(self, tmp_path):
+        # O(K) work through the class-space API is the point of the
+        # module; only the per-user surface is banned.
+        path = write_module(tmp_path, "src/repro/game/classes.py", """\
+            import numpy as np
+
+
+            def gains(allocation, utilities, class_rates, counts):
+                out = np.empty(len(utilities))
+                for k, utility in enumerate(utilities):
+                    out[k] = class_best_response(
+                        allocation, utility, class_rates, counts, k).x
+                return out
+        """)
+        assert findings_for(path, "GW107").findings == []
+
+    def test_outside_class_space_modules_passes(self, tmp_path):
+        # The per-user game layer loops over users by design.
+        path = write_module(tmp_path, "src/repro/game/nash.py", """\
+            def sweep(allocation, profile, rates):
+                worst = 0.0
+                for i, utility in enumerate(profile):
+                    worst = max(worst, utility_improvement(
+                        allocation, utility, rates, i))
+                return worst
+        """)
+        assert findings_for(path, "GW107").findings == []
+
+    def test_suppressible_with_justification(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/game/classes.py", """\
+            def certify(allocation, utilities, expanded):
+                worst = 0.0
+                # greedwork: ignore[GW107] -- bounded spot check, one
+                # user per class, never O(N).
+                for i, utility in enumerate(utilities):
+                    worst = max(worst, utility_improvement(
+                        allocation, utility, expanded, i))
+                return worst
+        """)
+        result = findings_for(path, "GW107")
         assert result.findings == []
         assert len(result.suppressed) == 1
 
