@@ -4,8 +4,8 @@ PYTHON ?= python
 STRICT_PKGS = -p repro.queueing -p repro.costsharing -p repro.disciplines
 
 .PHONY: install test test-fast bench bench-micro bench-solver \
-        bench-stats bench-staticcheck experiments report examples \
-        clean lint lint-ruff lint-mypy check check-sarif fix
+        bench-stats bench-staticcheck bench-sweep experiments report \
+        examples clean lint lint-ruff lint-mypy check check-sarif fix
 
 install:
 	$(PYTHON) -m pip install -e '.[test]'
@@ -67,6 +67,12 @@ bench-solver:
 bench-stats:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_stats.py -o BENCH_sim.json
 
+# Sweep-orchestrator phases (cold utilization, warm dedup, journal
+# resume) over the ~200-cell paper catalog; appends BENCH_sweep.json
+# and writes the cold run's Pareto artifact to sweep_report.json.
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep.py -o BENCH_sweep.json
+
 # Static-analysis wall time (cold/warm check + fix convergence);
 # appends to the BENCH_staticcheck.json trajectory.
 bench-staticcheck:
@@ -85,5 +91,6 @@ examples:
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks \
 		.greedwork_cache greedwork.sarif BENCH_sim.json \
-		BENCH_solver.json BENCH_staticcheck.json
+		BENCH_solver.json BENCH_staticcheck.json BENCH_sweep.json \
+		sweep_report.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -215,6 +215,52 @@ def _build_parser() -> argparse.ArgumentParser:
     fix_parser.add_argument("--verbose", action="store_true",
                             help="also show remaining findings")
 
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="scenario-sweep orchestrator: catalog -> cells -> "
+             "Pareto report")
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command",
+                                            required=True)
+    for sweep_name, sweep_help in (
+            ("run", "run a catalog from scratch (truncates any "
+                    "existing journal for it)"),
+            ("resume", "replay the journal, run only missing cells")):
+        runlike = sweep_sub.add_parser(sweep_name, help=sweep_help)
+        runlike.add_argument("--catalog", default=None, metavar="FILE",
+                             help="JSON catalog spec (see "
+                                  "EXPERIMENTS.md); default: the "
+                                  "built-in 'smoke' catalog")
+        runlike.add_argument("--builtin", default=None,
+                             metavar="NAME",
+                             help="built-in catalog name "
+                                  "(smoke, paper)")
+        runlike.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for cold cells")
+        runlike.add_argument("--no-sim-cache", action="store_true",
+                             help="do not reuse or store cached "
+                                  "simulation results")
+        runlike.add_argument("--no-journal", action="store_true",
+                             help="do not write a sweep journal")
+        runlike.add_argument("-o", "--output", default=None,
+                             metavar="FILE",
+                             help="also write the JSON report "
+                                  "artifact here")
+        runlike.add_argument("--max-groups", type=int, default=12,
+                             help="per-group tables shown in the "
+                                  "ASCII report (-1 = all)")
+        runlike.add_argument("--quiet", action="store_true",
+                             help="suppress the progress stream on "
+                                  "stderr")
+    sweep_report = sweep_sub.add_parser(
+        "report",
+        help="regenerate the Pareto report from the journal "
+             "(no simulation)")
+    sweep_report.add_argument("--catalog", default=None, metavar="FILE")
+    sweep_report.add_argument("--builtin", default=None, metavar="NAME")
+    sweep_report.add_argument("-o", "--output", default=None,
+                              metavar="FILE")
+    sweep_report.add_argument("--max-groups", type=int, default=12)
+
     explain_parser = sub.add_parser(
         "explain",
         help="explain a static-analysis rule: rationale, minimal "
@@ -653,6 +699,104 @@ def _cmd_explain(selectors: List[str]) -> int:
     return 0
 
 
+def _sweep_catalog(args: "argparse.Namespace"):
+    """Resolve the catalog a ``sweep`` subcommand addresses."""
+    from repro.exceptions import SweepError
+    from repro.sweep import builtin_catalog, load_catalog
+
+    if args.catalog and args.builtin:
+        raise SweepError(
+            "--catalog and --builtin are mutually exclusive")
+    if args.catalog:
+        return load_catalog(args.catalog)
+    return builtin_catalog(args.builtin or "smoke")
+
+
+def _cmd_sweep(args: "argparse.Namespace") -> int:
+    import json
+
+    from repro.exceptions import ReproError
+    from repro.sim import cache as sim_cache
+    from repro.sweep import (CellOutcome, SweepProgress, SweepResult,
+                             read_journal, render_report,
+                             report_document, run_sweep)
+    from repro.sweep.journal import journal_path
+
+    try:
+        catalog = _sweep_catalog(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    max_groups = None if args.max_groups < 0 else args.max_groups
+
+    if args.sweep_command == "report":
+        # Rebuild the report from the journal alone: no simulation,
+        # no cache traffic — the artifact is a pure function of what
+        # the last run/resume recorded.
+        path = journal_path(catalog.digest())
+        recorded = read_journal(path)
+        outcomes = []
+        missing = 0
+        seen = set()
+        for cell in catalog.cells:
+            payload = recorded.get(cell.key())
+            if payload is None:
+                missing += 1
+                continue
+            outcome = CellOutcome.from_dict(payload)
+            outcome.source = ("dedup" if cell.key() in seen
+                              else "journal")
+            seen.add(cell.key())
+            outcomes.append(outcome)
+        if not outcomes:
+            print(f"error: no journal for catalog {catalog.name!r} "
+                  f"(digest {catalog.digest()}); run "
+                  f"`repro sweep run` first", file=sys.stderr)
+            return 2
+        result = SweepResult(
+            catalog_name=catalog.name, digest=catalog.digest(),
+            outcomes=outcomes, wall_s=0.0, busy_s=0.0, jobs=0,
+            fresh_events=0, journal_path=path)
+        if missing:
+            print(f"[sweep] {missing} cell(s) not in the journal yet; "
+                  f"`repro sweep resume` completes them",
+                  file=sys.stderr)
+        print(render_report(result, max_groups=max_groups), end="")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(report_document(result), handle, indent=2)
+            print(f"[sweep] JSON artifact: {args.output}",
+                  file=sys.stderr)
+        return 1 if result.failures else 0
+
+    no_cache = args.no_sim_cache
+    if no_cache:
+        sim_cache.set_enabled(False)
+
+    def _progress(progress: "SweepProgress") -> None:
+        print(progress.line(), file=sys.stderr)
+
+    try:
+        result = run_sweep(
+            catalog, jobs=args.jobs, journal=not args.no_journal,
+            resume=(args.sweep_command == "resume"),
+            progress=None if args.quiet else _progress,
+            cache_enabled=False if no_cache else None)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if no_cache:
+            sim_cache.set_enabled(None)
+    print(render_report(result, max_groups=max_groups), end="")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report_document(result), handle, indent=2)
+        print(f"[sweep] JSON artifact: {args.output}", file=sys.stderr)
+    print(sim_cache.stats().line(), file=sys.stderr)
+    return 1 if result.failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -682,6 +826,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fix(args)
     if args.command == "explain":
         return _cmd_explain(args.rules)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
         from repro.sim import cache as sim_cache

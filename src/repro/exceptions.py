@@ -54,3 +54,13 @@ class SimulationError(ReproError):
 
 class MechanismError(ReproError):
     """A revelation/allocation mechanism received invalid reports."""
+
+
+class SweepError(ReproError):
+    """A scenario-sweep catalog, journal, or schedule is inconsistent.
+
+    Raised, for example, when a catalog spec names an unknown axis or
+    policy, when a journal on disk belongs to a different catalog
+    digest than the one being resumed, or when ``sweep resume`` finds
+    no journal to resume from.
+    """

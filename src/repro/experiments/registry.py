@@ -14,11 +14,11 @@ the pool.
 from __future__ import annotations
 
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
 from repro.numerics import instrumentation
+from repro.parallel import WorkerPool
 from repro.sim import cache as sim_cache
 from repro.experiments import (
     ablation_arrivals,
@@ -163,28 +163,38 @@ def _run_one(experiment_id: str, seed: int, fast: bool,
 
 
 def run_experiments(experiment_ids: Sequence[str], seed: int = 0,
-                    fast: bool = False,
-                    jobs: int = 1) -> List[ExperimentReport]:
+                    fast: bool = False, jobs: int = 1,
+                    pool: Optional[WorkerPool] = None,
+                    ) -> List[ExperimentReport]:
     """Run experiments, optionally in parallel; reports in input order.
 
     ``jobs > 1`` fans the experiments out over a process pool.  Each
     experiment derives all randomness from ``seed``, so the reports are
-    identical to a serial run — only wall time changes.  Unknown ids
-    raise :class:`~repro.exceptions.ReproError` up front (before any
-    work starts); an experiment that *crashes* comes back as a FAIL
-    report with the worker traceback in its notes.
+    identical to a serial run — only wall time changes.  Passing an
+    existing :class:`~repro.parallel.WorkerPool` as ``pool`` reuses
+    its (already warm) workers instead of spinning up and tearing
+    down a pool per call — ``greedwork report --jobs N`` regenerates
+    several report sections back to back and pays startup once.
+    Unknown ids raise :class:`~repro.exceptions.ReproError` up front
+    (before any work starts); an experiment that *crashes* comes back
+    as a FAIL report with the worker traceback in its notes.
     """
     ids = list(experiment_ids)
     for experiment_id in ids:           # validate before spawning
         get_experiment(experiment_id)
     reports: List[ExperimentReport] = []
-    if jobs > 1 and len(ids) > 1:
-        workers = min(jobs, len(ids))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+    if (jobs > 1 or pool is not None) and len(ids) > 1:
+        own_pool = pool is None
+        if own_pool:
+            pool = WorkerPool(min(jobs, len(ids)))
+        try:
             outcomes = list(pool.map(
                 _run_one, ids, [seed] * len(ids), [fast] * len(ids),
                 [sim_cache.enabled()] * len(ids),
                 [instrumentation.mode()] * len(ids)))
+        finally:
+            if own_pool:
+                pool.shutdown()
         for experiment_id, (report, trace, delta) in zip(ids, outcomes):
             sim_cache.merge_stats(delta)
             reports.append(report if report is not None

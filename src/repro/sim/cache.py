@@ -187,6 +187,52 @@ def state_key(config: Any, engine_version: str) -> Optional[str]:
         blob.encode("utf-8")).hexdigest()
 
 
+def precision_key(config: Any, engine_version: str,
+                  target_halfwidth: float, confidence: float,
+                  growth: float, max_horizon: float,
+                  use_control_variates: bool) -> Optional[str]:
+    """Content hash of one sequential-stopping schedule, or ``None``.
+
+    Keys the tiny precision-index entry
+    :func:`repro.sim.runner.simulate_to_precision` stores alongside
+    its chunk results: the *initial* config (all fields — the ladder
+    schedule is a pure function of it) plus every argument that
+    shapes the ladder.  A warm replayer that hits the index can jump
+    straight to the final rung instead of re-walking and re-summarizing
+    every chunk.
+    """
+    if not isinstance(getattr(config, "policy", None), str):
+        return None
+    payload: Dict[str, Any] = {
+        "__engine__": engine_version,
+        "__kind__": "precision",
+        "__target__": float(target_halfwidth),
+        "__confidence__": float(confidence),
+        "__growth__": float(growth),
+        "__max_horizon__": float(max_horizon),
+        "__controls__": bool(use_control_variates),
+    }
+    try:
+        for spec in fields(config):
+            payload[spec.name] = _canonical_value(
+                getattr(config, spec.name))
+    except TypeError:
+        return None
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return "prec-" + hashlib.sha256(
+        blob.encode("utf-8")).hexdigest()
+
+
+def store_meta(key: str, payload: Any) -> None:
+    """Persist a small metadata entry without touching the counters.
+
+    Index entries describe other cache entries rather than simulation
+    results; counting them as stores would skew the result-cache
+    accounting the CI gates read.
+    """
+    _write_entry(key, payload)
+
+
 def load_state(key: str) -> Optional[Any]:
     """The cached engine snapshot for ``key``, or ``None``.
 
@@ -227,6 +273,23 @@ def _entry_path(key: str) -> str:
     return os.path.join(cache_dir(), key[:2], key + ".pkl")
 
 
+def peek(key: str) -> Optional[Any]:
+    """The cached result for ``key`` without touching the counters.
+
+    The sweep scheduler's dedup-before-dispatch probe replays a cell's
+    chunk ladder against the cache to decide whether a worker
+    round-trip is needed at all; counting those probes as hits/misses
+    would double-book the cells that then go on to call
+    :func:`repro.sim.runner.simulate` for real.
+    """
+    try:
+        with open(_entry_path(key), "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+
+
 def load(key: str) -> Optional[Any]:
     """The cached result for ``key``, or ``None`` (counts hit/miss)."""
     path = _entry_path(key)
@@ -242,8 +305,8 @@ def load(key: str) -> Optional[Any]:
     return result
 
 
-def store(key: str, result: Any) -> None:
-    """Persist ``result`` under ``key`` (atomic, best-effort)."""
+def _write_entry(key: str, obj: Any) -> bool:
+    """Atomically pickle ``obj`` under ``key``; True on success."""
     path = _entry_path(key)
     directory = os.path.dirname(path)
     try:
@@ -251,13 +314,20 @@ def store(key: str, result: Any) -> None:
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle,
+                pickle.dump(obj, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_path, path)
         except BaseException:
             os.unlink(tmp_path)
             raise
     except OSError:
+        return False
+    return True
+
+
+def store(key: str, result: Any) -> None:
+    """Persist ``result`` under ``key`` (atomic, best-effort)."""
+    if not _write_entry(key, result):
         return
     # greedwork: ignore[GW601] -- per-process _stats; see merge_stats.
     _stats.stores += 1

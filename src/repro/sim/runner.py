@@ -72,7 +72,6 @@ import copy
 import heapq
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -80,6 +79,7 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.numerics.rng import spawn_generators, spawn_seeds
+from repro.parallel import WorkerPool
 from repro.sim import cache as sim_cache
 from repro.sim.arrivals import VariateStream
 from repro.sim.measurements import BatchMeans, QueueTracker
@@ -823,6 +823,17 @@ def simulate_to_precision(config: SimulationConfig,
         achieved = bool(finite and np.max(summary.half_widths)
                         <= target_halfwidth)
         if achieved or horizon >= max_horizon:
+            if sim_cache.enabled():
+                # Index the finished schedule so a warm replayer can
+                # jump straight to the final rung (one peek instead of
+                # one peek + summary per rung).
+                pkey = sim_cache.precision_key(
+                    base, ENGINE_VERSION, target_halfwidth, confidence,
+                    growth, max_horizon, use_control_variates)
+                if pkey is not None:
+                    sim_cache.store_meta(
+                        pkey, {"final_horizon": horizon,
+                               "n_rungs": len(horizons)})
             return PrecisionResult(result=result, summary=summary,
                                    target_halfwidth=target_halfwidth,
                                    horizons=horizons, achieved=achieved)
@@ -875,9 +886,29 @@ def antithetic_configs(config: SimulationConfig,
     return out
 
 
+def _replicate_worker(config: SimulationConfig,
+                      cache_enabled: bool
+                      ) -> Tuple["SimulationResult", dict]:
+    """Pool-safe unit of work for :func:`replicate`.
+
+    Returns ``(result, sim_cache_stats_delta)``.  Worker processes do
+    not inherit the parent's in-memory cache override, so the parent's
+    effective flag is pinned explicitly; the delta (rather than a
+    total — workers are reused across tasks) lets the parent fold the
+    worker's hit/miss/fresh-event counters into its own so a pooled
+    ``[sim-cache]`` summary matches the serial one.
+    """
+    sim_cache.set_enabled(cache_enabled)
+    before = sim_cache.snapshot()
+    result = simulate(config)
+    after = sim_cache.snapshot()
+    return result, {key: after[key] - before[key] for key in after}
+
+
 def replicate(config: SimulationConfig, n_replications: int = 5,
               jobs: int = 1, antithetic: bool = False,
-              confidence: float = 0.95) -> "ReplicationSummary":
+              confidence: float = 0.95,
+              pool: Optional[WorkerPool] = None) -> "ReplicationSummary":
     """Run independent replications (different seeds) and pool them.
 
     Half-widths use the Student-t quantile at the replication count's
@@ -887,13 +918,18 @@ def replicate(config: SimulationConfig, n_replications: int = 5,
     (see :func:`antithetic_configs`) and the CI is computed over the
     *pair averages*, which are genuinely independent.
 
-    ``jobs > 1`` fans the replications across a
-    ``ProcessPoolExecutor``; each task is a pure function of its
-    config, so the pooled output is byte-identical to the serial run.
-    Configs carrying a ``QueuePolicy`` *instance* always run serially
-    in-process (instances are not safely picklable); each replication
-    gets a deep copy of the instance so one run's leftover backlog
-    cannot contaminate the next.
+    ``jobs > 1`` fans the replications across a process pool; each
+    task is a pure function of its config, so the pooled output is
+    byte-identical to the serial run, and each worker returns its
+    sim-cache counter delta so the parent's ``[sim-cache]`` summary
+    stays accurate across processes.  Passing an existing
+    :class:`~repro.parallel.WorkerPool` as ``pool`` reuses its workers
+    instead of paying pool spin-up per call (the pool's size then
+    wins over ``jobs``).  Configs carrying a ``QueuePolicy``
+    *instance* always run serially in-process (instances are not
+    safely picklable); each replication gets a deep copy of the
+    instance so one run's leftover backlog cannot contaminate the
+    next.
     """
     if n_replications < 1:
         raise SimulationError("need at least one replication")
@@ -901,12 +937,23 @@ def replicate(config: SimulationConfig, n_replications: int = 5,
         configs = antithetic_configs(config, n_replications)
     else:
         configs = replication_configs(config, n_replications)
-    parallel = jobs > 1 and n_replications > 1 and isinstance(
-        config.policy, str)
+    parallel = ((jobs > 1 or pool is not None)
+                and n_replications > 1
+                and isinstance(config.policy, str))
     if parallel:
-        workers = min(jobs, n_replications)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            runs = list(pool.map(simulate, configs))
+        own_pool = pool is None
+        if own_pool:
+            pool = WorkerPool(min(jobs, n_replications))
+        try:
+            flags = [sim_cache.enabled()] * len(configs)
+            outcomes = list(pool.map(_replicate_worker, configs, flags))
+        finally:
+            if own_pool:
+                pool.shutdown()
+        runs = []
+        for result, delta in outcomes:
+            sim_cache.merge_stats(delta)
+            runs.append(result)
     elif isinstance(config.policy, str):
         runs = [simulate(cfg) for cfg in configs]
     else:

@@ -139,12 +139,31 @@ def t_quantile(confidence: float, dof: float) -> float:
     the hard-coded 1.96 at small ``dof`` (e.g. 4.30 at ``dof=2``,
     2.78 at ``dof=4``).  Converges to the normal quantile for large
     ``dof``.
+
+    Memoized: callers hit a handful of ``(confidence, dof)`` pairs
+    (one per batch-count configuration) thousands of times — e.g. the
+    sweep scheduler's warm ladder replay recomputes every rung's CI —
+    and each bisection costs ~40 exact-CDF evaluations.
     """
     if not 0.0 < confidence < 1.0:
         raise ValueError(
             f"confidence must be in (0,1), got {confidence}")
     if dof <= 0.0:
         raise ValueError(f"degrees of freedom must be positive, got {dof}")
+    key = (confidence, dof)
+    cached = _T_QUANTILES.get(key)
+    if cached is not None:
+        return cached
+    value = _t_quantile_exact(confidence, dof)
+    if len(_T_QUANTILES) < 4096:
+        _T_QUANTILES[key] = value
+    return value
+
+
+_T_QUANTILES: dict = {}
+
+
+def _t_quantile_exact(confidence: float, dof: float) -> float:
     p = 0.5 * (1.0 + confidence)
     if dof > 1e6:
         return normal_quantile(p)

@@ -31,6 +31,7 @@ from repro.staticcheck.rules.determinism import (
     VariateContractRule,
 )
 from repro.staticcheck.rules.parallel import (
+    BlockingEventLoopRule,
     UnpicklableWorkerRule,
     WorkerSharedStateRule,
 )
@@ -58,4 +59,5 @@ __all__ = [
     "OrderedAggregationRule",
     "WorkerSharedStateRule",
     "UnpicklableWorkerRule",
+    "BlockingEventLoopRule",
 ]

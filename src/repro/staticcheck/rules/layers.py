@@ -3,10 +3,10 @@
 The architecture is a DAG of layers::
 
     0  exceptions
-    1  numerics, queueing
+    1  numerics, parallel, queueing
     2  costsharing, disciplines, users
     3  game, sim, network
-    4  analysis, experiments
+    4  analysis, experiments, sweep
     5  staticcheck
     6  cli, __main__, and the root ``repro`` facade
 
@@ -32,6 +32,7 @@ ROOT_FACADE = "<root>"
 LAYERS: Dict[str, int] = {
     "exceptions": 0,
     "numerics": 1,
+    "parallel": 1,
     "queueing": 1,
     "costsharing": 2,
     "disciplines": 2,
@@ -41,6 +42,7 @@ LAYERS: Dict[str, int] = {
     "network": 3,
     "analysis": 4,
     "experiments": 4,
+    "sweep": 4,
     "staticcheck": 5,
     "cli": 6,
     "__main__": 6,
@@ -54,6 +56,8 @@ INTRA_LAYER_EDGES: FrozenSet[Tuple[str, str]] = frozenset({
     ("users", "disciplines"),
     ("network", "sim"),
     ("experiments", "analysis"),
+    ("sweep", "experiments"),   # catalog cells reuse Table/AsciiChart
+    ("sweep", "analysis"),
     ("__main__", "cli"),        # entry point delegates to the CLI
 })
 

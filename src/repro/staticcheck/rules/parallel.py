@@ -22,6 +22,7 @@ from repro.staticcheck.project import (
     ProjectContext,
     _dotted,
 )
+from repro.staticcheck.rules.determinism import _call_dotted, _in_scope
 
 
 @register_rule
@@ -207,3 +208,110 @@ class UnpicklableWorkerRule(Rule):
                 out.update(t.id for t in node.targets
                            if isinstance(t, ast.Name))
         return out
+
+
+#: Scheduler/orchestrator modules whose async code GW604 audits.
+_EVENT_LOOP_PREFIXES = ("repro.sweep.",)
+
+#: Synchronous simulation entry points that must never run on the
+#: event loop thread — each one simulates for seconds to minutes.
+_BLOCKING_SIM_CALLS = frozenset({
+    "simulate", "simulate_to_precision", "replicate",
+    "replicate_to_precision", "run_experiments",
+})
+
+
+def _own_nodes(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``func``'s body without descending into nested defs.
+
+    Nested ``async def``s are visited by the caller's outer walk and
+    audited on their own; nested *sync* defs get audited too (they are
+    closures the async function calls inline), but as part of their
+    enclosing async scope exactly once.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class BlockingEventLoopRule(Rule):
+    """Async scheduler code must never block the event loop (GW604).
+
+    Rationale:
+        The sweep scheduler's dispatch loop is a single-threaded
+        asyncio loop multiplexing worker completions, journal writes,
+        and progress ticks.  One synchronous call stalls all of it:
+        ``Future.result()`` parks the loop thread until a worker
+        finishes (starving every other completion), an un-timeout'd
+        ``concurrent.futures.as_completed`` iterator blocks in C code
+        the loop cannot interrupt, and calling ``simulate(...)`` /
+        ``simulate_to_precision(...)`` inline runs a whole simulation
+        on the loop thread — the scheduler degrades to serial while
+        claiming ``jobs=N``.  None of these deadlock loudly; they
+        silently destroy the worker utilization the bench gates on.
+
+    Example::
+
+        async def _dispatch(self, batches):
+            for batch in batches:
+                future = loop.run_in_executor(pool, run, batch)
+                outcome = future.result()      # blocks the loop
+
+    Fix:
+        ``await`` the future (``outcome = await future``), wait on
+        completion sets with ``asyncio.wait(...)``, and route every
+        simulation through ``loop.run_in_executor``.  Code that is
+        deliberately synchronous (e.g. a sequential fallback path)
+        belongs in a plain ``def``; if a blocking call inside an
+        ``async def`` is truly intended, suppress with a reason:
+        ``# greedwork: ignore[GW604] -- <why>``.
+    """
+
+    rule_id = "GW604"
+    name = "blocking-event-loop"
+    description = ("blocking calls (Future.result(), un-timeout'd "
+                   "as_completed, synchronous simulate/replicate) "
+                   "inside async scheduler code stall the event loop")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None \
+                or not _in_scope(ctx.module, _EVENT_LOOP_PREFIXES):
+            return
+        for func in ast.walk(ctx.tree):
+            if isinstance(func, ast.AsyncFunctionDef):
+                yield from self._check_async(ctx, func)
+
+    def _check_async(self, ctx: FileContext,
+                     func: ast.AsyncFunctionDef) -> Iterable[Finding]:
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _call_dotted(node)
+            tail = dotted.rsplit(".", 1)[-1] if dotted else ""
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "result":
+                yield self.finding(
+                    ctx, node,
+                    f"{dotted or 'future'}() blocks the event loop "
+                    f"in async {func.name!r}; await the future "
+                    f"instead")
+            elif tail == "as_completed" \
+                    and not any(kw.arg == "timeout"
+                                for kw in node.keywords):
+                yield self.finding(
+                    ctx, node,
+                    f"{dotted}(...) without a timeout blocks the "
+                    f"event loop in async {func.name!r}; use "
+                    f"asyncio.wait(...) or pass timeout=")
+            elif tail in _BLOCKING_SIM_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"synchronous {dotted}(...) runs a whole "
+                    f"simulation on the event loop thread in async "
+                    f"{func.name!r}; dispatch it through "
+                    f"loop.run_in_executor")

@@ -1,0 +1,72 @@
+"""Scenario-sweep orchestrator: the experiment harness as a service.
+
+The paper's verdicts are judgments over a discipline x utility-profile
+x traffic-model x rho x N grid.  All the fast primitives exist lower
+in the stack — chunked C kernels, a content-keyed persistent sim
+cache, precision-targeted sequential stopping, resumable engine
+snapshots — but each experiment wires them by hand.  This package is
+the front door that serves the whole grid as heavy traffic:
+
+``catalog``
+    Declarative scenario specs expanded into content-keyed cells.
+``scheduler``
+    Async orchestrator: dedup-before-dispatch against the sim cache,
+    priority-aware (cheap cells first) scheduling over a persistent
+    worker pool, CRN-sibling batching, streamed progress.
+``journal``
+    Append-only JSONL sweep journal; an interrupted sweep resumes
+    delta-only.
+``pareto``
+    Cost-quality dominance classification (events simulated vs CI
+    half-width vs verdict confidence).
+``report``
+    ASCII + JSON sweep reports with per-group Pareto frontiers.
+"""
+
+from repro.sweep.catalog import (
+    Catalog,
+    SweepCell,
+    builtin_catalog,
+    builtin_catalog_names,
+    expand_catalog,
+    load_catalog,
+)
+from repro.sweep.journal import SweepJournal, read_journal
+from repro.sweep.pareto import (
+    ParetoPoint,
+    classify_points,
+    compute_pareto_frontier,
+    frontier_line,
+    verdict_confidence,
+)
+from repro.sweep.report import render_report, report_document
+from repro.sweep.scheduler import (
+    CellOutcome,
+    SweepProgress,
+    SweepResult,
+    SweepScheduler,
+    run_sweep,
+)
+
+__all__ = [
+    "Catalog",
+    "SweepCell",
+    "builtin_catalog",
+    "builtin_catalog_names",
+    "expand_catalog",
+    "load_catalog",
+    "SweepJournal",
+    "read_journal",
+    "ParetoPoint",
+    "classify_points",
+    "compute_pareto_frontier",
+    "frontier_line",
+    "verdict_confidence",
+    "render_report",
+    "report_document",
+    "CellOutcome",
+    "SweepProgress",
+    "SweepResult",
+    "SweepScheduler",
+    "run_sweep",
+]

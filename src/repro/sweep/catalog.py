@@ -1,0 +1,417 @@
+"""Declarative scenario catalogs expanded into content-keyed cells.
+
+A *catalog* is the sweep's unit of intent: a small JSON-able spec
+naming axes (service discipline, utility/rate profile, traffic model,
+utilization ``rho``, population ``N``, seeds) that expands into the
+cross product of *cells*.  Each cell pins one precision-targeted
+simulation — the same :class:`~repro.sim.runner.SimulationConfig` +
+``simulate_to_precision`` contract the experiments use — and carries a
+content-keyed identity so that two cells that would run the exact same
+simulation are equal by key, whatever catalog they came from.  Keys
+include the engine version: bumping the event core invalidates every
+journal entry the old core produced, exactly like the sim cache.
+
+Spec format (JSON object)::
+
+    {
+      "name": "my-sweep",
+      "policies": ["fifo", "fair-share"],
+      "profiles": ["uniform", "linear"],
+      "arrival_processes": ["poisson"],
+      "service_processes": ["exponential"],
+      "rhos": [0.5, 0.9],
+      "n_users": [2, 4],
+      "seeds": [0],
+      "target_halfwidth": 0.1,
+      "horizon": 8000.0,
+      "warmup": 1000.0,
+      "n_batches": 20,
+      "max_doublings": 5
+    }
+
+Axis entries (plural keys) are lists; scalar keys set every cell's
+stopping rule.  The grid keys every later stage: the scheduler
+schedules cheap cells first using :meth:`SweepCell.cost_estimate`,
+batches CRN siblings (same :meth:`SweepCell.crn_key`, i.e. identical
+traffic — only the discipline differs) onto one worker, and the
+journal records outcomes under :meth:`SweepCell.key`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SweepError
+from repro.sim.runner import ENGINE_VERSION, SimulationConfig
+
+#: Canonical policy names a catalog may sweep (the subset of
+#: :func:`repro.sim.queues.make_policy` spellings the cache can key).
+POLICY_NAMES = frozenset({
+    "fifo", "lifo", "ps", "fair-share", "adaptive-fair-share",
+    "hol", "round-robin", "fair-queueing",
+})
+
+#: Rate-profile shapes: how the per-user rates split the load.
+#: ``uniform`` gives every user the same rate; ``linear`` gives user i
+#: a rate proportional to ``i+1`` (the heterogeneous 1:2:...:N profile
+#: the paper's Table 1 and the bench cells use).
+PROFILES = ("uniform", "linear")
+
+_ARRIVALS = ("poisson", "deterministic", "hyperexponential")
+_SERVICES = ("exponential", "deterministic", "hyperexponential")
+
+#: Non-exponential service is only valid with nonpreemptive policies
+#: (see SimulationConfig docs); catalogs crossing service laws with
+#: preemptive disciplines are rejected at expansion time rather than
+#: crashing in a worker.
+_NONPREEMPTIVE = frozenset({"fifo", "hol", "round-robin",
+                            "fair-queueing"})
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One precision-targeted simulation in a sweep grid.
+
+    Frozen and hashable: cells are dict keys in the scheduler's dedup
+    index, and a cell's identity is exactly its field contents (plus
+    the engine version) — never object identity.
+    """
+
+    policy: str
+    profile: str
+    arrival_process: str
+    service_process: str
+    rho: float
+    n_users: int
+    seed: int = 0
+    #: Stopping rule: grow the horizon until every user's 95% CI
+    #: half-width is at or below this.
+    target_halfwidth: float = 0.1
+    #: Initial horizon (first rung of the geometric ladder).
+    horizon: float = 8000.0
+    warmup: float = 1000.0
+    n_batches: int = 20
+    #: Ladder length cap: ``max_horizon = warmup + window * 2**k``.
+    max_doublings: int = 5
+
+    def rates(self) -> Tuple[float, ...]:
+        """Per-user arrival rates realizing ``rho`` under ``profile``.
+
+        The switch serves at rate 1 (the paper's convention), so the
+        rates sum to ``rho`` exactly; the profile only shapes the
+        split.
+        """
+        n = self.n_users
+        if self.profile == "uniform":
+            weights = [1.0] * n
+        else:                           # "linear": 1:2:...:N
+            weights = [float(i + 1) for i in range(n)]
+        total = sum(weights)
+        return tuple(self.rho * w / total for w in weights)
+
+    def config(self) -> SimulationConfig:
+        """The cell's simulation config (resumable batch layout)."""
+        quota = (self.horizon - self.warmup) / self.n_batches
+        return SimulationConfig(
+            rates=self.rates(), policy=self.policy,
+            horizon=self.horizon, warmup=self.warmup,
+            seed=self.seed, n_batches=self.n_batches,
+            arrival_process=self.arrival_process,
+            service_process=self.service_process,
+            batch_quota=quota)
+
+    def max_horizon(self) -> float:
+        """Budget cap for the cell's horizon ladder."""
+        window = self.horizon - self.warmup
+        return self.warmup + window * (2.0 ** self.max_doublings)
+
+    def key(self) -> str:
+        """Content hash identifying the cell's exact computation.
+
+        Two cells with equal keys would run byte-identical
+        simulations under the same event core, so the scheduler runs
+        one and shares the outcome.  Memoized on the instance (the
+        hot paths — dedup index, warm probe, journal records, outcome
+        ordering — each rehash every cell): safe because the
+        dataclass is frozen, so the content cannot change under the
+        cached digest.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = self._digest(exclude=())
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def crn_key(self) -> str:
+        """Hash of the cell's *traffic*, excluding the discipline.
+
+        Cells sharing a ``crn_key`` draw identical arrival streams
+        (arrival draws are a pure function of the seed under the
+        draw-order contract), so they are common-random-number
+        siblings: the scheduler batches them onto one worker, where
+        consecutive ladder rungs reuse each other's warm state.
+        """
+        cached = self.__dict__.get("_crn_key")
+        if cached is None:
+            cached = self._digest(exclude=("policy",))
+            object.__setattr__(self, "_crn_key", cached)
+        return cached
+
+    def _digest(self, exclude: Tuple[str, ...]) -> str:
+        payload = asdict(self)
+        for field_name in exclude:
+            del payload[field_name]
+        payload["__engine__"] = ENGINE_VERSION
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def cost_estimate(self) -> float:
+        """Deterministic proxy for the cell's simulation cost.
+
+        Expected events at the *initial* horizon are about
+        ``2 * rho * horizon`` (arrivals plus departures); cells near
+        saturation mix slowly and typically climb more ladder rungs
+        before their CI certifies, so the estimate scales by
+        ``1/(1-rho)``.  Only the *ordering* matters — the scheduler
+        runs cheap cells first for early signal — so a heuristic is
+        fine as long as it is a pure function of the cell.
+        """
+        window = self.horizon - self.warmup
+        events = 2.0 * self.rho * (self.warmup + window)
+        congestion = 1.0 / max(1e-9, 1.0 - min(self.rho, 0.999))  # greedwork: ignore[GW201] -- denominator clamped to >= 1e-9 by the max(); rho also validated in (0, 1)
+        return events * congestion
+
+    def label(self) -> str:
+        """Human-readable cell id for progress lines and reports."""
+        traffic = self.arrival_process
+        if self.service_process != "exponential":
+            traffic += f"/{self.service_process}"
+        return (f"{self.policy} {self.profile} {traffic} "
+                f"rho={self.rho:g} N={self.n_users} seed={self.seed}")
+
+
+@dataclass
+class Catalog:
+    """A named, expanded list of sweep cells."""
+
+    name: str
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def digest(self) -> str:
+        """Content hash of the whole catalog (the sweep identity).
+
+        A pure function of the cell set and the engine version — not
+        of the catalog name or cell order — so `run` and `resume`
+        agree on the journal file whatever order the spec listed its
+        axes in.
+        """
+        keys = sorted(cell.key() for cell in self.cells)
+        blob = json.dumps(keys, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+_AXES: Tuple[Tuple[str, str], ...] = (
+    # (spec key, cell field) in expansion order.
+    ("policies", "policy"),
+    ("profiles", "profile"),
+    ("arrival_processes", "arrival_process"),
+    ("service_processes", "service_process"),
+    ("rhos", "rho"),
+    ("n_users", "n_users"),
+    ("seeds", "seed"),
+)
+
+_AXIS_DEFAULTS: Dict[str, List[Any]] = {
+    "policies": ["fifo", "fair-share"],
+    "profiles": ["linear"],
+    "arrival_processes": ["poisson"],
+    "service_processes": ["exponential"],
+    "rhos": [0.5, 0.9],
+    "n_users": [4],
+    "seeds": [0],
+}
+
+_SCALARS = ("target_halfwidth", "horizon", "warmup", "n_batches",
+            "max_doublings")
+
+
+def _axis_values(spec: Dict[str, Any], key: str) -> List[Any]:
+    values = spec.get(key, _AXIS_DEFAULTS[key])
+    if not isinstance(values, (list, tuple)) or not values:
+        raise SweepError(
+            f"catalog axis {key!r} must be a non-empty list, got "
+            f"{values!r}")
+    return list(values)
+
+
+def _validate_cell(cell: SweepCell) -> None:
+    if cell.policy not in POLICY_NAMES:
+        known = ", ".join(sorted(POLICY_NAMES))
+        raise SweepError(
+            f"unknown policy {cell.policy!r}; known: {known}")
+    if cell.profile not in PROFILES:
+        raise SweepError(
+            f"unknown profile {cell.profile!r}; known: "
+            f"{', '.join(PROFILES)}")
+    if cell.arrival_process not in _ARRIVALS:
+        raise SweepError(
+            f"unknown arrival process {cell.arrival_process!r}; "
+            f"known: {', '.join(_ARRIVALS)}")
+    if cell.service_process not in _SERVICES:
+        raise SweepError(
+            f"unknown service process {cell.service_process!r}; "
+            f"known: {', '.join(_SERVICES)}")
+    if (cell.service_process != "exponential"
+            and cell.policy not in _NONPREEMPTIVE):
+        raise SweepError(
+            f"service process {cell.service_process!r} needs a "
+            f"nonpreemptive policy, got {cell.policy!r} (the "
+            f"memoryless redraw would be wrong)")
+    if not 0.0 < cell.rho < 1.0:
+        raise SweepError(
+            f"rho must lie in (0, 1), got {cell.rho!r}")
+    if cell.n_users < 1:
+        raise SweepError(
+            f"need at least one user, got {cell.n_users!r}")
+    if cell.target_halfwidth <= 0.0:
+        raise SweepError(
+            f"target half-width must be positive, got "
+            f"{cell.target_halfwidth!r}")
+    if cell.horizon <= cell.warmup:
+        raise SweepError(
+            f"horizon {cell.horizon!r} must exceed warmup "
+            f"{cell.warmup!r}")
+    if cell.max_doublings < 0:
+        raise SweepError(
+            f"max_doublings must be non-negative, got "
+            f"{cell.max_doublings!r}")
+
+
+def expand_catalog(spec: Dict[str, Any]) -> Catalog:
+    """Expand a JSON-able spec into the cross product of cells.
+
+    Unknown spec keys are rejected (a typo'd axis name would
+    otherwise silently fall back to its default and sweep the wrong
+    grid); every expanded cell is validated before anything runs.
+    """
+    if not isinstance(spec, dict):
+        raise SweepError(
+            f"catalog spec must be an object, got {type(spec).__name__}")
+    known = ({"name"} | {key for key, _ in _AXES} | set(_SCALARS))
+    unknown = sorted(set(spec) - known)
+    if unknown:
+        raise SweepError(
+            f"unknown catalog key(s) {', '.join(map(repr, unknown))}; "
+            f"known: {', '.join(sorted(known))}")
+    name = spec.get("name", "sweep")
+    int_scalars = {"n_batches", "max_doublings"}
+    scalars: Dict[str, Any] = {}
+    for key in _SCALARS:
+        if key in spec:
+            scalars[key] = (int(spec[key]) if key in int_scalars
+                            else float(spec[key]))
+    axes = [_axis_values(spec, key) for key, _ in _AXES]
+    cells: List[SweepCell] = []
+    for combo in itertools.product(*axes):
+        kwargs = {cell_field: value
+                  for (_, cell_field), value in zip(_AXES, combo)}
+        kwargs["rho"] = float(kwargs["rho"])
+        kwargs["n_users"] = int(kwargs["n_users"])
+        kwargs["seed"] = int(kwargs["seed"])
+        cell = SweepCell(**kwargs, **scalars)
+        _validate_cell(cell)
+        cells.append(cell)
+    if not cells:
+        raise SweepError(f"catalog {name!r} expanded to zero cells")
+    return Catalog(name=str(name), cells=cells)
+
+
+def load_catalog(path: str) -> Catalog:
+    """Read and expand a JSON catalog spec from disk."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except OSError as exc:
+        raise SweepError(f"cannot read catalog {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise SweepError(
+            f"catalog {path!r} is not valid JSON: {exc}") from exc
+    catalog = expand_catalog(spec)
+    if "name" not in spec:
+        catalog.name = path
+    return catalog
+
+
+#: Built-in catalogs: ``smoke`` is the <=20-cell CI gate grid,
+#: ``paper`` the ~200-cell load-generator grid bench_sweep.py times.
+_BUILTINS: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "name": "smoke",
+        "policies": ["fifo", "fair-share", "fair-queueing"],
+        "profiles": ["linear"],
+        "arrival_processes": ["poisson"],
+        "service_processes": ["exponential"],
+        "rhos": [0.3, 0.6],
+        "n_users": [2, 4, 8],
+        "seeds": [0],
+        "target_halfwidth": 0.25,
+        "horizon": 3000.0,
+        "warmup": 500.0,
+        "max_doublings": 3,
+    },
+    "paper": {
+        "name": "paper",
+        "policies": ["fifo", "fair-share", "fair-queueing",
+                     "round-robin"],
+        "profiles": ["uniform", "linear"],
+        "arrival_processes": ["poisson", "hyperexponential"],
+        "service_processes": ["exponential"],
+        "rhos": [0.3, 0.5, 0.7, 0.9],
+        "n_users": [2, 4, 8],
+        "seeds": [0],
+        "target_halfwidth": 0.2,
+        "horizon": 6000.0,
+        "warmup": 1000.0,
+        "max_doublings": 4,
+    },
+}
+
+
+def builtin_catalog_names() -> List[str]:
+    """Names accepted by :func:`builtin_catalog`."""
+    return sorted(_BUILTINS)
+
+
+def builtin_catalog(name: str) -> Catalog:
+    """Expand one of the built-in catalogs by name."""
+    try:
+        spec = _BUILTINS[name]
+    except KeyError:
+        raise SweepError(
+            f"unknown built-in catalog {name!r}; known: "
+            f"{', '.join(builtin_catalog_names())}") from None
+    return expand_catalog(spec)
+
+
+def dedupe_cells(cells: Iterable[SweepCell]
+                 ) -> Tuple[List[SweepCell], Dict[str, int]]:
+    """Unique cells (first-seen order) plus duplicate counts by key."""
+    seen: Dict[str, int] = {}
+    unique: List[SweepCell] = []
+    duplicates: Dict[str, int] = {}
+    for cell in cells:
+        cell_key = cell.key()
+        if cell_key in seen:
+            duplicates[cell_key] = duplicates.get(cell_key, 0) + 1
+            continue
+        seen[cell_key] = len(unique)
+        unique.append(cell)
+    return unique, duplicates

@@ -1,0 +1,150 @@
+"""Cost-quality Pareto dominance over sweep outcomes.
+
+Every sweep cell ends with a cost (events simulated) and a quality
+pair (the achieved CI half-width, and the *verdict confidence* — the
+Student-t probability that the estimated mean lies within the cell's
+target of the truth).  A configuration is Pareto-efficient when no
+other point in its comparison group is at least as good on all three
+and strictly better on one: cheaper, tighter, or more certain.  The
+frontier is what the ROADMAP's "cost-quality frontier" reporting
+serves — pick the discipline/stopping-rule combination that buys the
+required confidence for the fewest simulated events.
+
+Dominance convention (minimize cost, minimize half-width, maximize
+confidence)::
+
+    A dominates B  iff  cost_A <= cost_B
+                    and halfwidth_A <= halfwidth_B
+                    and confidence_A >= confidence_B
+                    and at least one inequality is strict
+
+Ties are kept: two coincident points are both on the frontier (the
+report marks them; neither dominates the other).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim.stats import t_cdf, t_quantile
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point in cost-quality space.
+
+    ``cost`` is events simulated (lower is better); ``halfwidth`` the
+    achieved CI half-width (lower is better); ``confidence`` the
+    verdict confidence in [0, 1] (higher is better).  ``meta`` carries
+    whatever the caller wants echoed into reports (policy, rho, ...).
+    """
+
+    label: str
+    cost: float
+    halfwidth: float
+    confidence: float
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False,
+                                 hash=False)
+
+
+@dataclass
+class PointClassification:
+    """Dominance verdict for one point within its group."""
+
+    point: ParetoPoint
+    on_frontier: bool
+    #: Number of points in the group that dominate this one.
+    dominated_by: int
+    #: Label of one dominating point (diagnostic; None on frontier).
+    dominator: Optional[str] = None
+
+
+def _finite(point: ParetoPoint) -> bool:
+    return (math.isfinite(point.cost)
+            and math.isfinite(point.halfwidth)
+            and math.isfinite(point.confidence))
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (see module convention).
+
+    A point with any non-finite coordinate never dominates: NaN
+    comparisons are all false, which would otherwise let a diverged
+    cell "dominate" on cost alone while its quality is unknown.
+    """
+    if not _finite(a):
+        return False
+    if (a.cost > b.cost or a.halfwidth > b.halfwidth
+            or a.confidence < b.confidence):
+        return False
+    return (a.cost < b.cost or a.halfwidth < b.halfwidth
+            or a.confidence > b.confidence)
+
+
+def compute_pareto_frontier(points: Sequence[ParetoPoint]) -> List[int]:
+    """Indices of the nondominated points, in input order.
+
+    O(n^2) pairwise scan — sweep groups are tens of points, and the
+    quadratic form keeps the three-objective logic obvious.  Points
+    with non-finite coordinates never make the frontier (a cell whose
+    CI diverged is not a bargain at any cost).
+    """
+    out: List[int] = []
+    for i, candidate in enumerate(points):
+        if not _finite(candidate):
+            continue
+        if not any(dominates(other, candidate)
+                   for j, other in enumerate(points) if j != i):
+            out.append(i)
+    return out
+
+
+def classify_points(points: Sequence[ParetoPoint]
+                    ) -> List[PointClassification]:
+    """Frontier membership and dominator counts for every point."""
+    frontier = set(compute_pareto_frontier(points))
+    out: List[PointClassification] = []
+    for i, point in enumerate(points):
+        dominators = [other for j, other in enumerate(points)
+                      if j != i and dominates(other, point)]
+        out.append(PointClassification(
+            point=point,
+            on_frontier=i in frontier,
+            dominated_by=len(dominators),
+            dominator=dominators[0].label if dominators else None))
+    return out
+
+
+def frontier_line(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """The frontier sorted by cost ascending (for plotting).
+
+    Secondary sort on half-width keeps the order total and
+    deterministic when two frontier points tie on cost.
+    """
+    chosen = [points[i] for i in compute_pareto_frontier(points)]
+    return sorted(chosen,
+                  key=lambda p: (p.cost, p.halfwidth, p.label))
+
+
+def verdict_confidence(halfwidth: float, target: float, dof: int,
+                       confidence: float = 0.95) -> float:
+    """P(|estimate - truth| <= target) implied by an achieved CI.
+
+    The achieved half-width ``h`` at level ``confidence`` encodes a
+    standard error ``se = h / t_q(confidence, dof)``; the probability
+    that the estimate sits within ``target`` of the truth is then the
+    two-sided Student-t mass ``2 F(target/se) - 1``.  A cell that just
+    met its target reports ~``confidence``; overshooting (smaller
+    ``h``) pushes the verdict confidence toward 1, undershooting
+    degrades it smoothly instead of flipping a binary flag.
+    """
+    if target <= 0.0:
+        raise ValueError(f"target must be positive, got {target}")
+    if not math.isfinite(halfwidth) or dof < 1:
+        return 0.0
+    if halfwidth <= 0.0:
+        return 1.0
+    se = halfwidth / t_quantile(confidence, dof)
+    return max(0.0, 2.0 * t_cdf(target / se, dof) - 1.0)

@@ -1,0 +1,270 @@
+"""Sweep reports: ASCII cost-quality frontiers and a JSON artifact.
+
+Two views of the same outcomes:
+
+* **Scenario groups** — cells sharing traffic, load, population, and
+  stopping rule (everything but the discipline) are directly
+  comparable: their arrival streams are CRN-identical, so dominance
+  between them is a paired statement about the disciplines.  Each
+  group gets a Pareto classification; the per-discipline *frontier
+  share* (fraction of its groups where the discipline is
+  Pareto-efficient) is the sweep's headline verdict table.
+* **Discipline aggregates** — mean events / mean half-width / mean
+  verdict confidence per discipline across the grid, with a global
+  frontier in the style of ProjectScylla's cost-quality figure,
+  rendered as an :class:`~repro.experiments.asciiplot.AsciiChart`
+  scatter plus a marked table.
+
+``report_document`` returns the JSON-able artifact (written by
+``repro sweep run/report`` and uploaded by the CI smoke job);
+``render_report`` the terminal rendering of the same content.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.asciiplot import AsciiChart
+from repro.experiments.base import Table
+from repro.sweep.pareto import (
+    ParetoPoint,
+    classify_points,
+    compute_pareto_frontier,
+    frontier_line,
+)
+from repro.sweep.scheduler import CellOutcome, SweepResult
+
+#: A scenario group: everything that defines the traffic and the
+#: stopping rule, i.e. everything but the discipline.
+GroupKey = Tuple[str, str, str, float, int, int, float]
+
+
+def group_key(outcome: CellOutcome) -> GroupKey:
+    """The scenario-group key of one outcome."""
+    return (outcome.profile, outcome.arrival_process,
+            outcome.service_process, outcome.rho, outcome.n_users,
+            outcome.seed, outcome.target_halfwidth)
+
+
+def group_label(key: GroupKey) -> str:
+    """Human-readable scenario-group name."""
+    profile, arrival, service, rho, n_users, seed, target = key
+    traffic = arrival if service == "exponential" \
+        else f"{arrival}/{service}"
+    return (f"{profile} {traffic} rho={rho:g} N={n_users} "
+            f"seed={seed} target={target:g}")
+
+
+def _point(outcome: CellOutcome) -> ParetoPoint:
+    return ParetoPoint(
+        label=outcome.policy,
+        cost=float(outcome.events),
+        halfwidth=float(outcome.halfwidth),
+        confidence=float(outcome.confidence),
+        meta={"key": outcome.key, "label": outcome.label})
+
+
+def scenario_groups(outcomes: Sequence[CellOutcome]
+                    ) -> Dict[GroupKey, List[CellOutcome]]:
+    """Outcomes bucketed by scenario group (insertion-ordered)."""
+    groups: Dict[GroupKey, List[CellOutcome]] = {}
+    for outcome in outcomes:
+        if outcome.source == "dedup" or not outcome.ok:
+            continue
+        groups.setdefault(group_key(outcome), []).append(outcome)
+    return groups
+
+
+def discipline_aggregates(outcomes: Sequence[CellOutcome]
+                          ) -> List[ParetoPoint]:
+    """Mean cost/quality per discipline across the whole grid."""
+    buckets: Dict[str, List[CellOutcome]] = {}
+    for outcome in outcomes:
+        if outcome.source == "dedup" or not outcome.ok:
+            continue
+        if not math.isfinite(outcome.halfwidth):
+            continue
+        buckets.setdefault(outcome.policy, []).append(outcome)
+    points: List[ParetoPoint] = []
+    for policy in sorted(buckets):
+        cells = buckets[policy]
+        n = len(cells)
+        points.append(ParetoPoint(
+            label=policy,
+            cost=sum(float(c.events) for c in cells) / n,
+            halfwidth=sum(float(c.halfwidth) for c in cells) / n,
+            confidence=sum(float(c.confidence) for c in cells) / n,
+            meta={"cells": n,
+                  "achieved": sum(1 for c in cells if c.achieved)}))
+    return points
+
+
+def frontier_shares(groups: Dict[GroupKey, List[CellOutcome]]
+                    ) -> Dict[str, Tuple[int, int]]:
+    """Per discipline: (groups where Pareto-efficient, groups entered)."""
+    shares: Dict[str, Tuple[int, int]] = {}
+    for cells in groups.values():
+        points = [_point(outcome) for outcome in cells]
+        frontier = {points[i].label
+                    for i in compute_pareto_frontier(points)}
+        for outcome in cells:
+            wins, entered = shares.get(outcome.policy, (0, 0))
+            shares[outcome.policy] = (
+                wins + (1 if outcome.policy in frontier else 0),
+                entered + 1)
+    return shares
+
+
+def report_document(result: SweepResult) -> Dict[str, Any]:
+    """The JSON-able sweep report artifact."""
+    groups = scenario_groups(result.outcomes)
+    aggregates = discipline_aggregates(result.outcomes)
+    aggregate_classes = classify_points(aggregates)
+    shares = frontier_shares(groups)
+    group_docs: List[Dict[str, Any]] = []
+    for key, cells in groups.items():
+        points = [_point(outcome) for outcome in cells]
+        classes = classify_points(points)
+        group_docs.append({
+            "group": group_label(key),
+            "cells": [{
+                "policy": verdict.point.label,
+                "events": verdict.point.cost,
+                "halfwidth": verdict.point.halfwidth,
+                "confidence": verdict.point.confidence,
+                "on_frontier": verdict.on_frontier,
+                "dominated_by": verdict.dominated_by,
+                "dominator": verdict.dominator,
+            } for verdict in classes],
+        })
+    return {
+        "report": "sweep-pareto",
+        "catalog": result.catalog_name,
+        "digest": result.digest,
+        "engine_sensitive": True,
+        "cells_total": len(result.outcomes),
+        "cells_failed": len(result.failures),
+        "events_total": result.events,
+        "fresh_events": result.fresh_events,
+        "wall_s": result.wall_s,
+        "busy_s": result.busy_s,
+        "jobs": result.jobs,
+        "utilization": result.utilization,
+        "sources": result.source_counts(),
+        "sim_cache": dict(result.stats_delta),
+        "disciplines": [{
+            "policy": verdict.point.label,
+            "cells": verdict.point.meta["cells"],
+            "achieved": verdict.point.meta["achieved"],
+            "mean_events": verdict.point.cost,
+            "mean_halfwidth": verdict.point.halfwidth,
+            "mean_confidence": verdict.point.confidence,
+            "on_frontier": verdict.on_frontier,
+            "dominated_by": verdict.dominated_by,
+            "frontier_share": list(shares.get(verdict.point.label,
+                                              (0, 0))),
+        } for verdict in aggregate_classes],
+        "frontier": [point.label
+                     for point in frontier_line(aggregates)],
+        "groups": group_docs,
+        "outcomes": [outcome.as_dict() for outcome in result.outcomes],
+    }
+
+
+def _summary_lines(result: SweepResult) -> List[str]:
+    sources = result.source_counts()
+    lines = [
+        f"sweep {result.catalog_name} (digest {result.digest})",
+        f"cells: {len(result.outcomes)} "
+        f"(journal {sources['journal']}, cache {sources['cache']}, "
+        f"dedup {sources['dedup']}, fresh {sources['fresh']})"
+        + (f"; FAILED {len(result.failures)}" if result.failures
+           else ""),
+        f"events: {result.events} total, {result.fresh_events} fresh; "
+        f"wall {result.wall_s:.2f}s at jobs={result.jobs} "
+        f"(utilization {result.utilization:.2f})",
+    ]
+    return lines
+
+
+def render_report(result: SweepResult,
+                  max_groups: Optional[int] = 12) -> str:
+    """Terminal rendering: summary, verdict table, frontier chart.
+
+    ``max_groups`` caps the per-group dominance tables (the JSON
+    artifact always carries all of them); ``None`` prints every
+    group.
+    """
+    lines = _summary_lines(result)
+    lines.append("")
+    groups = scenario_groups(result.outcomes)
+    aggregates = discipline_aggregates(result.outcomes)
+    if not aggregates:
+        lines.append("no successful cells to report")
+        return "\n".join(lines)
+    shares = frontier_shares(groups)
+    table = Table(
+        title="Cost-quality frontier by discipline "
+              "(means over the grid)",
+        headers=["policy", "cells", "mean events", "mean CI half",
+                 "mean conf", "frontier", "group wins"])
+    for verdict in classify_points(aggregates):
+        wins, entered = shares.get(verdict.point.label, (0, 0))
+        table.add_row(
+            verdict.point.label,
+            int(verdict.point.meta["cells"]),
+            float(verdict.point.cost),
+            float(verdict.point.halfwidth),
+            float(verdict.point.confidence),
+            "*" if verdict.on_frontier else
+            f"dominated by {verdict.dominator}",
+            f"{wins}/{entered}")
+    lines.append(table.render())
+    lines.append("")
+    if len(aggregates) >= 2:
+        chart = AsciiChart(
+            "events (x, log10) vs CI half-width (y) -- "
+            "frontier marked 'o'", width=60, height=14)
+        frontier = {point.label for point in frontier_line(aggregates)}
+        front = [p for p in aggregates if p.label in frontier]
+        rest = [p for p in aggregates if p.label not in frontier]
+        chart.add_series(
+            "frontier",
+            [math.log10(max(p.cost, 1.0)) for p in front],
+            [p.halfwidth for p in front])
+        if rest:
+            chart.add_series(
+                "dominated",
+                [math.log10(max(p.cost, 1.0)) for p in rest],
+                [p.halfwidth for p in rest])
+        lines.append(chart.render())
+        lines.append("")
+    shown = 0
+    for key, cells in groups.items():
+        if max_groups is not None and shown >= max_groups:
+            lines.append(
+                f"... {len(groups) - shown} more group(s) in the "
+                f"JSON artifact")
+            break
+        points = [_point(outcome) for outcome in cells]
+        classes = classify_points(points)
+        table = Table(title=group_label(key),
+                      headers=["policy", "events", "CI half",
+                               "conf", "verdict"])
+        for verdict in classes:
+            table.add_row(
+                verdict.point.label,
+                int(verdict.point.cost),
+                float(verdict.point.halfwidth),
+                float(verdict.point.confidence),
+                "frontier" if verdict.on_frontier
+                else f"dominated by {verdict.dominator}")
+        lines.append(table.render())
+        lines.append("")
+        shown += 1
+    for outcome in result.failures:
+        lines.append(f"FAILED {outcome.label}:")
+        lines.append(str(outcome.error))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -42,7 +42,7 @@ ALL_RULE_IDS = [
     "GW301", "GW302",
     "GW401", "GW402", "GW403",
     "GW501", "GW502", "GW503",
-    "GW601", "GW602",
+    "GW601", "GW602", "GW604",
 ]
 
 
@@ -2323,6 +2323,116 @@ class TestUnpicklableWorker:
         """)
         result = findings_for(path, "GW602", root=tmp_path)
         assert result.findings == []
+
+
+class TestBlockingEventLoop:
+    """GW604."""
+
+    def test_future_result_in_async_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sweep/sched.py", """\
+            async def drain(futures):
+                return [future.result() for future in futures]
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "blocks the event loop" in result.findings[0].message
+        assert "'drain'" in result.findings[0].message
+
+    def test_untimeouted_as_completed_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sweep/sched.py", """\
+            from concurrent.futures import as_completed
+
+
+            async def drain(futures):
+                done = []
+                for future in as_completed(futures):
+                    done.append(await wrap(future))
+                return done
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "timeout" in result.findings[0].message
+
+    def test_as_completed_with_timeout_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sweep/sched.py", """\
+            from concurrent.futures import as_completed
+
+
+            async def drain(futures):
+                return list(as_completed(futures, timeout=30.0))
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert result.findings == []
+
+    def test_sync_simulate_in_async_fails(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sweep/sched.py", """\
+            from repro.sim.runner import simulate_to_precision
+
+
+            async def run_cell(cell):
+                return simulate_to_precision(cell.config(),
+                                             target_halfwidth=0.1)
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "run_in_executor" in result.findings[0].message
+
+    def test_awaited_executor_dispatch_passes(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sweep/sched.py", """\
+            import asyncio
+
+
+            async def dispatch(pool, batches):
+                loop = asyncio.get_running_loop()
+                futures = [loop.run_in_executor(pool, run, batch)
+                           for batch in batches]
+                done, _ = await asyncio.wait(
+                    set(futures), return_when=asyncio.FIRST_COMPLETED)
+                return [await future for future in done]
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert result.findings == []
+
+    def test_sync_def_out_of_scope(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sweep/sched.py", """\
+            from repro.sim.runner import simulate
+
+
+            def run_serial(configs):
+                return [simulate(config) for config in configs]
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert result.findings == []
+
+    def test_other_package_out_of_scope(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sim/driver.py", """\
+            async def drain(futures):
+                return [future.result() for future in futures]
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert result.findings == []
+
+    def test_nested_async_reported_once(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sweep/sched.py", """\
+            async def outer(futures):
+                async def inner(future):
+                    return future.result()
+
+                return [await inner(f) for f in futures]
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert len(result.findings) == 1
+        assert "'inner'" in result.findings[0].message
+
+    def test_suppression_with_reason(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/sweep/sched.py", """\
+            async def drain(futures):
+                return [future.result()  # greedwork: ignore[GW604] -- futures are all done here
+                        for future in futures]
+        """)
+        result = findings_for(path, "GW604", root=tmp_path)
+        assert result.findings == []
+        assert len(result.suppressed) == 1
 
 
 class TestStateFlowLayer:
